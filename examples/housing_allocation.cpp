@@ -1,0 +1,71 @@
+// Housing allocation — the application the paper's introduction motivates
+// (families to government-owned housing). Families rank a handful of
+// acceptable houses; popularity protects the allocation from majority
+// dissent, and the optimal variants of Section IV-E trade cardinality
+// against rank quality. Random markets with heavy first-choice contention
+// often admit no popular allocation at all (Algorithm 1 detects this), so
+// the demo runs two markets: a skewed random one, reporting the existence
+// verdict, and a large de-conflicted one, comparing Algorithm 1,
+// Algorithm 3, and the fair and rank-maximal allocations.
+
+#include <cstdio>
+
+#include "core/max_card_popular.hpp"
+#include "core/optimal_popular.hpp"
+#include "core/popular_matching.hpp"
+#include "core/verify.hpp"
+#include "gen/generators.hpp"
+
+namespace {
+
+void report(const char* label, const ncpm::core::Instance& inst,
+            const ncpm::matching::Matching& m) {
+  const auto profile = ncpm::core::matching_profile(inst, m);
+  std::printf("%-22s housed %6zu / %d families | by rank:", label,
+              ncpm::core::matching_size(inst, m), inst.num_applicants());
+  for (std::size_t k = 0; k + 1 < profile.dim(); ++k) {
+    std::printf(" %ld", static_cast<long>(profile.at(k)));
+  }
+  std::printf(" | unhoused %ld\n", static_cast<long>(profile.at(profile.dim() - 1)));
+}
+
+}  // namespace
+
+int main() {
+  // Market 1: fully random with Zipf-skewed desirability. Existence is the
+  // interesting output: heavy contention on a few desirable houses usually
+  // kills popularity (Abraham et al.'s motivating observation).
+  ncpm::gen::StrictConfig rcfg;
+  rcfg.num_applicants = 20000;
+  rcfg.num_posts = 14000;
+  rcfg.list_min = 3;
+  rcfg.list_max = 8;
+  rcfg.zipf_s = 0.8;
+  int admits = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    rcfg.seed = seed;
+    const auto market = ncpm::gen::random_strict_instance(rcfg);
+    if (ncpm::core::find_popular_matching(market).has_value()) ++admits;
+  }
+  std::printf("skewed random markets (20000 families, 14000 houses): "
+              "%d / 10 admit a popular allocation\n\n", admits);
+
+  // Market 2: a de-conflicted market (distinct first choices — e.g. after a
+  // pre-processing lottery over identical flats) with 35%% of families
+  // listing only high-demand houses, so their fallback is staying unhoused.
+  ncpm::gen::SolvableConfig cfg;
+  cfg.num_applicants = 20000;
+  cfg.num_posts = 26000;
+  cfg.list_min = 3;
+  cfg.list_max = 8;
+  cfg.all_f_fraction = 0.35;
+  cfg.contention = 4.0;
+  cfg.seed = 7;
+  const auto inst = ncpm::gen::solvable_strict_instance(cfg);
+  std::printf("de-conflicted market (20000 families, 26000 houses):\n");
+  report("Algorithm 1 (any)", inst, *ncpm::core::find_popular_matching(inst));
+  report("Algorithm 3 (largest)", inst, *ncpm::core::find_max_card_popular(inst));
+  report("fair", inst, *ncpm::core::find_fair_popular(inst));
+  report("rank-maximal", inst, *ncpm::core::find_rank_maximal_popular(inst));
+  return 0;
+}

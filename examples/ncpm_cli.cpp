@@ -1,0 +1,157 @@
+// ncpm_cli — command-line front end over the text formats of gen/io.hpp.
+//
+//   ncpm_cli solve < instance.txt          popular matching (Algorithm 1)
+//   ncpm_cli max-card < instance.txt       largest popular matching (Alg. 3)
+//   ncpm_cli fair | rank-maximal < ...     Section IV-E variants
+//   ncpm_cli count < instance.txt          number of popular matchings
+//   ncpm_cli check < instance.txt          existence + statistics only
+//   ncpm_cli next-stable < stable.txt      rotations exposed in M0 (Alg. 4)
+//   ncpm_cli rotations < stable.txt        the instance's full rotation set
+//   ncpm_cli gen-popular N P SEED          emit a random strict instance
+//   ncpm_cli gen-stable N SEED             emit a random stable instance
+//
+// Instances are read from stdin; matchings / instances are written to
+// stdout in the formats documented in gen/io.hpp.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/max_card_popular.hpp"
+#include "core/optimal_popular.hpp"
+#include "core/popular_matching.hpp"
+#include "core/switching_graph.hpp"
+#include "core/ties.hpp"
+#include "core/verify.hpp"
+#include "gen/generators.hpp"
+#include "gen/io.hpp"
+#include "gen/stable_generators.hpp"
+#include "stable/gale_shapley.hpp"
+#include "stable/next_stable.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ncpm_cli solve|max-card|fair|rank-maximal|count|check < instance.txt\n"
+               "       ncpm_cli next-stable|rotations < stable.txt\n"
+               "       ncpm_cli gen-popular N P SEED | gen-stable N SEED\n");
+  return 2;
+}
+
+int emit_matching(const ncpm::core::Instance& inst,
+                  const std::optional<ncpm::matching::Matching>& m) {
+  if (!m.has_value()) {
+    std::printf("no popular matching exists\n");
+    return 1;
+  }
+  std::fprintf(stderr, "size %zu of %d applicants\n", ncpm::core::matching_size(inst, *m),
+               inst.num_applicants());
+  std::fputs(ncpm::io::write_matching(*m).c_str(), stdout);
+  return 0;
+}
+
+int run_popular(const std::string& mode) {
+  const auto inst = ncpm::io::read_instance(std::cin);
+  if (mode == "check") {
+    const bool strict = inst.strict_prefs();
+    const auto m = strict ? ncpm::core::find_popular_matching(inst)
+                          : ncpm::core::find_popular_matching_ties(inst);
+    std::printf("applicants %d posts %d %s\n", inst.num_applicants(), inst.num_posts(),
+                strict ? "strict" : "ties");
+    if (!m.has_value()) {
+      std::printf("admits_popular no\n");
+    } else {
+      std::printf("admits_popular yes\nsize %zu\n", ncpm::core::matching_size(inst, *m));
+      if (strict) {
+        const auto count = ncpm::core::count_popular_matchings(inst);
+        std::printf("popular_matchings %llu\n", static_cast<unsigned long long>(*count));
+      }
+    }
+    return 0;
+  }
+  if (!inst.strict_prefs()) {
+    if (mode != "solve") {
+      std::fprintf(stderr, "mode '%s' requires strict preferences; use 'solve'\n", mode.c_str());
+      return 2;
+    }
+    return emit_matching(inst, ncpm::core::find_popular_matching_ties(inst));
+  }
+  if (mode == "solve") return emit_matching(inst, ncpm::core::find_popular_matching(inst));
+  if (mode == "max-card") return emit_matching(inst, ncpm::core::find_max_card_popular(inst));
+  if (mode == "fair") return emit_matching(inst, ncpm::core::find_fair_popular(inst));
+  if (mode == "rank-maximal") {
+    return emit_matching(inst, ncpm::core::find_rank_maximal_popular(inst));
+  }
+  if (mode == "count") {
+    const auto count = ncpm::core::count_popular_matchings(inst);
+    if (!count.has_value()) {
+      std::printf("no popular matching exists\n");
+      return 1;
+    }
+    std::printf("%llu\n", static_cast<unsigned long long>(*count));
+    return 0;
+  }
+  return usage();
+}
+
+void print_rotation(const ncpm::stable::Rotation& rho) {
+  for (const auto& [man, woman] : rho.pairs) std::printf("(%d,%d) ", man, woman);
+  std::printf("\n");
+}
+
+int run_stable(const std::string& mode) {
+  const auto inst = ncpm::io::read_stable_instance(std::cin);
+  if (mode == "next-stable") {
+    const auto m0 = ncpm::stable::man_optimal(inst);
+    const auto result = ncpm::stable::next_stable_matchings(inst, m0);
+    if (result.is_woman_optimal) {
+      std::printf("man-optimal == woman-optimal: unique stable matching\n");
+      return 0;
+    }
+    std::printf("%zu rotation(s) exposed in the man-optimal matching:\n",
+                result.rotations.size());
+    for (const auto& rho : result.rotations) print_rotation(rho);
+    return 0;
+  }
+  if (mode == "rotations") {
+    const auto rotations = ncpm::stable::all_rotations(inst);
+    std::printf("%zu rotation(s) in the instance:\n", rotations.size());
+    for (const auto& rho : rotations) print_rotation(rho);
+    return 0;
+  }
+  return usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string mode = argv[1];
+  try {
+    if (mode == "gen-popular") {
+      if (argc != 5) return usage();
+      ncpm::gen::StrictConfig cfg;
+      cfg.num_applicants = std::atoi(argv[2]);
+      cfg.num_posts = std::atoi(argv[3]);
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(argv[4]));
+      std::fputs(ncpm::io::write_instance(ncpm::gen::random_strict_instance(cfg)).c_str(),
+                 stdout);
+      return 0;
+    }
+    if (mode == "gen-stable") {
+      if (argc != 4) return usage();
+      std::fputs(ncpm::io::write_stable_instance(ncpm::gen::random_stable_instance(
+                     std::atoi(argv[2]), static_cast<std::uint64_t>(std::atoll(argv[3]))))
+                     .c_str(),
+                 stdout);
+      return 0;
+    }
+    if (mode == "next-stable" || mode == "rotations") return run_stable(mode);
+    return run_popular(mode);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

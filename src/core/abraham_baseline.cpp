@@ -1,0 +1,169 @@
+#include "core/abraham_baseline.hpp"
+
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+#include "core/reduced_graph.hpp"
+
+namespace ncpm::core {
+
+namespace {
+
+/// Sequential construction of f/s posts (no parallel rounds, no counters).
+struct SeqReduced {
+  std::vector<std::int32_t> f_post, s_post;
+  std::vector<std::uint8_t> is_f_post;
+};
+
+SeqReduced build_reduced_sequential(const Instance& inst) {
+  const auto n_a = static_cast<std::size_t>(inst.num_applicants());
+  SeqReduced rg;
+  rg.f_post.resize(n_a);
+  rg.s_post.resize(n_a);
+  rg.is_f_post.assign(static_cast<std::size_t>(inst.total_posts()), 0);
+  for (std::size_t a = 0; a < n_a; ++a) {
+    const auto posts = inst.posts_of(static_cast<std::int32_t>(a));
+    rg.f_post[a] = posts[0];
+    rg.is_f_post[static_cast<std::size_t>(posts[0])] = 1;
+  }
+  for (std::size_t a = 0; a < n_a; ++a) {
+    const auto ai = static_cast<std::int32_t>(a);
+    std::int32_t s = kNone;
+    for (const auto p : inst.posts_of(ai)) {
+      if (rg.is_f_post[static_cast<std::size_t>(p)] == 0) {
+        s = p;
+        break;
+      }
+    }
+    rg.s_post[a] = s == kNone ? inst.last_resort(ai) : s;
+  }
+  return rg;
+}
+
+}  // namespace
+
+std::optional<matching::Matching> find_popular_matching_sequential(const Instance& inst) {
+  if (!inst.strict_prefs() || !inst.has_last_resorts()) {
+    throw std::invalid_argument(
+        "find_popular_matching_sequential: requires strict lists with last resorts");
+  }
+  const auto n_a = static_cast<std::size_t>(inst.num_applicants());
+  const auto n_ext = static_cast<std::size_t>(inst.total_posts());
+  const SeqReduced rg = build_reduced_sequential(inst);
+
+  // Post adjacency in G': per post, the applicants whose f or s edge hits it.
+  std::vector<std::vector<std::int32_t>> post_adj(n_ext);
+  for (std::size_t a = 0; a < n_a; ++a) {
+    post_adj[static_cast<std::size_t>(rg.f_post[a])].push_back(static_cast<std::int32_t>(a));
+    post_adj[static_cast<std::size_t>(rg.s_post[a])].push_back(static_cast<std::int32_t>(a));
+  }
+
+  std::vector<std::int32_t> post_degree(n_ext, 0);
+  std::vector<std::uint8_t> post_alive(n_ext, 0);
+  std::vector<std::uint8_t> applicant_alive(n_a, 1);
+  for (std::size_t p = 0; p < n_ext; ++p) {
+    post_degree[p] = static_cast<std::int32_t>(post_adj[p].size());
+    post_alive[p] = post_degree[p] > 0 ? 1 : 0;
+  }
+
+  std::vector<std::int32_t> post_of(n_a, kNone);
+  const auto other_post = [&](std::size_t a, std::int32_t p) {
+    return rg.f_post[a] == p ? rg.s_post[a] : rg.f_post[a];
+  };
+
+  // Degree-1 peeling with a work queue.
+  std::deque<std::int32_t> q;
+  for (std::size_t p = 0; p < n_ext; ++p) {
+    if (post_alive[p] != 0 && post_degree[p] == 1) q.push_back(static_cast<std::int32_t>(p));
+  }
+  const auto alive_neighbor = [&](std::int32_t p) {
+    for (const auto a : post_adj[static_cast<std::size_t>(p)]) {
+      if (applicant_alive[static_cast<std::size_t>(a)] != 0) return a;
+    }
+    return kNone;
+  };
+  while (!q.empty()) {
+    const std::int32_t p = q.front();
+    q.pop_front();
+    if (post_alive[static_cast<std::size_t>(p)] == 0 ||
+        post_degree[static_cast<std::size_t>(p)] != 1) {
+      continue;  // stale queue entry
+    }
+    const std::int32_t a = alive_neighbor(p);
+    if (a == kNone) throw std::logic_error("baseline: degree-1 post without neighbour");
+    post_of[static_cast<std::size_t>(a)] = p;
+    post_alive[static_cast<std::size_t>(p)] = 0;
+    applicant_alive[static_cast<std::size_t>(a)] = 0;
+    const std::int32_t o = other_post(static_cast<std::size_t>(a), p);
+    if (post_alive[static_cast<std::size_t>(o)] != 0) {
+      if (--post_degree[static_cast<std::size_t>(o)] == 1) q.push_back(o);
+      if (post_degree[static_cast<std::size_t>(o)] == 0) post_alive[static_cast<std::size_t>(o)] = 0;
+    }
+  }
+
+  // Residual check: |P| >= |A| or fail (then the residual is 2-regular).
+  std::size_t applicants_left = 0, posts_left = 0;
+  for (std::size_t a = 0; a < n_a; ++a) applicants_left += applicant_alive[a];
+  for (std::size_t p = 0; p < n_ext; ++p) {
+    posts_left += (post_alive[p] != 0 && post_degree[p] > 0) ? 1U : 0U;
+  }
+  if (posts_left < applicants_left) return std::nullopt;
+
+  // Walk each even cycle, matching alternate edges: start at an alive
+  // applicant, repeatedly match (a, f-or-s post) and hop to the post's other
+  // alive applicant.
+  for (std::size_t a0 = 0; a0 < n_a; ++a0) {
+    if (applicant_alive[a0] == 0) continue;
+    std::int32_t a = static_cast<std::int32_t>(a0);
+    while (applicant_alive[static_cast<std::size_t>(a)] != 0) {
+      applicant_alive[static_cast<std::size_t>(a)] = 0;
+      // Match a to its alive post: on the first step both f(a) and s(a) are
+      // alive and we take f(a); afterwards the post we entered through is
+      // dead, leaving exactly one choice.
+      const std::int32_t f = rg.f_post[static_cast<std::size_t>(a)];
+      const std::int32_t s = rg.s_post[static_cast<std::size_t>(a)];
+      const std::int32_t p = post_alive[static_cast<std::size_t>(f)] != 0 ? f : s;
+      if (post_alive[static_cast<std::size_t>(p)] == 0) {
+        throw std::logic_error("baseline: residual cycle is not 2-regular");
+      }
+      post_of[static_cast<std::size_t>(a)] = p;
+      post_alive[static_cast<std::size_t>(p)] = 0;
+      // The next applicant around the cycle: p's other alive applicant.
+      std::int32_t next_a = kNone;
+      for (const auto cand : post_adj[static_cast<std::size_t>(p)]) {
+        if (applicant_alive[static_cast<std::size_t>(cand)] != 0) {
+          next_a = cand;
+          break;
+        }
+      }
+      if (next_a == kNone) break;  // cycle closed
+      a = next_a;
+    }
+  }
+
+  for (std::size_t a = 0; a < n_a; ++a) {
+    if (post_of[a] == kNone) throw std::logic_error("baseline: unmatched applicant");
+  }
+
+  // Promote unmatched f-posts.
+  std::vector<std::uint8_t> post_matched(n_ext, 0);
+  for (std::size_t a = 0; a < n_a; ++a) post_matched[static_cast<std::size_t>(post_of[a])] = 1;
+  std::vector<std::uint8_t> claimed(n_ext, 0);
+  for (std::size_t a = 0; a < n_a; ++a) {
+    const auto f = static_cast<std::size_t>(rg.f_post[a]);
+    if (post_matched[f] == 0 && claimed[f] == 0) {
+      claimed[f] = 1;  // smallest applicant id with this f-post claims it
+      post_of[a] = static_cast<std::int32_t>(f);
+    }
+  }
+
+  matching::Matching m(inst.num_applicants(), inst.total_posts());
+  for (std::size_t a = 0; a < n_a; ++a) {
+    m.set_pair_unchecked(static_cast<std::int32_t>(a), post_of[a]);
+  }
+  m.rebuild_inverse_and_size();
+  return m;
+}
+
+}  // namespace ncpm::core

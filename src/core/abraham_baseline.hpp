@@ -1,0 +1,20 @@
+#pragma once
+// Sequential baseline: the linear-time popular-matching algorithm of
+// Abraham, Irving, Kavitha and Mehlhorn (SIAM J. Comput. 2007) for strict
+// lists — the algorithm the paper parallelises.
+//
+// Identical characterization (Theorem 1), sequential realisation: build G',
+// peel degree-1 posts with a work queue, 2-colour the leftover even cycles
+// by walking them, then promote unmatched f-posts. Used as the reference
+// implementation and as the single-thread baseline in the benchmarks.
+
+#include <optional>
+
+#include "core/instance.hpp"
+#include "matching/matching.hpp"
+
+namespace ncpm::core {
+
+std::optional<matching::Matching> find_popular_matching_sequential(const Instance& inst);
+
+}  // namespace ncpm::core

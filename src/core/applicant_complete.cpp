@@ -1,0 +1,148 @@
+#include "core/applicant_complete.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+#include "graph/path_decomposition.hpp"
+#include "matching/two_regular.hpp"
+#include "pram/parallel.hpp"
+
+namespace ncpm::core {
+
+ApplicantCompleteResult applicant_complete_matching(const Instance& inst, const ReducedGraph& rg,
+                                                    pram::NcCounters* counters) {
+  const auto n_a = static_cast<std::size_t>(inst.num_applicants());
+  const auto n_vertices = n_a + static_cast<std::size_t>(inst.total_posts());
+  const auto post_vertex = [&](std::int32_t p) {
+    return static_cast<std::int32_t>(n_a) + p;
+  };
+
+  ApplicantCompleteResult result;
+  result.post_of.assign(n_a, kNone);
+  if (n_a == 0) {
+    result.exists = true;
+    return result;
+  }
+
+  // Edge 2a = (a, f(a)), edge 2a+1 = (a, s(a)).
+  const std::size_t m = 2 * n_a;
+  std::vector<std::int32_t> eu(m), ev(m);
+  std::vector<std::uint8_t> edge_alive(m, 1);
+  std::vector<std::uint8_t> vertex_alive(n_vertices, 0);
+  pram::parallel_for(n_a, [&](std::size_t a) {
+    const auto av = static_cast<std::int32_t>(a);
+    eu[2 * a] = av;
+    ev[2 * a] = post_vertex(rg.f_post[a]);
+    eu[2 * a + 1] = av;
+    ev[2 * a + 1] = post_vertex(rg.s_post[a]);
+    vertex_alive[a] = 1;
+    vertex_alive[static_cast<std::size_t>(ev[2 * a])] = 1;      // benign CRCW common write
+    vertex_alive[static_cast<std::size_t>(ev[2 * a + 1])] = 1;
+  });
+  pram::add_round(counters, n_a);
+
+  std::vector<std::uint8_t> matched_vertex(n_vertices, 0);
+
+  while (true) {
+    const graph::HalfEdgeStructure s(n_vertices, eu, ev, edge_alive, counters);
+
+    // Any alive post of degree 1? (Posts are vertices >= n_a.)
+    const bool have_degree_one = pram::parallel_any(n_vertices - n_a, [&](std::size_t i) {
+      const auto v = static_cast<std::int32_t>(n_a + i);
+      return vertex_alive[static_cast<std::size_t>(v)] != 0 && s.degree(v) == 1;
+    });
+    if (!have_degree_one) break;
+    ++result.while_rounds;
+
+    // Per half-edge matching rule. For a half-edge h on the traversal that
+    // starts at the degree-1 end v0 of its maximal path, the edge of h lies
+    // at distance rank[h0] - rank[h] from v0, where h0 is the start
+    // half-edge of the traversal (recovered as rev(head[rev(h)])). Edges at
+    // even distance are matched. When both path ends have degree 1, only the
+    // traversal from the smaller-id end acts.
+    const auto& ranking = s.ranking();
+    pram::parallel_for(2 * m, [&](std::size_t hs) {
+      const auto h = static_cast<std::int32_t>(hs);
+      const auto e = static_cast<std::size_t>(h >> 1);
+      if (edge_alive[e] == 0) return;
+      if (ranking.reaches_terminal[hs] == 0) return;  // on an all-degree-2 cycle
+      const std::int32_t hr = graph::HalfEdgeStructure::rev(h);
+      if (ranking.reaches_terminal[static_cast<std::size_t>(hr)] == 0) return;
+      const std::int32_t h0 = graph::HalfEdgeStructure::rev(
+          ranking.head[static_cast<std::size_t>(hr)]);
+      const std::int32_t v0 = s.source(h0);
+      if (s.degree(v0) != 1) return;
+      const std::int32_t vend = s.target(ranking.head[hs]);
+      if (s.degree(vend) == 1 && vend < v0) return;  // the other traversal acts
+      const std::int64_t d = ranking.rank[static_cast<std::size_t>(h0)] - ranking.rank[hs];
+      if ((d & 1) != 0) return;
+      // Matched edge: record and mark both endpoints dead. Each edge is
+      // selected by at most one traversal, so the writes are exclusive.
+      const auto a = static_cast<std::size_t>(e >> 1);  // edges 2a, 2a+1 belong to applicant a
+      result.post_of[a] = ev[e] - static_cast<std::int32_t>(n_a);
+      matched_vertex[static_cast<std::size_t>(eu[e])] = 1;
+      matched_vertex[static_cast<std::size_t>(ev[e])] = 1;
+    });
+    pram::add_round(counters, 2 * m);
+
+    // Delete matched vertices and their incident edges.
+    std::uint8_t progressed = 0;
+    pram::parallel_for(n_vertices, [&](std::size_t v) {
+      if (matched_vertex[v] != 0 && vertex_alive[v] != 0) {
+        vertex_alive[v] = 0;
+        std::atomic_ref<std::uint8_t>(progressed).store(1, std::memory_order_relaxed);
+      }
+    });
+    pram::add_round(counters, n_vertices);
+    pram::parallel_for(m, [&](std::size_t e) {
+      if (edge_alive[e] == 0) return;
+      if (vertex_alive[static_cast<std::size_t>(eu[e])] == 0 ||
+          vertex_alive[static_cast<std::size_t>(ev[e])] == 0) {
+        edge_alive[e] = 0;
+      }
+    });
+    pram::add_round(counters, m);
+
+    if (progressed == 0) {
+      throw std::logic_error(
+          "applicant_complete_matching: degree-1 post without progress (internal invariant)");
+    }
+  }
+
+  // Count survivors. Posts of degree 0 are dropped here, as in the paper.
+  const graph::HalfEdgeStructure final_s(n_vertices, eu, ev, edge_alive, counters);
+  const std::size_t applicants_left =
+      pram::parallel_count(n_a, [&](std::size_t a) { return vertex_alive[a] != 0; });
+  const std::size_t posts_left = pram::parallel_count(n_vertices - n_a, [&](std::size_t i) {
+    const auto v = n_a + i;
+    return vertex_alive[v] != 0 && final_s.degree(static_cast<std::int32_t>(v)) >= 1;
+  });
+  if (posts_left < applicants_left) {
+    result.exists = false;
+    return result;
+  }
+
+  // Residual graph is 2-regular: disjoint even cycles (bipartite).
+  if (applicants_left > 0) {
+    const auto cycle_edges = matching::two_regular_perfect_matching(
+        n_vertices, eu, ev, edge_alive, counters);
+    if (!cycle_edges.has_value()) {
+      throw std::logic_error("applicant_complete_matching: odd cycle in bipartite residual");
+    }
+    for (const auto e : *cycle_edges) {
+      const auto a = static_cast<std::size_t>(e >> 1);
+      result.post_of[a] = ev[static_cast<std::size_t>(e)] - static_cast<std::int32_t>(n_a);
+    }
+  }
+
+  // Applicant-complete iff every applicant got a post.
+  const bool missing =
+      pram::parallel_any(n_a, [&](std::size_t a) { return result.post_of[a] == kNone; });
+  if (missing) {
+    throw std::logic_error("applicant_complete_matching: unmatched applicant after cycle phase");
+  }
+  result.exists = true;
+  return result;
+}
+
+}  // namespace ncpm::core

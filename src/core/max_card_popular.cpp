@@ -1,0 +1,33 @@
+#include "core/max_card_popular.hpp"
+
+#include "core/popular_matching.hpp"
+#include "core/reduced_graph.hpp"
+#include "core/switching_graph.hpp"
+#include "pram/parallel.hpp"
+
+namespace ncpm::core {
+
+matching::Matching maximize_cardinality(const Instance& inst, const matching::Matching& popular,
+                                        pram::NcCounters* counters) {
+  const ReducedGraph rg = build_reduced_graph(inst, counters);
+  const SwitchingEngine engine(inst, rg, popular, counters);
+
+  // Definition 4: a post is worth 1 unless it is a last resort.
+  const auto n_ext = static_cast<std::size_t>(inst.total_posts());
+  std::vector<std::int64_t> value(n_ext);
+  pram::parallel_for(n_ext, [&](std::size_t p) {
+    value[p] = inst.is_last_resort(static_cast<std::int32_t>(p)) ? 0 : 1;
+  });
+  pram::add_round(counters, n_ext);
+
+  return engine.apply_best(value, counters);
+}
+
+std::optional<matching::Matching> find_max_card_popular(const Instance& inst,
+                                                        pram::NcCounters* counters) {
+  const auto popular = find_popular_matching(inst, counters);
+  if (!popular.has_value()) return std::nullopt;
+  return maximize_cardinality(inst, *popular, counters);
+}
+
+}  // namespace ncpm::core

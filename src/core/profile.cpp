@@ -1,0 +1,53 @@
+#include "core/profile.hpp"
+
+#include <stdexcept>
+
+namespace ncpm::core {
+
+Profile& Profile::operator+=(const Profile& other) {
+  if (counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument("Profile: dimension mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  return *this;
+}
+
+Profile& Profile::operator-=(const Profile& other) {
+  if (counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument("Profile: dimension mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] -= other.counts_[i];
+  return *this;
+}
+
+bool Profile::is_zero() const noexcept {
+  for (const auto c : counts_) {
+    if (c != 0) return false;
+  }
+  return true;
+}
+
+bool Profile::rank_maximal_less(const Profile& a, const Profile& b) {
+  if (a.counts_.size() != b.counts_.size()) {
+    throw std::invalid_argument("Profile: dimension mismatch");
+  }
+  // Compare from rank 1: more applicants at a better rank wins.
+  for (std::size_t i = 0; i < a.counts_.size(); ++i) {
+    if (a.counts_[i] != b.counts_[i]) return a.counts_[i] < b.counts_[i];
+  }
+  return false;
+}
+
+bool Profile::fair_less(const Profile& a, const Profile& b) {
+  if (a.counts_.size() != b.counts_.size()) {
+    throw std::invalid_argument("Profile: dimension mismatch");
+  }
+  // Compare from the worst bucket: fewer applicants at a worse rank wins,
+  // so a is better (smaller) when its highest differing bucket is smaller.
+  for (std::size_t i = a.counts_.size(); i-- > 0;) {
+    if (a.counts_[i] != b.counts_[i]) return a.counts_[i] < b.counts_[i];
+  }
+  return false;
+}
+
+}  // namespace ncpm::core

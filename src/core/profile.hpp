@@ -1,0 +1,53 @@
+#pragma once
+// Matching profiles and the lexicographic orders of Section IV-E.
+//
+// The profile of matching M is the tuple (x_1, ..., x_{R+1}) where x_k
+// counts the applicants matched to their rank-k post and R+1 is the
+// last-resort rank bucket. The paper encodes rank-maximal / fair popular
+// matchings as huge integer weights (n^(R+1), Õ(n) bits); we keep the exact
+// profile vectors instead and compare them directly:
+//   * rank-maximal order >_R: lexicographically from rank 1 downwards,
+//     larger is better;
+//   * fair order <_F: lexicographically from the last-resort bucket
+//     upwards, smaller is better (a fair matching minimises high-rank use).
+//
+// Both orders are translation-invariant total orders on Z^(R+1) — i.e.
+// (Z^(R+1), +, order) is an ordered abelian group — which is exactly the
+// property that lets Algorithm 3's per-component greedy remain optimal for
+// profile-valued margins: the maximum of a sum of independent choices is
+// the sum of per-choice maxima under any translation-invariant order.
+
+#include <cstdint>
+#include <vector>
+
+namespace ncpm::core {
+
+class Profile {
+ public:
+  Profile() = default;
+  /// dim = number of rank buckets (max rank + 1 for the last resort).
+  explicit Profile(std::size_t dim) : counts_(dim, 0) {}
+
+  std::size_t dim() const noexcept { return counts_.size(); }
+  /// Bucket k holds the count for 1-based rank k+1 (bucket 0 = rank 1).
+  std::int64_t at(std::size_t rank_bucket) const { return counts_.at(rank_bucket); }
+  std::int64_t& operator[](std::size_t rank_bucket) { return counts_[rank_bucket]; }
+
+  Profile& operator+=(const Profile& other);
+  Profile& operator-=(const Profile& other);
+  friend Profile operator+(Profile a, const Profile& b) { return a += b; }
+  friend Profile operator-(Profile a, const Profile& b) { return a -= b; }
+  bool operator==(const Profile& other) const { return counts_ == other.counts_; }
+
+  bool is_zero() const noexcept;
+
+  /// True iff a precedes b in the rank-maximal order (a is worse than b).
+  static bool rank_maximal_less(const Profile& a, const Profile& b);
+  /// True iff a precedes b in the fair order (a is better than b).
+  static bool fair_less(const Profile& a, const Profile& b);
+
+ private:
+  std::vector<std::int64_t> counts_;
+};
+
+}  // namespace ncpm::core

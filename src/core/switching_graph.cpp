@@ -1,0 +1,359 @@
+#include "core/switching_graph.hpp"
+
+#include "core/popular_matching.hpp"
+
+#include <atomic>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+
+#include "pram/parallel.hpp"
+
+namespace ncpm::core {
+
+namespace {
+
+inline void atomic_store_flag(std::uint8_t& slot) {
+  std::atomic_ref<std::uint8_t>(slot).store(1, std::memory_order_relaxed);
+}
+
+inline void atomic_max64(std::int64_t& slot, std::int64_t value) {
+  std::atomic_ref<std::int64_t> ref(slot);
+  std::int64_t cur = ref.load(std::memory_order_relaxed);
+  while (value > cur && !ref.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_min32(std::int32_t& slot, std::int32_t value) {
+  std::atomic_ref<std::int32_t> ref(slot);
+  std::int32_t cur = ref.load(std::memory_order_relaxed);
+  while (value < cur && !ref.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+SwitchingEngine::SwitchingEngine(const Instance& inst, const ReducedGraph& rg,
+                                 const matching::Matching& m, pram::NcCounters* counters) {
+  const auto n_a = static_cast<std::size_t>(inst.num_applicants());
+  const auto n_ext = static_cast<std::size_t>(inst.total_posts());
+  post_of_.resize(n_a);
+  pf_.next.assign(n_ext, pram::kNone);
+  out_applicant_.assign(n_ext, kNone);
+  is_s_post_.assign(n_ext, 0);
+
+  // M must live inside the reduced graph (Theorem 1 condition (ii)).
+  // Validate outside the parallel region: throwing across OpenMP is UB.
+  const bool invalid = pram::parallel_any(n_a, [&](std::size_t a) {
+    const std::int32_t mp = m.right_of(static_cast<std::int32_t>(a));
+    return mp != rg.f_post[a] && mp != rg.s_post[a];
+  });
+  if (invalid) {
+    throw std::invalid_argument("SwitchingEngine: matching is not within the reduced graph");
+  }
+
+  // Edges: M(a) -> O_M(a), labelled a.
+  pram::parallel_for(n_a, [&](std::size_t a) {
+    const auto ai = static_cast<std::int32_t>(a);
+    const std::int32_t mp = m.right_of(ai);
+    post_of_[a] = mp;
+    const std::int32_t f = rg.f_post[a];
+    const std::int32_t s = rg.s_post[a];
+    const std::int32_t other = mp == f ? s : f;
+    pf_.next[static_cast<std::size_t>(mp)] = other;  // exclusive: M is a matching
+    out_applicant_[static_cast<std::size_t>(mp)] = ai;
+    atomic_store_flag(is_s_post_[static_cast<std::size_t>(s)]);
+  });
+  pram::add_round(counters, n_a);
+
+  cycles_ = graph::analyze_cycles(pf_, graph::CycleMethod::PointerDoubling, counters);
+
+  has_cycle_.assign(n_ext, 0);
+  pram::parallel_for(n_ext, [&](std::size_t v) {
+    if (cycles_.on_cycle[v] != 0) {
+      atomic_store_flag(has_cycle_[static_cast<std::size_t>(cycles_.component[v])]);
+    }
+  });
+  pram::add_round(counters, n_ext);
+
+  // Broken successors: terminals at sinks and at cycle roots.
+  broken_succ_.resize(n_ext);
+  pram::parallel_for(n_ext, [&](std::size_t v) {
+    const bool terminal =
+        pf_.is_sink(v) ||
+        (cycles_.on_cycle[v] != 0 && cycles_.cycle_root[v] == static_cast<std::int32_t>(v));
+    broken_succ_[v] = terminal ? static_cast<std::int32_t>(v) : pf_.next[v];
+  });
+  pram::add_round(counters, n_ext);
+  steps_ = pram::list_rank(broken_succ_, counters);
+
+  // Binary-lifting tables for path marking: lift_[k][v] = broken_succ_^(2^k)(v).
+  const std::uint32_t levels = pram::ceil_log2(n_ext == 0 ? 1 : n_ext) + 1;
+  lift_.resize(levels);
+  lift_[0] = broken_succ_;
+  for (std::uint32_t k = 1; k < levels; ++k) {
+    lift_[k] = pram::compose(lift_[k - 1], lift_[k - 1], counters);
+  }
+}
+
+SwitchingEngine::MarginReport SwitchingEngine::margins(std::span<const std::int64_t> post_value,
+                                                       pram::NcCounters* counters) const {
+  const std::size_t n_ext = pf_.size();
+  if (post_value.size() != n_ext) {
+    throw std::invalid_argument("SwitchingEngine::margins: post_value size mismatch");
+  }
+  // Vertex delta = the change contributed by the applicant on v's out-edge.
+  std::vector<std::int64_t> delta(n_ext, 0);
+  pram::parallel_for(n_ext, [&](std::size_t v) {
+    if (out_applicant_[v] != kNone) {
+      delta[v] = post_value[static_cast<std::size_t>(pf_.next[v])] - post_value[v];
+    }
+  });
+  pram::add_round(counters, n_ext);
+  return margins_from_deltas(delta, counters);
+}
+
+SwitchingEngine::MarginReport SwitchingEngine::margins_from_deltas(
+    std::span<const std::int64_t> vertex_delta, pram::NcCounters* counters) const {
+  const std::size_t n_ext = pf_.size();
+  if (vertex_delta.size() != n_ext) {
+    throw std::invalid_argument("SwitchingEngine::margins_from_deltas: size mismatch");
+  }
+  std::vector<std::int64_t> weight(vertex_delta.begin(), vertex_delta.end());
+  const auto ranking = pram::weighted_list_rank(broken_succ_, weight, counters);
+
+  MarginReport report;
+  report.path_margin = ranking.rank;
+  report.cycle_margin.assign(n_ext, 0);
+  pram::parallel_for(n_ext, [&](std::size_t v) {
+    if (cycles_.on_cycle[v] != 0 && cycles_.cycle_root[v] == static_cast<std::int32_t>(v)) {
+      // The root is the ranking terminal, so its own weight is re-added.
+      const auto succ = static_cast<std::size_t>(pf_.next[v]);
+      report.cycle_margin[v] = weight[v] + ranking.rank[succ];
+    }
+  });
+  pram::add_round(counters, n_ext);
+  return report;
+}
+
+std::vector<SwitchingEngine::Choice> SwitchingEngine::best_choices(
+    const MarginReport& report, pram::NcCounters* counters) const {
+  const std::size_t n_ext = pf_.size();
+  std::vector<Choice> choices;
+
+  // Cycle components: apply the unique switching cycle iff its margin > 0.
+  std::vector<std::uint8_t> cycle_chosen(n_ext, 0);
+  pram::parallel_for(n_ext, [&](std::size_t v) {
+    if (cycles_.on_cycle[v] != 0 && cycles_.cycle_root[v] == static_cast<std::int32_t>(v) &&
+        report.cycle_margin[v] > 0) {
+      cycle_chosen[v] = 1;
+    }
+  });
+  pram::add_round(counters, n_ext);
+
+  // Tree components: the best-margin s-post start, ties to the smallest id.
+  std::vector<std::int64_t> best_margin(n_ext, std::numeric_limits<std::int64_t>::min());
+  pram::parallel_for(n_ext, [&](std::size_t q) {
+    if (is_s_post_[q] == 0 || out_applicant_[q] == kNone) return;
+    const auto comp = static_cast<std::size_t>(cycles_.component[q]);
+    if (has_cycle_[comp] != 0) return;
+    atomic_max64(best_margin[comp], report.path_margin[q]);
+  });
+  pram::add_round(counters, n_ext);
+  std::vector<std::int32_t> best_start(n_ext, std::numeric_limits<std::int32_t>::max());
+  pram::parallel_for(n_ext, [&](std::size_t q) {
+    if (is_s_post_[q] == 0 || out_applicant_[q] == kNone) return;
+    const auto comp = static_cast<std::size_t>(cycles_.component[q]);
+    if (has_cycle_[comp] != 0) return;
+    if (report.path_margin[q] == best_margin[comp]) {
+      atomic_min32(best_start[comp], static_cast<std::int32_t>(q));
+    }
+  });
+  pram::add_round(counters, n_ext);
+
+  for (std::size_t v = 0; v < n_ext; ++v) {
+    if (cycle_chosen[v] != 0) {
+      choices.push_back({static_cast<std::int32_t>(v), true});
+    }
+    if (best_margin[v] > 0 && best_start[v] != std::numeric_limits<std::int32_t>::max()) {
+      choices.push_back({best_start[v], false});
+    }
+  }
+  return choices;
+}
+
+matching::Matching SwitchingEngine::apply(std::span<const Choice> choices,
+                                          pram::NcCounters* counters) const {
+  const std::size_t n_ext = pf_.size();
+  const std::size_t n_a = post_of_.size();
+
+  std::vector<std::uint8_t> cycle_root_chosen(n_ext, 0);
+  std::vector<std::int32_t> path_start(n_ext, kNone);  // per component label
+  for (const auto& c : choices) {
+    const auto key = static_cast<std::size_t>(c.key);
+    if (c.is_cycle) {
+      if (cycles_.on_cycle[key] == 0 || cycles_.cycle_root[key] != c.key) {
+        throw std::invalid_argument("SwitchingEngine::apply: cycle key is not a cycle root");
+      }
+      cycle_root_chosen[key] = 1;
+    } else {
+      if (is_s_post_[key] == 0 || out_applicant_[key] == kNone) {
+        throw std::invalid_argument("SwitchingEngine::apply: path start is not a matched s-post");
+      }
+      const auto comp = static_cast<std::size_t>(cycles_.component[key]);
+      if (has_cycle_[comp] != 0) {
+        throw std::invalid_argument("SwitchingEngine::apply: path start lies in a cycle component");
+      }
+      if (path_start[comp] != kNone) {
+        throw std::invalid_argument("SwitchingEngine::apply: two switches in one component");
+      }
+      path_start[comp] = c.key;
+    }
+  }
+
+  // Which vertices switch? Cycle members of chosen cycles; vertices on the
+  // q* -> sink walk for chosen paths. v lies on that walk iff
+  // steps(v) <= steps(q*) and broken_succ^(steps(q*) - steps(v))(q*) == v,
+  // evaluated with the binary-lifting tables in O(log n) each.
+  std::vector<std::uint8_t> switches(n_ext, 0);
+  pram::parallel_for(n_ext, [&](std::size_t v) {
+    if (out_applicant_[v] == kNone) return;  // sinks and isolated posts never move
+    if (cycles_.on_cycle[v] != 0) {
+      if (cycle_root_chosen[static_cast<std::size_t>(cycles_.cycle_root[v])] != 0) switches[v] = 1;
+      return;
+    }
+    const auto comp = static_cast<std::size_t>(cycles_.component[v]);
+    const std::int32_t q = path_start[comp];
+    if (q == kNone) return;
+    const std::int64_t delta = steps_.rank[static_cast<std::size_t>(q)] - steps_.rank[v];
+    if (delta < 0) return;
+    std::int32_t u = q;
+    std::uint64_t bits = static_cast<std::uint64_t>(delta);
+    for (std::uint32_t k = 0; bits != 0; ++k, bits >>= 1U) {
+      if ((bits & 1U) != 0) u = lift_[k][static_cast<std::size_t>(u)];
+    }
+    if (u == static_cast<std::int32_t>(v)) switches[v] = 1;
+  });
+  pram::add_round(counters, n_ext);
+
+  matching::Matching out(static_cast<std::int32_t>(n_a), static_cast<std::int32_t>(n_ext));
+  pram::parallel_for(n_a, [&](std::size_t a) {
+    out.set_pair_unchecked(static_cast<std::int32_t>(a), post_of_[a]);
+  });
+  pram::add_round(counters, n_a);
+  pram::parallel_for(n_ext, [&](std::size_t v) {
+    if (switches[v] != 0) {
+      out.set_pair_unchecked(out_applicant_[v], pf_.next[v]);
+    }
+  });
+  pram::add_round(counters, n_ext);
+  out.rebuild_inverse_and_size();
+  return out;
+}
+
+matching::Matching SwitchingEngine::apply_best(std::span<const std::int64_t> post_value,
+                                               pram::NcCounters* counters) const {
+  const auto report = margins(post_value, counters);
+  const auto choices = best_choices(report, counters);
+  return apply(choices, counters);
+}
+
+std::vector<std::int32_t> SwitchingEngine::path_starts_of_component(std::int32_t label) const {
+  std::vector<std::int32_t> starts;
+  for (std::size_t q = 0; q < pf_.size(); ++q) {
+    if (is_s_post_[q] != 0 && out_applicant_[q] != kNone &&
+        cycles_.component[q] == label && has_cycle_[static_cast<std::size_t>(label)] == 0) {
+      starts.push_back(static_cast<std::int32_t>(q));
+    }
+  }
+  return starts;
+}
+
+std::vector<std::int32_t> SwitchingEngine::nontrivial_components() const {
+  std::vector<std::uint8_t> seen(pf_.size(), 0);
+  std::vector<std::int32_t> labels;
+  for (std::size_t v = 0; v < pf_.size(); ++v) {
+    if (out_applicant_[v] == kNone) continue;  // only components with edges
+    const auto comp = static_cast<std::size_t>(cycles_.component[v]);
+    if (seen[comp] == 0) {
+      seen[comp] = 1;
+      labels.push_back(static_cast<std::int32_t>(comp));
+    }
+  }
+  return labels;
+}
+
+std::optional<std::uint64_t> count_popular_matchings(const Instance& inst,
+                                                     pram::NcCounters* counters) {
+  const auto seed = find_popular_matching(inst, counters);
+  if (!seed.has_value()) return std::nullopt;
+  const ReducedGraph rg = build_reduced_graph(inst, counters);
+  const SwitchingEngine engine(inst, rg, *seed, counters);
+  std::uint64_t count = 1;
+  const auto saturating_mul = [&count](std::uint64_t factor) {
+    if (factor != 0 && count > std::numeric_limits<std::uint64_t>::max() / factor) {
+      count = std::numeric_limits<std::uint64_t>::max();
+    } else {
+      count *= factor;
+    }
+  };
+  for (const auto label : engine.nontrivial_components()) {
+    if (engine.component_has_cycle(label)) {
+      saturating_mul(2);
+    } else {
+      saturating_mul(1 + static_cast<std::uint64_t>(engine.path_starts_of_component(label).size()));
+    }
+  }
+  return count;
+}
+
+std::vector<matching::Matching> all_popular_matchings_via_switching(const Instance& inst,
+                                                                    const ReducedGraph& rg,
+                                                                    const matching::Matching& m) {
+  const SwitchingEngine engine(inst, rg, m);
+  const auto labels = engine.nontrivial_components();
+
+  // Per component: list the possible switches (none, the cycle, or one path).
+  std::vector<std::vector<std::optional<SwitchingEngine::Choice>>> options;
+  for (const auto label : labels) {
+    std::vector<std::optional<SwitchingEngine::Choice>> opts;
+    opts.push_back(std::nullopt);
+    if (engine.component_has_cycle(label)) {
+      // The unique cycle, identified by its root.
+      for (std::size_t v = 0; v < engine.pseudoforest().size(); ++v) {
+        if (engine.analysis().component[v] == label && engine.analysis().on_cycle[v] != 0 &&
+            engine.analysis().cycle_root[v] == static_cast<std::int32_t>(v)) {
+          opts.push_back(SwitchingEngine::Choice{static_cast<std::int32_t>(v), true});
+        }
+      }
+    } else {
+      for (const auto q : engine.path_starts_of_component(label)) {
+        opts.push_back(SwitchingEngine::Choice{q, false});
+      }
+    }
+    options.push_back(std::move(opts));
+  }
+
+  std::vector<matching::Matching> result;
+  std::vector<SwitchingEngine::Choice> current;
+  const std::function<void(std::size_t)> recurse = [&](std::size_t i) {
+    if (i == options.size()) {
+      result.push_back(engine.apply(current));
+      return;
+    }
+    for (const auto& opt : options[i]) {
+      if (opt.has_value()) {
+        current.push_back(*opt);
+        recurse(i + 1);
+        current.pop_back();
+      } else {
+        recurse(i + 1);
+      }
+    }
+  };
+  recurse(0);
+  return result;
+}
+
+}  // namespace ncpm::core

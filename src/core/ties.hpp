@@ -1,0 +1,58 @@
+#pragma once
+// Popular matchings with ties, and the Theorem 11 reduction.
+//
+// With ties the characterization (Abraham–Irving–Kavitha–Mehlhorn 2007)
+// becomes: let E1 be the rank-1 edges, G1 = (A ∪ P, E1), M1 a maximum
+// matching of G1, and label vertices Even/Odd/Unreachable by alternating
+// reachability from exposed vertices. With f(a) = a's rank-1 posts and
+// s(a) = a's most preferred *Even* post, a matching M is popular iff
+//   (i)  M ∩ E1 is a maximum matching of G1, and
+//   (ii) every applicant is matched to a post in f(a) ∪ {s(a)}.
+//
+// The solver builds the pruned reduced graph G'' — allowed rank-1 edges
+// (Even–Odd, Odd–Even, Unreachable–Unreachable; the others lie in no
+// maximum matching of G1) plus the s-edge for Even applicants (Odd and
+// Unreachable applicants must be rank-1 matched anyway) — finds an
+// applicant-complete matching MA of G'' or reports none, and combines it
+// with M1 through the Mendelsohn–Dulmage theorem so the result covers every
+// applicant *and* every Odd/Unreachable post, which forces (i).
+//
+// Theorem 11 (MCBM ≤_NC Popular Matching): give every edge of an arbitrary
+// bipartite graph rank 1 and add no last resorts; then popular matchings
+// and maximum-cardinality matchings coincide (Lemmas 12 and 13). The
+// reduction itself is the NC part; the instance family it produces is
+// solved here per Lemma 13.
+
+#include <optional>
+
+#include "core/instance.hpp"
+#include "graph/bipartite_graph.hpp"
+#include "matching/matching.hpp"
+
+namespace ncpm::core {
+
+/// Popular matching of an instance with (or without) ties, via the AIKM
+/// characterization. Requires last resorts. Sequential: the maximum-matching
+/// black box inside is Hopcroft–Karp (whether popular matching with ties is
+/// in NC is exactly the open question behind Conjecture 14).
+std::optional<matching::Matching> find_popular_matching_ties(const Instance& inst);
+
+/// Theorem 11 instance: every edge of g at rank 1, no last resorts.
+Instance rank1_instance(const graph::BipartiteGraph& g);
+
+/// Popular matching of a rank-1 no-last-resort instance (Lemma 13: any
+/// maximum matching of the acceptability graph is popular, and Lemma 12:
+/// any popular matching is maximum).
+matching::Matching popular_matching_rank1(const Instance& inst);
+
+/// The full Theorem 11 pipeline: reduce g to a popular-matching instance,
+/// solve it, return the matching (which has maximum cardinality in g).
+matching::Matching max_card_bipartite_via_popular(const graph::BipartiteGraph& g);
+
+/// Polynomial-time popularity check for instances with ties (and strict
+/// ones), via the AIKM characterization: M ∩ E1 is a maximum matching of
+/// the rank-1 subgraph and every applicant sits on f(a) ∪ {s(a)}. The
+/// ties-side analogue of core::satisfies_popular_characterization.
+bool satisfies_ties_characterization(const Instance& inst, const matching::Matching& m);
+
+}  // namespace ncpm::core

@@ -1,0 +1,55 @@
+#pragma once
+// Independent validators and exponential test oracles for popular matchings.
+//
+// The NC algorithms are never trusted to certify themselves: tests validate
+// their output through (a) the Theorem 1 characterization, checked directly
+// against the instance, and (b) for tiny instances, literal brute force over
+// every matching and the "more popular than" relation of Definition 1.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/reduced_graph.hpp"
+#include "matching/matching.hpp"
+
+namespace ncpm::core {
+
+/// Matched pairs are acceptable (a's list or l(a)) and posts are not shared.
+bool is_valid_assignment(const Instance& inst, const matching::Matching& m);
+
+/// Every applicant is matched (to a real post or its last resort).
+bool is_applicant_complete(const Instance& inst, const matching::Matching& m);
+
+/// Number of applicants not matched to a last resort (the paper's |M|).
+std::size_t matching_size(const Instance& inst, const matching::Matching& m);
+
+/// P(m1, m2) - P(m2, m1): positive iff m1 is more popular than m2.
+std::int64_t popularity_votes(const Instance& inst, const matching::Matching& m1,
+                              const matching::Matching& m2);
+
+/// Theorem 1: m is popular iff every f-post is matched and every applicant
+/// sits on f(a) or s(a). Strict instances with last resorts only.
+bool satisfies_popular_characterization(const Instance& inst, const ReducedGraph& rg,
+                                        const matching::Matching& m);
+
+/// Enumerate every matching of the instance as a post_of vector (extended
+/// ids; kNone = unmatched, only possible without last resorts). With last
+/// resorts the enumeration is over applicant-complete assignments, matching
+/// the paper's convention. Exponential — tests only.
+void for_each_assignment(const Instance& inst,
+                         const std::function<void(const std::vector<std::int32_t>&)>& visit);
+
+/// Definition 1 by brute force: no enumerated matching beats m.
+bool is_popular_bruteforce(const Instance& inst, const matching::Matching& m);
+
+/// All popular matchings, by double enumeration. Exponential — tests only.
+std::vector<matching::Matching> all_popular_matchings_bruteforce(const Instance& inst);
+
+/// post_of vector -> Matching (validates injectivity).
+matching::Matching assignment_to_matching(const Instance& inst,
+                                          const std::vector<std::int32_t>& post_of);
+
+}  // namespace ncpm::core

@@ -1,0 +1,76 @@
+#pragma once
+// Seeded workload generators for tests, benchmarks and examples.
+//
+// Popular matchings do not exist for every instance (heavy contention on
+// first choices kills them), so besides uniform/Zipf random instances the
+// module provides *planted-solvable* families (distinct first choices make
+// a -> f(a) an applicant-complete matching of G'), adversarial families for
+// the Lemma 2 round bound (binary trees peel one level of maximal paths per
+// round), and contention families guaranteed to admit no popular matching.
+
+#include <cstdint>
+
+#include "core/instance.hpp"
+#include "graph/bipartite_graph.hpp"
+
+namespace ncpm::gen {
+
+struct StrictConfig {
+  std::int32_t num_applicants = 100;
+  std::int32_t num_posts = 100;
+  std::int32_t list_min = 2;   ///< minimum list length (>= 1)
+  std::int32_t list_max = 5;   ///< maximum list length (<= num_posts)
+  double zipf_s = 0.0;         ///< post-popularity skew; 0 = uniform
+  std::uint64_t seed = 1;
+};
+
+/// Fully random strict instance (may or may not admit a popular matching).
+core::Instance random_strict_instance(const StrictConfig& cfg);
+
+struct SolvableConfig {
+  std::int32_t num_applicants = 100;
+  std::int32_t num_posts = 250;  ///< must be >= num_applicants + #f-posts
+  std::int32_t list_min = 2;
+  std::int32_t list_max = 5;
+  /// Fraction of applicants whose whole list consists of f-posts, forcing
+  /// s(a) = l(a) — the A1 applicants that give Algorithm 3 room to improve.
+  double all_f_fraction = 0.0;
+  /// Average number of applicants sharing one first choice (>= 1). Higher
+  /// contention produces deeper peeling structures and richer switching
+  /// graphs while solvability stays planted: every applicant keeps a
+  /// dedicated, pairwise-distinct s-post, so a -> s(a) is always an
+  /// applicant-complete matching of G'.
+  double contention = 1.0;
+  std::uint64_t seed = 1;
+};
+
+/// Planted-solvable instance: a popular matching always exists.
+core::Instance solvable_strict_instance(const SolvableConfig& cfg);
+
+/// n >= 3 applicants sharing one first and one second choice: the reduced
+/// graph violates Hall's condition, so no popular matching exists.
+core::Instance contention_instance(std::int32_t n_applicants);
+
+/// Reduced graph shaped as a complete binary tree of the given depth
+/// (posts at the nodes, applicants on the edges): Algorithm 2 peels
+/// maximal paths level by level, exercising the Lemma 2 round bound.
+core::Instance binary_tree_instance(std::int32_t depth);
+
+struct TiesConfig {
+  std::int32_t num_applicants = 100;
+  std::int32_t num_posts = 100;
+  std::int32_t list_min = 2;
+  std::int32_t list_max = 5;
+  double tie_prob = 0.3;  ///< probability that an entry ties with its predecessor
+  std::uint64_t seed = 1;
+};
+
+/// Random instance with ties.
+core::Instance random_ties_instance(const TiesConfig& cfg);
+
+/// Random bipartite graph with ~avg_degree edges per left vertex (distinct
+/// neighbours). For the Theorem 11 reduction benchmarks.
+graph::BipartiteGraph random_bipartite(std::int32_t n_left, std::int32_t n_right,
+                                       double avg_degree, std::uint64_t seed);
+
+}  // namespace ncpm::gen

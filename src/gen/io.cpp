@@ -1,0 +1,172 @@
+#include "gen/io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace ncpm::io {
+
+namespace {
+
+void expect(std::istream& in, const std::string& token, const char* context) {
+  std::string got;
+  if (!(in >> got) || got != token) {
+    throw std::runtime_error(std::string("io: expected '") + token + "' while reading " + context);
+  }
+}
+
+std::int64_t read_int(std::istream& in, const char* context) {
+  std::int64_t value = 0;
+  if (!(in >> value)) {
+    throw std::runtime_error(std::string("io: expected an integer while reading ") + context);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string write_instance(const core::Instance& inst) {
+  std::ostringstream out;
+  out << "ncpm-instance v1\n";
+  out << "applicants " << inst.num_applicants() << " posts " << inst.num_posts()
+      << " last_resorts " << (inst.has_last_resorts() ? 1 : 0) << "\n";
+  for (std::int32_t a = 0; a < inst.num_applicants(); ++a) {
+    out << a << ":";
+    const auto posts = inst.posts_of(a);
+    const auto ranks = inst.ranks_of(a);
+    for (std::size_t i = 0; i < posts.size();) {
+      std::size_t j = i;
+      while (j + 1 < posts.size() && ranks[j + 1] == ranks[i]) ++j;
+      if (j == i) {
+        out << " " << posts[i];
+      } else {
+        out << " (";
+        for (std::size_t k = i; k <= j; ++k) out << " " << posts[k];
+        out << " )";
+      }
+      i = j + 1;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+core::Instance read_instance(std::istream& in) {
+  expect(in, "ncpm-instance", "instance header");
+  expect(in, "v1", "instance header");
+  expect(in, "applicants", "instance header");
+  const auto n_a = static_cast<std::int32_t>(read_int(in, "applicant count"));
+  expect(in, "posts", "instance header");
+  const auto n_p = static_cast<std::int32_t>(read_int(in, "post count"));
+  expect(in, "last_resorts", "instance header");
+  const bool last_resorts = read_int(in, "last_resorts flag") != 0;
+
+  std::vector<std::vector<std::vector<std::int32_t>>> groups(static_cast<std::size_t>(n_a));
+  in >> std::ws;
+  for (std::int32_t a = 0; a < n_a; ++a) {
+    std::string line;
+    if (!std::getline(in, line)) throw std::runtime_error("io: truncated instance");
+    std::istringstream ls(line);
+    std::string head;
+    ls >> head;
+    if (head != std::to_string(a) + ":") {
+      throw std::runtime_error("io: bad applicant line header '" + head + "'");
+    }
+    std::string tok;
+    bool in_tie = false;
+    while (ls >> tok) {
+      if (tok == "(") {
+        in_tie = true;
+        groups[static_cast<std::size_t>(a)].emplace_back();
+      } else if (tok == ")") {
+        in_tie = false;
+      } else {
+        const std::int32_t p = static_cast<std::int32_t>(std::stol(tok));
+        if (in_tie) {
+          groups[static_cast<std::size_t>(a)].back().push_back(p);
+        } else {
+          groups[static_cast<std::size_t>(a)].push_back({p});
+        }
+      }
+    }
+  }
+  return core::Instance::with_ties(n_p, std::move(groups), last_resorts);
+}
+
+core::Instance read_instance(const std::string& text) {
+  std::istringstream in(text);
+  return read_instance(in);
+}
+
+std::string write_stable_instance(const stable::StableInstance& inst) {
+  std::ostringstream out;
+  out << "ncpm-stable v1\n";
+  out << "n " << inst.size() << "\n";
+  for (std::int32_t m = 0; m < inst.size(); ++m) {
+    out << "m" << m << ":";
+    for (const auto w : inst.man_prefs(m)) out << " " << w;
+    out << "\n";
+  }
+  for (std::int32_t w = 0; w < inst.size(); ++w) {
+    out << "w" << w << ":";
+    for (const auto m : inst.woman_prefs(w)) out << " " << m;
+    out << "\n";
+  }
+  return out.str();
+}
+
+stable::StableInstance read_stable_instance(std::istream& in) {
+  expect(in, "ncpm-stable", "stable header");
+  expect(in, "v1", "stable header");
+  expect(in, "n", "stable header");
+  const auto n = static_cast<std::int32_t>(read_int(in, "instance size"));
+  const auto read_side = [&](char prefix) {
+    std::vector<std::vector<std::int32_t>> prefs(static_cast<std::size_t>(n));
+    for (std::int32_t p = 0; p < n; ++p) {
+      expect(in, std::string(1, prefix) + std::to_string(p) + ":", "preference line");
+      auto& list = prefs[static_cast<std::size_t>(p)];
+      list.reserve(static_cast<std::size_t>(n));
+      for (std::int32_t i = 0; i < n; ++i) {
+        list.push_back(static_cast<std::int32_t>(read_int(in, "preference entry")));
+      }
+    }
+    return prefs;
+  };
+  auto men = read_side('m');
+  auto women = read_side('w');
+  return stable::StableInstance::from_lists(std::move(men), std::move(women));
+}
+
+stable::StableInstance read_stable_instance(const std::string& text) {
+  std::istringstream in(text);
+  return read_stable_instance(in);
+}
+
+std::string write_matching(const matching::Matching& m) {
+  std::ostringstream out;
+  out << "ncpm-matching v1\n";
+  for (std::int32_t l = 0; l < m.n_left(); ++l) {
+    if (m.left_matched(l)) out << l << " " << m.right_of(l) << "\n";
+  }
+  return out.str();
+}
+
+matching::Matching read_matching(std::istream& in, std::int32_t n_left, std::int32_t n_right) {
+  expect(in, "ncpm-matching", "matching header");
+  expect(in, "v1", "matching header");
+  matching::Matching m(n_left, n_right);
+  std::int64_t l;
+  while (in >> l) {
+    const auto r = read_int(in, "matching pair");
+    m.match(static_cast<std::int32_t>(l), static_cast<std::int32_t>(r));
+  }
+  return m;
+}
+
+matching::Matching read_matching(const std::string& text, std::int32_t n_left,
+                                 std::int32_t n_right) {
+  std::istringstream in(text);
+  return read_matching(in, n_left, n_right);
+}
+
+}  // namespace ncpm::io

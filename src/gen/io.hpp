@@ -1,0 +1,47 @@
+#pragma once
+// Plain-text serialisation for instances and matchings.
+//
+// Instance format (ties in parentheses, one applicant per line):
+//   ncpm-instance v1
+//   applicants 3 posts 5 last_resorts 1
+//   0: 3 ( 1 2 ) 4
+//   1: 0
+//   2: ( 0 4 )
+//
+// Stable-marriage format:
+//   ncpm-stable v1
+//   n 2
+//   m0: 0 1
+//   m1: 1 0
+//   w0: 1 0
+//   w1: 0 1
+//
+// Matching format (extended post ids; unmatched applicants omitted):
+//   ncpm-matching v1
+//   0 3
+//   1 0
+
+#include <iosfwd>
+#include <string>
+
+#include "core/instance.hpp"
+#include "matching/matching.hpp"
+#include "stable/instance.hpp"
+
+namespace ncpm::io {
+
+std::string write_instance(const core::Instance& inst);
+core::Instance read_instance(std::istream& in);
+core::Instance read_instance(const std::string& text);
+
+std::string write_stable_instance(const stable::StableInstance& inst);
+stable::StableInstance read_stable_instance(std::istream& in);
+stable::StableInstance read_stable_instance(const std::string& text);
+
+std::string write_matching(const matching::Matching& m);
+/// Requires the target shape because the text stores only the pairs.
+matching::Matching read_matching(std::istream& in, std::int32_t n_left, std::int32_t n_right);
+matching::Matching read_matching(const std::string& text, std::int32_t n_left,
+                                 std::int32_t n_right);
+
+}  // namespace ncpm::io

@@ -1,0 +1,41 @@
+#include "gen/stable_generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+namespace ncpm::gen {
+
+stable::StableInstance random_stable_instance(std::int32_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const auto make_side = [&] {
+    std::vector<std::vector<std::int32_t>> prefs(static_cast<std::size_t>(n));
+    for (auto& list : prefs) {
+      list.resize(static_cast<std::size_t>(n));
+      std::iota(list.begin(), list.end(), 0);
+      std::shuffle(list.begin(), list.end(), rng);
+    }
+    return prefs;
+  };
+  auto men = make_side();
+  auto women = make_side();
+  return stable::StableInstance::from_lists(std::move(men), std::move(women));
+}
+
+stable::StableInstance cyclic_stable_instance(std::int32_t n) {
+  std::vector<std::vector<std::int32_t>> men(static_cast<std::size_t>(n)),
+      women(static_cast<std::size_t>(n));
+  for (std::int32_t m = 0; m < n; ++m) {
+    for (std::int32_t i = 0; i < n; ++i) {
+      men[static_cast<std::size_t>(m)].push_back((m + i) % n);
+    }
+  }
+  for (std::int32_t w = 0; w < n; ++w) {
+    for (std::int32_t i = 0; i < n; ++i) {
+      women[static_cast<std::size_t>(w)].push_back((w + 1 + i) % n);
+    }
+  }
+  return stable::StableInstance::from_lists(std::move(men), std::move(women));
+}
+
+}  // namespace ncpm::gen

@@ -1,0 +1,18 @@
+#pragma once
+// Stable-marriage workload generators.
+
+#include <cstdint>
+
+#include "stable/instance.hpp"
+
+namespace ncpm::gen {
+
+/// Uniformly random complete preference lists on both sides.
+stable::StableInstance random_stable_instance(std::int32_t n, std::uint64_t seed);
+
+/// "Cyclic shift" preferences: man m ranks woman (m+i) mod n at position i
+/// and women rank men in reverse shifts — a rotation-rich lattice that
+/// stresses Algorithm 4 with many exposed rotations per matching.
+stable::StableInstance cyclic_stable_instance(std::int32_t n);
+
+}  // namespace ncpm::gen

@@ -1,0 +1,40 @@
+#include "graph/bipartite_graph.hpp"
+
+#include <stdexcept>
+
+namespace ncpm::graph {
+
+BipartiteGraph::BipartiteGraph(std::int32_t n_left, std::int32_t n_right,
+                               std::vector<std::pair<std::int32_t, std::int32_t>> edges)
+    : n_left_(n_left), n_right_(n_right) {
+  if (n_left < 0 || n_right < 0) throw std::invalid_argument("BipartiteGraph: negative side size");
+  const std::size_t m = edges.size();
+  eu_.resize(m);
+  ev_.resize(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    const auto [l, r] = edges[e];
+    if (l < 0 || l >= n_left || r < 0 || r >= n_right) {
+      throw std::out_of_range("BipartiteGraph: edge endpoint out of range");
+    }
+    eu_[e] = l;
+    ev_[e] = r;
+  }
+  ladj_off_.assign(static_cast<std::size_t>(n_left) + 1, 0);
+  radj_off_.assign(static_cast<std::size_t>(n_right) + 1, 0);
+  for (std::size_t e = 0; e < m; ++e) {
+    ++ladj_off_[static_cast<std::size_t>(eu_[e]) + 1];
+    ++radj_off_[static_cast<std::size_t>(ev_[e]) + 1];
+  }
+  for (std::size_t i = 1; i < ladj_off_.size(); ++i) ladj_off_[i] += ladj_off_[i - 1];
+  for (std::size_t i = 1; i < radj_off_.size(); ++i) radj_off_[i] += radj_off_[i - 1];
+  ladj_.resize(m);
+  radj_.resize(m);
+  std::vector<std::size_t> lcur(ladj_off_.begin(), ladj_off_.end() - 1);
+  std::vector<std::size_t> rcur(radj_off_.begin(), radj_off_.end() - 1);
+  for (std::size_t e = 0; e < m; ++e) {
+    ladj_[lcur[static_cast<std::size_t>(eu_[e])]++] = static_cast<std::int32_t>(e);
+    radj_[rcur[static_cast<std::size_t>(ev_[e])]++] = static_cast<std::int32_t>(e);
+  }
+}
+
+}  // namespace ncpm::graph

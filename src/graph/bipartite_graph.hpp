@@ -1,0 +1,61 @@
+#pragma once
+// Immutable CSR bipartite graph.
+//
+// The popular-matching instance, its rank-1 subgraph G1, the reduced graph
+// G' and the Theorem 11 reduction all live on bipartite graphs with a left
+// side (applicants) and a right side (posts). This container stores the edge
+// list once and CSR adjacency for both sides, exposing neighbours and
+// incident edge ids as spans.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace ncpm::graph {
+
+inline constexpr std::int32_t kNone = -1;
+
+class BipartiteGraph {
+ public:
+  BipartiteGraph() = default;
+  /// Edges are (left, right) pairs; duplicates are allowed but nothing in
+  /// this library produces them. Endpoints are range-checked.
+  BipartiteGraph(std::int32_t n_left, std::int32_t n_right,
+                 std::vector<std::pair<std::int32_t, std::int32_t>> edges);
+
+  std::int32_t n_left() const noexcept { return n_left_; }
+  std::int32_t n_right() const noexcept { return n_right_; }
+  std::size_t num_edges() const noexcept { return eu_.size(); }
+
+  std::int32_t edge_left(std::size_t e) const { return eu_[e]; }
+  std::int32_t edge_right(std::size_t e) const { return ev_[e]; }
+  std::span<const std::int32_t> edge_lefts() const noexcept { return eu_; }
+  std::span<const std::int32_t> edge_rights() const noexcept { return ev_; }
+
+  std::size_t degree_left(std::int32_t l) const {
+    return ladj_off_[static_cast<std::size_t>(l) + 1] - ladj_off_[static_cast<std::size_t>(l)];
+  }
+  std::size_t degree_right(std::int32_t r) const {
+    return radj_off_[static_cast<std::size_t>(r) + 1] - radj_off_[static_cast<std::size_t>(r)];
+  }
+
+  /// Edge ids incident to left vertex l (order of insertion).
+  std::span<const std::int32_t> left_incident(std::int32_t l) const {
+    return {ladj_.data() + ladj_off_[static_cast<std::size_t>(l)], degree_left(l)};
+  }
+  /// Edge ids incident to right vertex r.
+  std::span<const std::int32_t> right_incident(std::int32_t r) const {
+    return {radj_.data() + radj_off_[static_cast<std::size_t>(r)], degree_right(r)};
+  }
+
+ private:
+  std::int32_t n_left_ = 0;
+  std::int32_t n_right_ = 0;
+  std::vector<std::int32_t> eu_, ev_;            // edge endpoints
+  std::vector<std::size_t> ladj_off_, radj_off_;  // CSR offsets
+  std::vector<std::int32_t> ladj_, radj_;         // CSR payload: edge ids
+};
+
+}  // namespace ncpm::graph

@@ -1,0 +1,75 @@
+#include "graph/connected_components.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+#include "pram/parallel.hpp"
+
+namespace ncpm::graph {
+
+namespace {
+
+/// CRCW-min write: lower `slot` to `value` if smaller, atomically.
+inline void atomic_fetch_min(std::int32_t& slot, std::int32_t value) {
+  std::atomic_ref<std::int32_t> ref(slot);
+  std::int32_t cur = ref.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !ref.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+ComponentLabels connected_components(std::size_t n, std::span<const std::int32_t> eu,
+                                     std::span<const std::int32_t> ev,
+                                     std::span<const std::uint8_t> edge_alive,
+                                     pram::NcCounters* counters) {
+  if (eu.size() != ev.size()) {
+    throw std::invalid_argument("connected_components: eu/ev size mismatch");
+  }
+  if (!edge_alive.empty() && edge_alive.size() != eu.size()) {
+    throw std::invalid_argument("connected_components: edge_alive size mismatch");
+  }
+  const std::size_t m = eu.size();
+  ComponentLabels out;
+  out.label.resize(n);
+  pram::parallel_for(n, [&](std::size_t v) { out.label[v] = static_cast<std::int32_t>(v); });
+  pram::add_round(counters, n);
+
+  auto& parent = out.label;
+  std::vector<std::int32_t> next_parent(n);
+  std::uint8_t changed = 1;
+  while (changed != 0) {
+    changed = 0;
+    // Hook: pull each endpoint's current root toward the smaller root.
+    pram::parallel_for(m, [&](std::size_t j) {
+      if (!edge_alive.empty() && edge_alive[j] == 0) return;
+      const auto pu = parent[static_cast<std::size_t>(eu[j])];
+      const auto pv = parent[static_cast<std::size_t>(ev[j])];
+      if (pu == pv) return;
+      const std::int32_t lo = pu < pv ? pu : pv;
+      const std::int32_t hi = pu < pv ? pv : pu;
+      atomic_fetch_min(parent[static_cast<std::size_t>(hi)], lo);
+      std::atomic_ref<std::uint8_t>(changed).store(1, std::memory_order_relaxed);
+    });
+    pram::add_round(counters, m);
+
+    // Shortcut: full pointer jumping until every vertex points at a root.
+    bool shortcutting = true;
+    while (shortcutting) {
+      pram::parallel_for(n, [&](std::size_t v) {
+        next_parent[v] = parent[static_cast<std::size_t>(parent[v])];
+      });
+      shortcutting = pram::parallel_any(n, [&](std::size_t v) { return next_parent[v] != parent[v]; });
+      parent.swap(next_parent);
+      pram::add_round(counters, n);
+    }
+    ++out.hook_rounds;
+  }
+
+  out.count = static_cast<std::int32_t>(pram::parallel_count(
+      n, [&](std::size_t v) { return parent[v] == static_cast<std::int32_t>(v); }));
+  return out;
+}
+
+}  // namespace ncpm::graph

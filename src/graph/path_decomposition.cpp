@@ -1,0 +1,86 @@
+#include "graph/path_decomposition.hpp"
+
+#include <atomic>
+#include <stdexcept>
+
+#include "pram/parallel.hpp"
+#include "pram/scan.hpp"
+
+namespace ncpm::graph {
+
+HalfEdgeStructure::HalfEdgeStructure(std::size_t n_vertices, std::span<const std::int32_t> eu,
+                                     std::span<const std::int32_t> ev,
+                                     std::span<const std::uint8_t> edge_alive,
+                                     pram::NcCounters* counters)
+    : n_(n_vertices),
+      eu_(eu.begin(), eu.end()),
+      ev_(ev.begin(), ev.end()),
+      alive_(edge_alive.begin(), edge_alive.end()) {
+  const std::size_t m = eu_.size();
+  if (ev_.size() != m || alive_.size() != m) {
+    throw std::invalid_argument("HalfEdgeStructure: edge array size mismatch");
+  }
+  const bool bad = pram::parallel_any(m, [&](std::size_t e) {
+    if (alive_[e] == 0) return false;
+    return eu_[e] < 0 || ev_[e] < 0 || static_cast<std::size_t>(eu_[e]) >= n_ ||
+           static_cast<std::size_t>(ev_[e]) >= n_ || eu_[e] == ev_[e];
+  });
+  if (bad) throw std::invalid_argument("HalfEdgeStructure: bad alive edge (range or self-loop)");
+
+  // Alive degrees via CRCW-sum (atomic adds), then CSR offsets via scan.
+  degree_.assign(n_, 0);
+  pram::parallel_for(m, [&](std::size_t e) {
+    if (alive_[e] == 0) return;
+    std::atomic_ref<std::int64_t>(degree_[static_cast<std::size_t>(eu_[e])])
+        .fetch_add(1, std::memory_order_relaxed);
+    std::atomic_ref<std::int64_t>(degree_[static_cast<std::size_t>(ev_[e])])
+        .fetch_add(1, std::memory_order_relaxed);
+  });
+  pram::add_round(counters, m);
+
+  std::vector<std::int64_t> deg_copy(degree_);
+  std::vector<std::int64_t> off64(n_);
+  const std::int64_t total = pram::exclusive_scan<std::int64_t>(deg_copy, off64, counters);
+  offset_.resize(n_ + 1);
+  pram::parallel_for(n_, [&](std::size_t v) { offset_[v] = static_cast<std::size_t>(off64[v]); });
+  offset_[n_] = static_cast<std::size_t>(total);
+  pram::add_round(counters, n_);
+
+  incident_.resize(static_cast<std::size_t>(total));
+  std::vector<std::int64_t> cursor(off64);
+  pram::parallel_for(m, [&](std::size_t e) {
+    if (alive_[e] == 0) return;
+    const auto pu = std::atomic_ref<std::int64_t>(cursor[static_cast<std::size_t>(eu_[e])])
+                        .fetch_add(1, std::memory_order_relaxed);
+    incident_[static_cast<std::size_t>(pu)] = static_cast<std::int32_t>(e);
+    const auto pv = std::atomic_ref<std::int64_t>(cursor[static_cast<std::size_t>(ev_[e])])
+                        .fetch_add(1, std::memory_order_relaxed);
+    incident_[static_cast<std::size_t>(pv)] = static_cast<std::int32_t>(e);
+  });
+  pram::add_round(counters, m);
+
+  // Successors: continue through degree-2 targets, stop elsewhere.
+  succ_.resize(2 * m);
+  pram::parallel_for(2 * m, [&](std::size_t hs) {
+    const auto h = static_cast<std::int32_t>(hs);
+    const auto e = static_cast<std::size_t>(h >> 1);
+    if (alive_[e] == 0) {
+      succ_[hs] = h;
+      return;
+    }
+    const std::int32_t t = target(h);
+    if (degree(t) != 2) {
+      succ_[hs] = h;
+      return;
+    }
+    const auto inc = incident(t);
+    const std::int32_t mine = static_cast<std::int32_t>(e);
+    const std::int32_t other = inc[0] == mine ? inc[1] : inc[0];
+    succ_[hs] = out_of(t, other);
+  });
+  pram::add_round(counters, 2 * m);
+
+  ranking_ = pram::list_rank(succ_, counters);
+}
+
+}  // namespace ncpm::graph

@@ -1,0 +1,110 @@
+#include "linalg/gf2_matrix.hpp"
+
+#include <stdexcept>
+
+#include "pram/parallel.hpp"
+
+namespace ncpm::linalg {
+
+BitMatrix::BitMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), words_per_row_((cols + 63) / 64), words_(rows * words_per_row_, 0) {}
+
+BitMatrix BitMatrix::identity(std::size_t n) {
+  BitMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.set(i, i);
+  return m;
+}
+
+void BitMatrix::or_assign(const BitMatrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_) {
+    throw std::invalid_argument("BitMatrix::or_assign: shape mismatch");
+  }
+  pram::parallel_for(words_.size(), [&](std::size_t i) { words_[i] |= other.words_[i]; });
+}
+
+bool BitMatrix::operator==(const BitMatrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ && words_ == other.words_;
+}
+
+bool BitMatrix::any_diagonal() const {
+  const std::size_t n = rows_ < cols_ ? rows_ : cols_;
+  return pram::parallel_any(n, [&](std::size_t i) { return get(i, i); });
+}
+
+std::vector<std::uint8_t> BitMatrix::diagonal() const {
+  const std::size_t n = rows_ < cols_ ? rows_ : cols_;
+  std::vector<std::uint8_t> d(n);
+  pram::parallel_for(n, [&](std::size_t i) { d[i] = get(i, i) ? 1 : 0; });
+  return d;
+}
+
+std::size_t BitMatrix::gf2_rank(pram::NcCounters* counters) const {
+  BitMatrix work = *this;
+  const std::size_t wpr = work.words_per_row_;
+  std::size_t pivot_row = 0;
+  for (std::size_t col = 0; col < cols_ && pivot_row < rows_; ++col) {
+    // Find a row at or below pivot_row with a 1 in this column.
+    std::size_t found = rows_;
+    for (std::size_t r = pivot_row; r < rows_; ++r) {
+      if (work.get(r, col)) {
+        found = r;
+        break;
+      }
+    }
+    if (found == rows_) continue;
+    if (found != pivot_row) {
+      auto a = work.row(found);
+      auto b = work.row(pivot_row);
+      for (std::size_t w = 0; w < wpr; ++w) std::swap(a[w], b[w]);
+    }
+    // Eliminate the column from every other row in one parallel round.
+    const std::size_t pr = pivot_row;
+    pram::parallel_for(rows_, [&](std::size_t r) {
+      if (r != pr && work.get(r, col)) {
+        auto dst = work.row(r);
+        auto src = work.row(pr);
+        for (std::size_t w = 0; w < wpr; ++w) dst[w] ^= src[w];
+      }
+    });
+    pram::add_round(counters, rows_ * wpr);
+    ++pivot_row;
+  }
+  return pivot_row;
+}
+
+namespace {
+
+template <bool Xor>
+BitMatrix product_impl(const BitMatrix& a, const BitMatrix& b, pram::NcCounters* counters) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("BitMatrix product: inner dimension mismatch");
+  }
+  BitMatrix c(a.rows(), b.cols());
+  const std::size_t wpr = c.words_per_row();
+  pram::parallel_for(a.rows(), [&](std::size_t i) {
+    auto out = c.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      if (!a.get(i, k)) continue;
+      auto src = b.row(k);
+      if constexpr (Xor) {
+        for (std::size_t w = 0; w < wpr; ++w) out[w] ^= src[w];
+      } else {
+        for (std::size_t w = 0; w < wpr; ++w) out[w] |= src[w];
+      }
+    }
+  });
+  pram::add_round(counters, a.rows() * a.cols());
+  return c;
+}
+
+}  // namespace
+
+BitMatrix bool_product(const BitMatrix& a, const BitMatrix& b, pram::NcCounters* counters) {
+  return product_impl<false>(a, b, counters);
+}
+
+BitMatrix gf2_product(const BitMatrix& a, const BitMatrix& b, pram::NcCounters* counters) {
+  return product_impl<true>(a, b, counters);
+}
+
+}  // namespace ncpm::linalg

@@ -1,0 +1,140 @@
+#include "matching/hopcroft_karp.hpp"
+
+#include <deque>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace ncpm::matching {
+
+namespace {
+
+constexpr std::int32_t kInf = std::numeric_limits<std::int32_t>::max();
+
+struct HkState {
+  const graph::BipartiteGraph& g;
+  Matching& m;
+  std::vector<std::int32_t> dist;
+
+  explicit HkState(const graph::BipartiteGraph& graph, Matching& matching)
+      : g(graph), m(matching), dist(static_cast<std::size_t>(graph.n_left())) {}
+
+  bool bfs() {
+    std::deque<std::int32_t> queue;
+    for (std::int32_t l = 0; l < g.n_left(); ++l) {
+      if (!m.left_matched(l)) {
+        dist[static_cast<std::size_t>(l)] = 0;
+        queue.push_back(l);
+      } else {
+        dist[static_cast<std::size_t>(l)] = kInf;
+      }
+    }
+    bool found_free_right = false;
+    while (!queue.empty()) {
+      const std::int32_t l = queue.front();
+      queue.pop_front();
+      for (const auto e : g.left_incident(l)) {
+        const std::int32_t r = g.edge_right(static_cast<std::size_t>(e));
+        const std::int32_t next_l = m.left_of(r);
+        if (next_l == kNone) {
+          found_free_right = true;
+        } else if (dist[static_cast<std::size_t>(next_l)] == kInf) {
+          dist[static_cast<std::size_t>(next_l)] = dist[static_cast<std::size_t>(l)] + 1;
+          queue.push_back(next_l);
+        }
+      }
+    }
+    return found_free_right;
+  }
+
+  bool dfs(std::int32_t l) {
+    for (const auto e : g.left_incident(l)) {
+      const std::int32_t r = g.edge_right(static_cast<std::size_t>(e));
+      const std::int32_t next_l = m.left_of(r);
+      if (next_l == kNone ||
+          (dist[static_cast<std::size_t>(next_l)] == dist[static_cast<std::size_t>(l)] + 1 &&
+           dfs(next_l))) {
+        // r is free here: either it was exposed, or the successful recursive
+        // call re-matched next_l elsewhere and released r in the process.
+        m.unmatch_left(l);
+        m.match(l, r);
+        return true;
+      }
+    }
+    dist[static_cast<std::size_t>(l)] = kInf;
+    return false;
+  }
+};
+
+}  // namespace
+
+Matching maximum_matching(const graph::BipartiteGraph& g, const std::optional<Matching>& initial) {
+  Matching m = initial.value_or(Matching(g.n_left(), g.n_right()));
+  if (initial && !m.consistent_with(g)) {
+    throw std::invalid_argument("maximum_matching: initial matching not within graph");
+  }
+  HkState state(g, m);
+  while (state.bfs()) {
+    for (std::int32_t l = 0; l < g.n_left(); ++l) {
+      if (!m.left_matched(l)) state.dfs(l);
+    }
+  }
+  return m;
+}
+
+EouDecomposition eou_decomposition(const graph::BipartiteGraph& g, const Matching& maximum) {
+  EouDecomposition d;
+  d.left.assign(static_cast<std::size_t>(g.n_left()), EouLabel::Unreachable);
+  d.right.assign(static_cast<std::size_t>(g.n_right()), EouLabel::Unreachable);
+
+  // Alternating BFS from exposed left vertices: left at even distance, right
+  // at odd. From exposed right vertices, symmetrically. With a maximum
+  // matching the two searches can never touch the same vertex (that would
+  // expose an augmenting path), so plain overwrites are safe.
+  std::deque<std::int32_t> lq;
+  for (std::int32_t l = 0; l < g.n_left(); ++l) {
+    if (!maximum.left_matched(l)) {
+      d.left[static_cast<std::size_t>(l)] = EouLabel::Even;
+      lq.push_back(l);
+    }
+  }
+  while (!lq.empty()) {
+    const std::int32_t l = lq.front();
+    lq.pop_front();
+    for (const auto e : g.left_incident(l)) {
+      const std::int32_t r = g.edge_right(static_cast<std::size_t>(e));
+      if (d.right[static_cast<std::size_t>(r)] != EouLabel::Unreachable) continue;
+      d.right[static_cast<std::size_t>(r)] = EouLabel::Odd;
+      const std::int32_t back = maximum.left_of(r);
+      if (back != kNone && d.left[static_cast<std::size_t>(back)] == EouLabel::Unreachable) {
+        d.left[static_cast<std::size_t>(back)] = EouLabel::Even;
+        lq.push_back(back);
+      }
+    }
+  }
+
+  std::deque<std::int32_t> rq;
+  for (std::int32_t r = 0; r < g.n_right(); ++r) {
+    if (!maximum.right_matched(r) && d.right[static_cast<std::size_t>(r)] == EouLabel::Unreachable) {
+      d.right[static_cast<std::size_t>(r)] = EouLabel::Even;
+      rq.push_back(r);
+    }
+  }
+  while (!rq.empty()) {
+    const std::int32_t r = rq.front();
+    rq.pop_front();
+    for (const auto e : g.right_incident(r)) {
+      const std::int32_t l = g.edge_left(static_cast<std::size_t>(e));
+      if (d.left[static_cast<std::size_t>(l)] != EouLabel::Unreachable) continue;
+      d.left[static_cast<std::size_t>(l)] = EouLabel::Odd;
+      const std::int32_t back = maximum.right_of(l);
+      if (back != kNone && d.right[static_cast<std::size_t>(back)] == EouLabel::Unreachable) {
+        d.right[static_cast<std::size_t>(back)] = EouLabel::Even;
+        rq.push_back(back);
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace ncpm::matching

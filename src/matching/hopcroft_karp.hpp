@@ -1,0 +1,46 @@
+#pragma once
+// Hopcroft–Karp maximum-cardinality bipartite matching, O(E sqrt(V)).
+//
+// Roles in this library:
+//  * sequential baseline for the NC popular-matching pipeline benchmarks;
+//  * the maximum-matching black box behind the ties machinery (Section V):
+//    the rank-1 subgraph G1, the pruned reduced graph G'' and the
+//    Mendelsohn–Dulmage combination all need maximum matchings;
+//  * the reference cardinality the Theorem 11 reduction must reproduce.
+//
+// `maximum_matching` optionally continues from an initial matching (used to
+// extend a maximum matching of G1 inside a larger graph G'').
+
+#include <optional>
+
+#include "graph/bipartite_graph.hpp"
+#include "matching/matching.hpp"
+
+namespace ncpm::matching {
+
+/// Maximum matching of g. If `initial` is given it must be a valid matching
+/// within g; augmentation starts from it (the result contains >= |initial|
+/// edges but not necessarily the same ones).
+Matching maximum_matching(const graph::BipartiteGraph& g,
+                          const std::optional<Matching>& initial = std::nullopt);
+
+/// Alternating-reachability decomposition w.r.t. a *maximum* matching
+/// (Gallai–Edmonds / Dulmage–Mendelsohn flavour, as used by the ties
+/// algorithm of Abraham et al.):
+///   Even  — reachable from some exposed vertex by an even-length
+///           alternating path (exposed vertices themselves are Even);
+///   Odd   — reachable by an odd-length alternating path;
+///   Unreachable — not reachable from any exposed vertex.
+/// With a maximum matching no vertex is both Even and Odd, every Odd or
+/// Unreachable vertex is matched in every maximum matching, and no maximum
+/// matching uses an Odd–Odd or Odd–Unreachable edge.
+enum class EouLabel : std::uint8_t { Even, Odd, Unreachable };
+
+struct EouDecomposition {
+  std::vector<EouLabel> left;
+  std::vector<EouLabel> right;
+};
+
+EouDecomposition eou_decomposition(const graph::BipartiteGraph& g, const Matching& maximum);
+
+}  // namespace ncpm::matching

@@ -1,0 +1,188 @@
+#include "matching/matching.hpp"
+
+#include <stdexcept>
+
+namespace ncpm::matching {
+
+Matching::Matching(std::int32_t n_left, std::int32_t n_right) {
+  if (n_left < 0 || n_right < 0) throw std::invalid_argument("Matching: negative side size");
+  right_of_.assign(static_cast<std::size_t>(n_left), kNone);
+  left_of_.assign(static_cast<std::size_t>(n_right), kNone);
+}
+
+void Matching::match(std::int32_t l, std::int32_t r) {
+  auto& rl = right_of_.at(static_cast<std::size_t>(l));
+  auto& lr = left_of_.at(static_cast<std::size_t>(r));
+  if (rl != kNone || lr != kNone) {
+    throw std::logic_error("Matching::match: endpoint already matched");
+  }
+  rl = r;
+  lr = l;
+  ++size_;
+}
+
+void Matching::unmatch_left(std::int32_t l) {
+  auto& rl = right_of_.at(static_cast<std::size_t>(l));
+  if (rl == kNone) return;
+  left_of_[static_cast<std::size_t>(rl)] = kNone;
+  rl = kNone;
+  --size_;
+}
+
+void Matching::rebuild_inverse_and_size() {
+  left_of_.assign(left_of_.size(), kNone);
+  size_ = 0;
+  for (std::size_t l = 0; l < right_of_.size(); ++l) {
+    const std::int32_t r = right_of_[l];
+    if (r == kNone) continue;
+    if (r < 0 || static_cast<std::size_t>(r) >= left_of_.size()) {
+      throw std::logic_error("Matching: right endpoint out of range");
+    }
+    if (left_of_[static_cast<std::size_t>(r)] != kNone) {
+      throw std::logic_error("Matching: two left vertices share a right vertex");
+    }
+    left_of_[static_cast<std::size_t>(r)] = static_cast<std::int32_t>(l);
+    ++size_;
+  }
+}
+
+Matching mendelsohn_dulmage(const Matching& ma, const Matching& mb) {
+  if (ma.n_left() != mb.n_left() || ma.n_right() != mb.n_right()) {
+    throw std::invalid_argument("mendelsohn_dulmage: shape mismatch");
+  }
+  const std::int32_t nl = ma.n_left();
+  const std::int32_t nr = ma.n_right();
+  Matching out(nl, nr);
+
+  // Shared pairs belong to every combination and never touch the symmetric
+  // difference, so they can be committed up front.
+  for (std::int32_t l = 0; l < nl; ++l) {
+    const std::int32_t r = ma.right_of(l);
+    if (r != kNone && r == mb.right_of(l)) out.match(l, r);
+  }
+
+  // Symmetric-difference edges, identified by (left endpoint, which matching).
+  const auto a_from_left = [&](std::int32_t l) {
+    const std::int32_t r = ma.right_of(l);
+    return (r != kNone && r != mb.right_of(l)) ? r : kNone;
+  };
+  const auto b_from_left = [&](std::int32_t l) {
+    const std::int32_t r = mb.right_of(l);
+    return (r != kNone && r != ma.right_of(l)) ? r : kNone;
+  };
+  const auto a_from_right = [&](std::int32_t r) {
+    const std::int32_t l = ma.left_of(r);
+    return (l != kNone && mb.right_of(l) != r) ? l : kNone;
+  };
+  const auto b_from_right = [&](std::int32_t r) {
+    const std::int32_t l = mb.left_of(r);
+    return (l != kNone && ma.right_of(l) != r) ? l : kNone;
+  };
+
+  std::vector<std::uint8_t> a_done(static_cast<std::size_t>(nl), 0);
+  std::vector<std::uint8_t> b_done(static_cast<std::size_t>(nl), 0);
+
+  struct Edge {
+    std::int32_t l, r;
+    bool from_a;
+  };
+  struct WalkEnd {
+    bool at_left;  // side of the vertex where the walk stopped
+  };
+
+  // Traverse from vertex (at_left, v) along its `use_a` edge, alternating
+  // matchings, until no continuing edge exists or the component closes.
+  const auto walk = [&](bool at_left, std::int32_t v, bool use_a, std::vector<Edge>& edges) {
+    while (true) {
+      std::int32_t l, r;
+      if (at_left) {
+        l = v;
+        r = use_a ? a_from_left(l) : b_from_left(l);
+        if (r == kNone) return WalkEnd{true};
+      } else {
+        r = v;
+        l = use_a ? a_from_right(r) : b_from_right(r);
+        if (l == kNone) return WalkEnd{false};
+      }
+      auto& done = use_a ? a_done[static_cast<std::size_t>(l)] : b_done[static_cast<std::size_t>(l)];
+      if (done != 0) return WalkEnd{at_left};  // cycle closed
+      done = 1;
+      edges.push_back({l, r, use_a});
+      v = at_left ? r : l;
+      at_left = !at_left;
+      use_a = !use_a;
+    }
+  };
+
+  const auto commit = [&](const std::vector<Edge>& edges, bool take_a) {
+    for (const auto& e : edges) {
+      if (e.from_a == take_a) out.match(e.l, e.r);
+    }
+  };
+
+  // Paths first: start from every degree-1 vertex (covered by exactly one
+  // matching within the symmetric difference). Each path is walked once —
+  // from its other end the first edge is already marked done.
+  const auto handle_path = [&](bool at_left, std::int32_t v, bool use_a) {
+    std::vector<Edge> edges;
+    const WalkEnd end = walk(at_left, v, use_a, edges);
+    if (edges.empty()) return;
+    // The start endpoint's incident edge is edges.front() (type use_a); the
+    // final endpoint's is edges.back(). Take mb's edges iff some endpoint is
+    // a right vertex whose incident edge comes from mb; the parity of
+    // alternating paths makes a conflicting left-ma endpoint impossible.
+    const bool start_needs_b = !at_left && !use_a;
+    const bool end_needs_b = !end.at_left && !edges.back().from_a;
+    const bool need_b = start_needs_b || end_needs_b;
+    const bool start_needs_a = at_left && use_a;
+    const bool end_needs_a = end.at_left && edges.back().from_a;
+    if (need_b && (start_needs_a || end_needs_a)) {
+      throw std::logic_error("mendelsohn_dulmage: conflicting path endpoints");
+    }
+    commit(edges, !need_b);
+  };
+
+  for (std::int32_t l = 0; l < nl; ++l) {
+    const bool has_a = a_from_left(l) != kNone;
+    const bool has_b = b_from_left(l) != kNone;
+    if (has_a != has_b) handle_path(true, l, has_a);
+  }
+  for (std::int32_t r = 0; r < nr; ++r) {
+    const bool has_a = a_from_right(r) != kNone && a_done[static_cast<std::size_t>(a_from_right(r))] == 0;
+    const bool has_b = b_from_right(r) != kNone && b_done[static_cast<std::size_t>(b_from_right(r))] == 0;
+    const bool raw_a = a_from_right(r) != kNone;
+    const bool raw_b = b_from_right(r) != kNone;
+    if (raw_a != raw_b) {
+      if ((raw_a && has_a) || (raw_b && has_b)) handle_path(false, r, raw_a);
+    }
+  }
+
+  // Whatever remains is cycles: both choices cover the same vertices; take ma.
+  for (std::int32_t l = 0; l < nl; ++l) {
+    if (a_from_left(l) != kNone && a_done[static_cast<std::size_t>(l)] == 0) {
+      std::vector<Edge> edges;
+      walk(true, l, true, edges);
+      commit(edges, true);
+    }
+  }
+  return out;
+}
+
+bool Matching::consistent_with(const graph::BipartiteGraph& g) const {
+  if (g.n_left() != n_left() || g.n_right() != n_right()) return false;
+  for (std::int32_t l = 0; l < n_left(); ++l) {
+    const std::int32_t r = right_of(l);
+    if (r == kNone) continue;
+    bool found = false;
+    for (const auto e : g.left_incident(l)) {
+      if (g.edge_right(static_cast<std::size_t>(e)) == r) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace ncpm::matching

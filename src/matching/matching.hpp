@@ -1,0 +1,72 @@
+#pragma once
+// Bipartite matching container shared by every layer of the library.
+//
+// A Matching pairs left vertices (applicants / men) with right vertices
+// (posts / women). Both directions are kept consistent; `set_pair_unchecked`
+// exists for the NC algorithms that write vertex-disjoint pairs from
+// parallel rounds and re-validate afterwards.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.hpp"
+
+namespace ncpm::matching {
+
+using graph::kNone;
+
+class Matching {
+ public:
+  Matching() = default;
+  Matching(std::int32_t n_left, std::int32_t n_right);
+
+  std::int32_t n_left() const noexcept { return static_cast<std::int32_t>(right_of_.size()); }
+  std::int32_t n_right() const noexcept { return static_cast<std::int32_t>(left_of_.size()); }
+
+  std::int32_t right_of(std::int32_t l) const { return right_of_[static_cast<std::size_t>(l)]; }
+  std::int32_t left_of(std::int32_t r) const { return left_of_[static_cast<std::size_t>(r)]; }
+  bool left_matched(std::int32_t l) const { return right_of(l) != kNone; }
+  bool right_matched(std::int32_t r) const { return left_of(r) != kNone; }
+
+  /// Number of matched pairs.
+  std::size_t size() const noexcept { return size_; }
+
+  /// Match two currently-free vertices; throws std::logic_error otherwise.
+  void match(std::int32_t l, std::int32_t r);
+  /// Remove l's pair if it has one.
+  void unmatch_left(std::int32_t l);
+
+  /// Write a pair without freeness checks or size maintenance. Intended for
+  /// vertex-disjoint parallel writes; call `rebuild_inverse_and_size` after.
+  void set_pair_unchecked(std::int32_t l, std::int32_t r) {
+    right_of_[static_cast<std::size_t>(l)] = r;
+  }
+  /// Recompute left_of_ and size_ from right_of_; throws std::logic_error if
+  /// two left vertices claim the same right vertex.
+  void rebuild_inverse_and_size();
+
+  /// True iff every matched pair is an edge of g (sides must be sized alike).
+  bool consistent_with(const graph::BipartiteGraph& g) const;
+
+  bool operator==(const Matching& other) const {
+    return right_of_ == other.right_of_ && left_of_ == other.left_of_;
+  }
+
+ private:
+  std::vector<std::int32_t> right_of_;
+  std::vector<std::int32_t> left_of_;
+  std::size_t size_ = 0;
+};
+
+/// Mendelsohn–Dulmage combination: returns a matching (within ma ∪ mb) that
+/// covers every left vertex covered by `ma` AND every right vertex covered
+/// by `mb`. Classic constructive proof over the components of ma ⊕ mb: keep
+/// shared pairs; per alternating path take mb's edges iff a path endpoint is
+/// a right vertex whose path edge is mb's (the conflicting path shape is
+/// impossible by parity); cycles take ma's edges. Used by the ties
+/// algorithm of Section V to combine an applicant-complete matching with a
+/// maximum matching of the rank-1 subgraph.
+Matching mendelsohn_dulmage(const Matching& ma, const Matching& mb);
+
+}  // namespace ncpm::matching

@@ -1,0 +1,80 @@
+#include "matching/two_regular.hpp"
+
+#include <stdexcept>
+
+#include "graph/path_decomposition.hpp"
+#include "pram/list_ranking.hpp"
+#include "pram/parallel.hpp"
+
+namespace ncpm::matching {
+
+std::optional<std::vector<std::int32_t>> two_regular_perfect_matching(
+    std::size_t n_vertices, std::span<const std::int32_t> eu, std::span<const std::int32_t> ev,
+    std::span<const std::uint8_t> edge_alive, pram::NcCounters* counters) {
+  const graph::HalfEdgeStructure s(n_vertices, eu, ev, edge_alive, counters);
+  const std::size_t nh = s.n_half_edges();
+
+  // In a 2-regular graph no alive traversal may terminate.
+  const bool terminal = pram::parallel_any(nh, [&](std::size_t h) {
+    return s.edge_alive(h >> 1) && s.ranking().reaches_terminal[h] != 0;
+  });
+  if (terminal) {
+    throw std::invalid_argument("two_regular_perfect_matching: a vertex has degree != 2");
+  }
+
+  // Label every *directed* cycle with its minimum alive half-edge id.
+  std::vector<std::int64_t> key(nh);
+  pram::parallel_for(nh, [&](std::size_t h) {
+    key[h] = s.edge_alive(h >> 1) ? static_cast<std::int64_t>(h)
+                                  : static_cast<std::int64_t>(nh);  // dead: +inf
+  });
+  pram::add_round(counters, nh);
+  const auto label = pram::window_min(s.succ(), key, nh, counters);
+
+  // Break each directed cycle at its label and rank: rank[h] = dist(h -> root).
+  std::vector<std::int32_t> broken(nh);
+  pram::parallel_for(nh, [&](std::size_t h) {
+    const bool is_root = label[h] == static_cast<std::int64_t>(h);
+    broken[h] = is_root ? static_cast<std::int32_t>(h) : s.succ()[h];
+  });
+  pram::add_round(counters, nh);
+  const auto ranking = pram::list_rank(broken, counters);
+
+  // Cycle lengths, published at each root.
+  std::vector<std::int64_t> len_at(nh, 0);
+  pram::parallel_for(nh, [&](std::size_t h) {
+    if (s.edge_alive(h >> 1) && label[h] == static_cast<std::int64_t>(h)) {
+      len_at[h] = ranking.rank[static_cast<std::size_t>(s.succ()[h])] + 1;
+    }
+  });
+  pram::add_round(counters, nh);
+
+  const bool odd = pram::parallel_any(nh, [&](std::size_t h) {
+    return s.edge_alive(h >> 1) && label[h] == static_cast<std::int64_t>(h) &&
+           (len_at[h] & 1) != 0;
+  });
+  if (odd) return std::nullopt;
+
+  // Of the two traversals of an undirected cycle only the one carrying the
+  // smaller label selects edges; it picks those at even distance from the root.
+  std::vector<std::uint8_t> selected(s.n_edges(), 0);
+  pram::parallel_for(nh, [&](std::size_t h) {
+    if (!s.edge_alive(h >> 1)) return;
+    const auto mine = label[h];
+    const auto other = label[static_cast<std::size_t>(graph::HalfEdgeStructure::rev(
+        static_cast<std::int32_t>(h)))];
+    if (mine >= other) return;
+    const std::int64_t len = len_at[static_cast<std::size_t>(mine)];
+    const std::int64_t d_from_root = (len - ranking.rank[h]) % len;
+    if ((d_from_root & 1) == 0) selected[h >> 1] = 1;
+  });
+  pram::add_round(counters, nh);
+
+  std::vector<std::int32_t> out;
+  for (std::size_t e = 0; e < s.n_edges(); ++e) {
+    if (selected[e] != 0) out.push_back(static_cast<std::int32_t>(e));
+  }
+  return out;
+}
+
+}  // namespace ncpm::matching

@@ -1,0 +1,9 @@
+#include "pram/counters.hpp"
+
+namespace ncpm::pram {
+
+std::string to_string(const NcCounters& c) {
+  return "rounds=" + std::to_string(c.rounds) + " work=" + std::to_string(c.work);
+}
+
+}  // namespace ncpm::pram

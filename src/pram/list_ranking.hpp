@@ -1,0 +1,182 @@
+#pragma once
+// Pointer jumping ("the doubling trick" of Algorithm 2) over successor arrays.
+//
+// A successor array encodes a functional structure `next[v]`; `next[v] == v`
+// marks a terminal. Three families of primitives live here:
+//
+//  * Wyllie list ranking (`list_rank`, `weighted_list_rank`): distance /
+//    weighted distance from every vertex to its terminal, plus the terminal
+//    reached. O(log n) doubling rounds. Used for maximal-path processing in
+//    Algorithm 2 and switching-path margins in Algorithm 3.
+//  * Functional-graph powers (`kth_power`): the map f^K by binary
+//    exponentiation of the composition, O(log K) rounds. Used to find the
+//    cycles of directed pseudoforests (Section IV-A): for K >= n, the image
+//    of f^K is exactly the set of on-cycle vertices.
+//  * Windowed min reduction (`window_min`): min of {v, f(v), ..., f^(2^k-1)(v)}
+//    per vertex, used to pick canonical roots on cycles.
+//
+// All functions tolerate cycles: ranking values are only meaningful for
+// vertices whose `head` is a terminal; `reaches_terminal` distinguishes them.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "pram/counters.hpp"
+#include "pram/parallel.hpp"
+
+namespace ncpm::pram {
+
+inline constexpr std::int32_t kNone = -1;
+
+/// ceil(log2(n)) for n >= 1; 0 for n <= 1.
+inline std::uint32_t ceil_log2(std::uint64_t n) noexcept {
+  std::uint32_t k = 0;
+  std::uint64_t p = 1;
+  while (p < n) {
+    p <<= 1U;
+    ++k;
+  }
+  return k;
+}
+
+struct ListRanking {
+  /// head[v]: the vertex reached by following `next` to a fixed point; equals
+  /// the terminal of v's list when v's chain ends, or a vertex still "moving"
+  /// if v lies on / leads into a cycle longer than 1.
+  std::vector<std::int32_t> head;
+  /// rank[v]: number of `next` steps from v to head[v] (sum of weights for the
+  /// weighted variant). Meaningful only when head[v] is a terminal.
+  std::vector<std::int64_t> rank;
+  /// reaches_terminal[v]: head[v] is a true terminal (next[head] == head).
+  std::vector<std::uint8_t> reaches_terminal;
+};
+
+namespace detail {
+
+template <typename WeightAt>
+ListRanking list_rank_impl(std::span<const std::int32_t> next, WeightAt&& weight_at,
+                           NcCounters* counters) {
+  const std::size_t n = next.size();
+  ListRanking r;
+  r.head.resize(n);
+  r.rank.resize(n);
+  r.reaches_terminal.assign(n, 0);
+
+  // Validate outside the parallel region: throwing across an OpenMP boundary
+  // is undefined behaviour.
+  const bool bad = parallel_any(n, [&](std::size_t v) {
+    return next[v] < 0 || static_cast<std::size_t>(next[v]) >= n;
+  });
+  if (bad) throw std::out_of_range("list_rank: successor out of range");
+
+  parallel_for(n, [&](std::size_t v) {
+    const std::int32_t nx = next[v];
+    r.head[v] = nx;
+    r.rank[v] = (static_cast<std::size_t>(nx) == v) ? 0 : weight_at(v);
+  });
+  add_round(counters, n);
+
+  std::vector<std::int32_t> nhead(n);
+  std::vector<std::int64_t> nrank(n);
+  const std::uint32_t rounds = ceil_log2(n) + 1;
+  for (std::uint32_t k = 0; k < rounds; ++k) {
+    parallel_for(n, [&](std::size_t v) {
+      const auto h = static_cast<std::size_t>(r.head[v]);
+      nrank[v] = r.rank[v] + r.rank[h];
+      nhead[v] = r.head[h];
+    });
+    r.head.swap(nhead);
+    r.rank.swap(nrank);
+    add_round(counters, n);
+  }
+
+  parallel_for(n, [&](std::size_t v) {
+    const auto h = static_cast<std::size_t>(r.head[v]);
+    r.reaches_terminal[v] = (static_cast<std::size_t>(next[h]) == h) ? 1 : 0;
+  });
+  add_round(counters, n);
+  return r;
+}
+
+}  // namespace detail
+
+/// Wyllie pointer-jumping list ranking: rank[v] = #steps from v to its
+/// terminal, head[v] = that terminal. Vertices on (or leading into) cycles get
+/// reaches_terminal[v] == 0 and unspecified rank.
+inline ListRanking list_rank(std::span<const std::int32_t> next, NcCounters* counters = nullptr) {
+  return detail::list_rank_impl(next, [](std::size_t) { return std::int64_t{1}; }, counters);
+}
+
+/// Weighted ranking: rank[v] = sum of weight[u] over every non-terminal u on
+/// the path from v (inclusive) to its terminal (exclusive).
+inline ListRanking weighted_list_rank(std::span<const std::int32_t> next,
+                                      std::span<const std::int64_t> weight,
+                                      NcCounters* counters = nullptr) {
+  if (weight.size() != next.size()) {
+    throw std::invalid_argument("weighted_list_rank: weight/next size mismatch");
+  }
+  return detail::list_rank_impl(
+      next, [&](std::size_t v) { return weight[v]; }, counters);
+}
+
+/// Compose two successor maps: result(v) = g[f[v]] ("apply f, then g").
+inline std::vector<std::int32_t> compose(std::span<const std::int32_t> g,
+                                         std::span<const std::int32_t> f,
+                                         NcCounters* counters = nullptr) {
+  const std::size_t n = f.size();
+  if (g.size() != n) throw std::invalid_argument("compose: size mismatch");
+  std::vector<std::int32_t> out(n);
+  parallel_for(n, [&](std::size_t v) { out[v] = g[static_cast<std::size_t>(f[v])]; });
+  add_round(counters, n);
+  return out;
+}
+
+/// The map f^K (K >= 1 applications of `next`) via binary exponentiation of
+/// the composition; O(log K) composition rounds.
+inline std::vector<std::int32_t> kth_power(std::span<const std::int32_t> next, std::uint64_t k,
+                                           NcCounters* counters = nullptr) {
+  const std::size_t n = next.size();
+  std::vector<std::int32_t> result(n);
+  parallel_for(n, [&](std::size_t v) { result[v] = static_cast<std::int32_t>(v); });
+  add_round(counters, n);
+  std::vector<std::int32_t> base(next.begin(), next.end());
+  while (k > 0) {
+    if ((k & 1U) != 0) result = compose(base, result, counters);
+    k >>= 1U;
+    if (k > 0) base = compose(base, base, counters);
+  }
+  return result;
+}
+
+/// window_min[v] = min over {key[v], key[f(v)], ..., key[f^(w-1)(v)]} where the
+/// window size w is the smallest power of two >= `window`. Used to elect the
+/// minimum-key vertex of every cycle (window >= cycle length covers the cycle).
+inline std::vector<std::int64_t> window_min(std::span<const std::int32_t> next,
+                                            std::span<const std::int64_t> key,
+                                            std::uint64_t window,
+                                            NcCounters* counters = nullptr) {
+  const std::size_t n = next.size();
+  if (key.size() != n) throw std::invalid_argument("window_min: size mismatch");
+  std::vector<std::int64_t> val(key.begin(), key.end());
+  std::vector<std::int32_t> jump(next.begin(), next.end());
+  std::vector<std::int64_t> nval(n);
+  std::vector<std::int32_t> njump(n);
+  const std::uint32_t rounds = ceil_log2(window == 0 ? 1 : window);
+  for (std::uint32_t k = 0; k < rounds; ++k) {
+    parallel_for(n, [&](std::size_t v) {
+      const auto j = static_cast<std::size_t>(jump[v]);
+      nval[v] = val[v] < val[j] ? val[v] : val[j];
+      njump[v] = jump[j];
+    });
+    val.swap(nval);
+    jump.swap(njump);
+    add_round(counters, n);
+  }
+  return val;
+}
+
+}  // namespace ncpm::pram

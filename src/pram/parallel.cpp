@@ -1,0 +1,7 @@
+#include "pram/parallel.hpp"
+
+// parallel.hpp is header-only; this translation unit exists so the substrate
+// has a stable object file to anchor the library target and any future
+// non-template runtime configuration.
+
+namespace ncpm::pram {}

@@ -1,0 +1,84 @@
+#pragma once
+// Round-synchronous PRAM substrate on top of OpenMP.
+//
+// The paper's algorithms are stated for CREW/CRCW PRAMs with a polynomial
+// number of processors. We simulate that model with a fixed pool of hardware
+// threads: one `parallel_for` call is one *synchronous parallel round* (all
+// iterations independent, implicit barrier at the end). NC depth claims are
+// validated by counting rounds of the algorithms' outer loops (see
+// counters.hpp), not by wall-clock alone.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include <omp.h>
+
+namespace ncpm::pram {
+
+/// Number of worker threads used for parallel rounds.
+inline int num_threads() noexcept { return omp_get_max_threads(); }
+
+/// Set the worker-thread count for subsequent rounds (clamped to >= 1).
+inline void set_num_threads(int t) noexcept { omp_set_num_threads(t < 1 ? 1 : t); }
+
+/// One synchronous parallel round: apply `f(i)` for every i in [0, n).
+/// Iterations must be independent (EREW/CREW discipline; concurrent writes
+/// only through atomics, mirroring CRCW where an algorithm needs it).
+template <typename F>
+void parallel_for(std::size_t n, F&& f) {
+  const auto limit = static_cast<std::int64_t>(n);
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < limit; ++i) {
+    f(static_cast<std::size_t>(i));
+  }
+}
+
+/// Parallel round with a grain hint for very cheap bodies.
+template <typename F>
+void parallel_for_grain(std::size_t n, std::size_t grain, F&& f) {
+  const auto limit = static_cast<std::int64_t>(n);
+  const auto g = static_cast<std::int64_t>(grain == 0 ? 1 : grain);
+#pragma omp parallel for schedule(static, g)
+  for (std::int64_t i = 0; i < limit; ++i) {
+    f(static_cast<std::size_t>(i));
+  }
+}
+
+/// Parallel reduction: combine `map(i)` for i in [0, n) with `combine`,
+/// starting from `identity`. `combine` must be associative and commutative.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(std::size_t n, T identity, Map&& map, Combine&& combine) {
+  T result = identity;
+  const auto limit = static_cast<std::int64_t>(n);
+#pragma omp parallel
+  {
+    T local = identity;
+#pragma omp for schedule(static) nowait
+    for (std::int64_t i = 0; i < limit; ++i) {
+      local = combine(std::move(local), map(static_cast<std::size_t>(i)));
+    }
+#pragma omp critical(ncpm_pram_reduce)
+    result = combine(std::move(result), std::move(local));
+  }
+  return result;
+}
+
+/// Parallel logical-OR reduction over a predicate (common early-exit test).
+template <typename Pred>
+bool parallel_any(std::size_t n, Pred&& pred) {
+  return parallel_reduce(
+      n, false, [&](std::size_t i) { return static_cast<bool>(pred(i)); },
+      [](bool a, bool b) { return a || b; });
+}
+
+/// Parallel count of indices satisfying a predicate.
+template <typename Pred>
+std::size_t parallel_count(std::size_t n, Pred&& pred) {
+  return parallel_reduce(
+      n, std::size_t{0},
+      [&](std::size_t i) { return pred(i) ? std::size_t{1} : std::size_t{0}; },
+      [](std::size_t a, std::size_t b) { return a + b; });
+}
+
+}  // namespace ncpm::pram

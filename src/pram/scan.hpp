@@ -1,0 +1,102 @@
+#pragma once
+// Parallel prefix sums (scans) and stream compaction.
+//
+// Algorithm 4 of the paper compresses soft-deleted preference lists "using
+// parallel prefix sum technique"; Algorithm 2 and the generators use
+// compaction to rebuild alive-edge arrays each round. The implementation is
+// the standard blocked two-pass scan: per-block partial sums, a scan over the
+// block sums, then a fix-up pass. Depth is O(log n) in the PRAM abstraction
+// (three barrier-synchronised rounds on p processors here).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pram/counters.hpp"
+#include "pram/parallel.hpp"
+
+namespace ncpm::pram {
+
+/// Exclusive prefix sum of `in` into `out` (same length). Returns the total.
+/// `out[i] = in[0] + ... + in[i-1]`, `out[0] = 0`.
+template <typename T>
+T exclusive_scan(std::span<const T> in, std::span<T> out, NcCounters* counters = nullptr) {
+  const std::size_t n = in.size();
+  if (n == 0) return T{};
+  const std::size_t nthreads = static_cast<std::size_t>(num_threads());
+  const std::size_t block = (n + nthreads - 1) / nthreads;
+  const std::size_t nblocks = (n + block - 1) / block;
+
+  std::vector<T> block_sum(nblocks, T{});
+  parallel_for(nblocks, [&](std::size_t b) {
+    const std::size_t lo = b * block;
+    const std::size_t hi = lo + block < n ? lo + block : n;
+    T acc{};
+    for (std::size_t i = lo; i < hi; ++i) acc = acc + in[i];
+    block_sum[b] = acc;
+  });
+  add_round(counters, n);
+
+  T total{};
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const T s = block_sum[b];
+    block_sum[b] = total;
+    total = total + s;
+  }
+  add_round(counters, nblocks);
+
+  parallel_for(nblocks, [&](std::size_t b) {
+    const std::size_t lo = b * block;
+    const std::size_t hi = lo + block < n ? lo + block : n;
+    T acc = block_sum[b];
+    for (std::size_t i = lo; i < hi; ++i) {
+      const T v = in[i];
+      out[i] = acc;
+      acc = acc + v;
+    }
+  });
+  add_round(counters, n);
+  return total;
+}
+
+/// Inclusive prefix sum: `out[i] = in[0] + ... + in[i]`. Returns the total.
+template <typename T>
+T inclusive_scan(std::span<const T> in, std::span<T> out, NcCounters* counters = nullptr) {
+  const std::size_t n = in.size();
+  if (n == 0) return T{};
+  const T total = exclusive_scan(in, out, counters);
+  parallel_for(n, [&](std::size_t i) { out[i] = out[i] + in[i]; });
+  add_round(counters, n);
+  return total;
+}
+
+/// Indices i in [0, n) with keep[i] != 0, in increasing order (stream compaction).
+inline std::vector<std::uint32_t> compact_indices(std::span<const std::uint8_t> keep,
+                                                  NcCounters* counters = nullptr) {
+  const std::size_t n = keep.size();
+  std::vector<std::uint32_t> flags(n), pos(n);
+  parallel_for(n, [&](std::size_t i) { flags[i] = keep[i] != 0 ? 1u : 0u; });
+  add_round(counters, n);
+  const std::uint32_t total =
+      exclusive_scan<std::uint32_t>(flags, std::span<std::uint32_t>(pos), counters);
+  std::vector<std::uint32_t> out(total);
+  parallel_for(n, [&](std::size_t i) {
+    if (keep[i] != 0) out[pos[i]] = static_cast<std::uint32_t>(i);
+  });
+  add_round(counters, n);
+  return out;
+}
+
+/// Compact the elements of `values` whose flag is set, preserving order.
+template <typename T>
+std::vector<T> compact(std::span<const T> values, std::span<const std::uint8_t> keep,
+                       NcCounters* counters = nullptr) {
+  const auto idx = compact_indices(keep, counters);
+  std::vector<T> out(idx.size());
+  parallel_for(idx.size(), [&](std::size_t i) { out[i] = values[idx[i]]; });
+  add_round(counters, idx.size());
+  return out;
+}
+
+}  // namespace ncpm::pram

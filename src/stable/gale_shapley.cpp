@@ -1,0 +1,57 @@
+#include "stable/gale_shapley.hpp"
+
+#include <deque>
+
+namespace ncpm::stable {
+
+namespace {
+
+/// Proposer-optimal deferred acceptance over accessor lambdas so one
+/// implementation serves both orientations.
+template <typename PrefOf, typename RankOf>
+std::vector<std::int32_t> propose(std::int32_t n, PrefOf&& pref_of, RankOf&& rank_of) {
+  std::vector<std::int32_t> next_proposal(static_cast<std::size_t>(n), 0);
+  std::vector<std::int32_t> engaged_to(static_cast<std::size_t>(n), kNone);  // per receiver
+  std::deque<std::int32_t> free;
+  for (std::int32_t p = 0; p < n; ++p) free.push_back(p);
+  while (!free.empty()) {
+    const std::int32_t p = free.front();
+    free.pop_front();
+    const std::int32_t r = pref_of(p, next_proposal[static_cast<std::size_t>(p)]++);
+    const std::int32_t incumbent = engaged_to[static_cast<std::size_t>(r)];
+    if (incumbent == kNone) {
+      engaged_to[static_cast<std::size_t>(r)] = p;
+    } else if (rank_of(r, p) < rank_of(r, incumbent)) {
+      engaged_to[static_cast<std::size_t>(r)] = p;
+      free.push_back(incumbent);
+    } else {
+      free.push_back(p);
+    }
+  }
+  return engaged_to;
+}
+
+}  // namespace
+
+MarriageMatching man_optimal(const StableInstance& inst) {
+  const auto husband_of = propose(
+      inst.size(), [&](std::int32_t m, std::int32_t i) { return inst.man_pref(m, i); },
+      [&](std::int32_t w, std::int32_t m) { return inst.woman_rank_of(w, m); });
+  std::vector<std::int32_t> wife_of(husband_of.size(), kNone);
+  for (std::size_t w = 0; w < husband_of.size(); ++w) {
+    wife_of[static_cast<std::size_t>(husband_of[w])] = static_cast<std::int32_t>(w);
+  }
+  return MarriageMatching::from_wife_of(std::move(wife_of));
+}
+
+MarriageMatching woman_optimal(const StableInstance& inst) {
+  const auto wife_of_by_w = propose(
+      inst.size(), [&](std::int32_t w, std::int32_t i) { return inst.woman_pref(w, i); },
+      [&](std::int32_t m, std::int32_t w) { return inst.man_rank_of(m, w); });
+  // wife_of_by_w[m] = the woman engaged to man m after women propose.
+  std::vector<std::int32_t> wife_of(wife_of_by_w.size(), kNone);
+  for (std::size_t m = 0; m < wife_of_by_w.size(); ++m) wife_of[m] = wife_of_by_w[m];
+  return MarriageMatching::from_wife_of(std::move(wife_of));
+}
+
+}  // namespace ncpm::stable

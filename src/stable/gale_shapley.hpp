@@ -1,0 +1,20 @@
+#pragma once
+// Gale–Shapley deferred acceptance.
+//
+// The stable-marriage problem is CC-complete (Mayr & Subramanian), so no NC
+// algorithm is expected for finding a *first* stable matching; the paper's
+// Algorithm 4 instead enumerates the "next" ones in NC. Gale–Shapley is the
+// sequential substrate producing the man-optimal matching M0 (and, with the
+// roles swapped, the woman-optimal Mz) that seeds those enumerations.
+
+#include "stable/instance.hpp"
+
+namespace ncpm::stable {
+
+/// Man-proposing deferred acceptance: the man-optimal stable matching M0.
+MarriageMatching man_optimal(const StableInstance& inst);
+
+/// Woman-proposing: the woman-optimal stable matching Mz.
+MarriageMatching woman_optimal(const StableInstance& inst);
+
+}  // namespace ncpm::stable

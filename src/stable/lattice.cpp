@@ -1,0 +1,56 @@
+#include "stable/lattice.hpp"
+
+#include <set>
+#include <stdexcept>
+
+#include "stable/gale_shapley.hpp"
+#include "stable/rotations.hpp"
+
+namespace ncpm::stable {
+
+bool dominates(const StableInstance& inst, const MarriageMatching& m,
+               const MarriageMatching& m2) {
+  for (std::int32_t man = 0; man < inst.size(); ++man) {
+    const std::int32_t w1 = m.wife_of[static_cast<std::size_t>(man)];
+    const std::int32_t w2 = m2.wife_of[static_cast<std::size_t>(man)];
+    if (inst.man_rank_of(man, w1) > inst.man_rank_of(man, w2)) return false;
+  }
+  return true;
+}
+
+bool strictly_dominates(const StableInstance& inst, const MarriageMatching& m,
+                        const MarriageMatching& m2) {
+  return !(m == m2) && dominates(inst, m, m2);
+}
+
+std::vector<MarriageMatching> all_stable_matchings(const StableInstance& inst, std::size_t cap) {
+  std::vector<MarriageMatching> result;
+  std::set<std::vector<std::int32_t>> seen;
+  std::vector<MarriageMatching> frontier{man_optimal(inst)};
+  seen.insert(frontier.front().wife_of);
+  while (!frontier.empty()) {
+    const MarriageMatching cur = frontier.back();
+    frontier.pop_back();
+    result.push_back(cur);
+    if (result.size() > cap) {
+      throw std::runtime_error("all_stable_matchings: cap exceeded");
+    }
+    for (const auto& rho : exposed_rotations_sequential(inst, cur)) {
+      MarriageMatching next = eliminate_rotation(cur, rho);
+      if (seen.insert(next.wife_of).second) frontier.push_back(std::move(next));
+    }
+  }
+  return result;
+}
+
+bool immediately_dominates(const StableInstance& inst, const MarriageMatching& m,
+                           const MarriageMatching& m2,
+                           const std::vector<MarriageMatching>& all) {
+  if (!strictly_dominates(inst, m, m2)) return false;
+  for (const auto& mid : all) {
+    if (strictly_dominates(inst, m, mid) && strictly_dominates(inst, mid, m2)) return false;
+  }
+  return true;
+}
+
+}  // namespace ncpm::stable

@@ -1,0 +1,33 @@
+#pragma once
+// The stable-matching lattice (Section VI preliminaries): dominance order,
+// exhaustive enumeration, and lattice-walk helpers used to validate
+// Algorithm 4 (Lemma 15: M \ ρ is *immediately* dominated by M).
+
+#include <cstddef>
+#include <vector>
+
+#include "stable/instance.hpp"
+
+namespace ncpm::stable {
+
+/// M dominates M' (M ⪯ M'): every man weakly prefers M to M'.
+bool dominates(const StableInstance& inst, const MarriageMatching& m, const MarriageMatching& m2);
+
+/// Strict dominance: dominates and different.
+bool strictly_dominates(const StableInstance& inst, const MarriageMatching& m,
+                        const MarriageMatching& m2);
+
+/// Every stable matching, enumerated by repeated rotation elimination from
+/// the man-optimal matching (deduplicated). Exponential in general; `cap`
+/// bounds the traversal (throws std::runtime_error when exceeded).
+std::vector<MarriageMatching> all_stable_matchings(const StableInstance& inst,
+                                                   std::size_t cap = 100000);
+
+/// True iff m2 is an *immediate* successor of m in the lattice: m strictly
+/// dominates m2 with no stable matching strictly in between. Uses `all`
+/// (a precomputed all_stable_matchings result).
+bool immediately_dominates(const StableInstance& inst, const MarriageMatching& m,
+                           const MarriageMatching& m2,
+                           const std::vector<MarriageMatching>& all);
+
+}  // namespace ncpm::stable

@@ -1,0 +1,111 @@
+#include "stable/next_stable.hpp"
+
+#include <stdexcept>
+
+#include "graph/pseudoforest.hpp"
+#include "pram/parallel.hpp"
+#include "pram/scan.hpp"
+
+namespace ncpm::stable {
+
+NextStableResult next_stable_matchings(const StableInstance& inst, const MarriageMatching& m,
+                                       pram::NcCounters* counters) {
+  const auto n = static_cast<std::size_t>(inst.size());
+  NextStableResult result;
+  if (n == 0) {
+    result.is_woman_optimal = true;
+    return result;
+  }
+
+  // 1. Soft-delete, in parallel over all n^2 entries of mp: keep (m', w) iff
+  // w weakly prefers m' to her partner.
+  std::vector<std::int64_t> keep(n * n);
+  pram::parallel_for(n * n, [&](std::size_t i) {
+    const auto man = static_cast<std::int32_t>(i / n);
+    const auto slot = static_cast<std::int32_t>(i % n);
+    const std::int32_t w = inst.man_pref(man, slot);
+    const std::int32_t partner = m.husband_of[static_cast<std::size_t>(w)];
+    keep[i] =
+        (inst.woman_rank_of(w, man) <= inst.woman_rank_of(w, partner)) ? 1 : 0;
+  });
+  pram::add_round(counters, n * n);
+
+  // Compress with one global prefix sum: an entry's position inside its
+  // man's reduced list is its global scan value minus the row-start value.
+  std::vector<std::int64_t> pos(n * n);
+  pram::exclusive_scan<std::int64_t>(keep, pos, counters);
+  std::vector<std::int32_t> reduced(n * n, kNone);
+  std::vector<std::int64_t> reduced_len(n);
+  pram::parallel_for(n * n, [&](std::size_t i) {
+    if (keep[i] == 0) return;
+    const std::size_t man = i / n;
+    const auto within = static_cast<std::size_t>(pos[i] - pos[man * n]);
+    reduced[man * n + within] = inst.man_pref(static_cast<std::int32_t>(man),
+                                              static_cast<std::int32_t>(i % n));
+  });
+  pram::add_round(counters, n * n);
+  pram::parallel_for(n, [&](std::size_t man) {
+    const std::size_t row_end_exclusive = (man + 1) * n - 1;
+    reduced_len[man] = pos[row_end_exclusive] - pos[man * n] + keep[row_end_exclusive];
+  });
+  pram::add_round(counters, n);
+
+  // Sanity: for a stable M the first reduced entry of every man is p_M(m)
+  // (anything above his partner that kept him would be a blocking pair).
+  const bool unstable = pram::parallel_any(n, [&](std::size_t man) {
+    return reduced_len[man] < 1 || reduced[man * n] != m.wife_of[man];
+  });
+  if (unstable) {
+    throw std::invalid_argument("next_stable_matchings: matching is not stable");
+  }
+
+  // 2. H_M: s_M(m) is the second reduced entry; next(m) = p_M(s_M(m)).
+  graph::DirectedPseudoforest hm;
+  hm.next.assign(n, pram::kNone);
+  pram::parallel_for(n, [&](std::size_t man) {
+    if (reduced_len[man] >= 2) {
+      const std::int32_t s = reduced[man * n + 1];
+      hm.next[man] = m.husband_of[static_cast<std::size_t>(s)];
+    }
+  });
+  pram::add_round(counters, n);
+
+  // Reproduction note: Lemma 17 of the paper states that every vertex of
+  // H_M has out-degree exactly one, i.e. that {m : s_M(m) exists} is closed
+  // under next_M. Its proof implicitly restricts the vertex set to D, the
+  // men whose partners differ between M and Mz — which the algorithm cannot
+  // compute without Mz. On the Mz-free vertex set used here (all men with
+  // s_M defined) the closure claim fails: at the woman-optimal matching
+  // itself, s_M(m) can exist while next_M(m) has no s_M (verified by the
+  // property tests). H_M is therefore a directed *pseudoforest* with sinks,
+  // not a functional graph — which changes nothing downstream, because its
+  // cycles are still exactly the rotations exposed in M (every cycle
+  // satisfies Definition 7 verbatim, and every exposed rotation closes a
+  // cycle), and the Section IV-A toolkit handles sinks natively.
+
+  // 3. The cycles of H_M are the exposed rotations.
+  const auto analysis = graph::analyze_cycles(hm, graph::CycleMethod::PointerDoubling, counters);
+  for (const auto& cycle : analysis.cycles) {
+    if (cycle.size() < 2) {
+      throw std::logic_error("next_stable_matchings: H_M contains a self-loop");
+    }
+    Rotation rho;
+    rho.pairs.reserve(cycle.size());
+    for (const auto man : cycle) {
+      rho.pairs.emplace_back(man, m.wife_of[static_cast<std::size_t>(man)]);
+    }
+    result.rotations.push_back(rho.canonical());
+  }
+
+  // Eliminations are vertex-disjoint; each is one parallel step.
+  result.successors.reserve(result.rotations.size());
+  for (const auto& rho : result.rotations) {
+    result.successors.push_back(eliminate_rotation(m, rho));
+    pram::add_round(counters, rho.pairs.size());
+  }
+
+  result.is_woman_optimal = result.rotations.empty();
+  return result;
+}
+
+}  // namespace ncpm::stable

@@ -1,0 +1,85 @@
+// Instance model: validation, rank lookups, preference comparisons, ties,
+// last resorts and the no-last-resort mode of Theorem 11.
+
+#include "core/instance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ncpm::core {
+namespace {
+
+TEST(Instance, StrictBasics) {
+  const auto inst = Instance::strict(4, {{2, 0}, {1}});
+  EXPECT_EQ(inst.num_applicants(), 2);
+  EXPECT_EQ(inst.num_posts(), 4);
+  EXPECT_TRUE(inst.strict_prefs());
+  EXPECT_TRUE(inst.has_last_resorts());
+  EXPECT_EQ(inst.total_posts(), 6);
+  EXPECT_EQ(inst.last_resort(0), 4);
+  EXPECT_EQ(inst.last_resort(1), 5);
+  EXPECT_EQ(inst.list_length(0), 2u);
+  EXPECT_EQ(inst.num_ranks(0), 2);
+  EXPECT_EQ(inst.max_ranks(), 2);
+}
+
+TEST(Instance, RankLookups) {
+  const auto inst = Instance::strict(4, {{2, 0, 3}});
+  EXPECT_EQ(inst.rank_of(0, 2), 1);
+  EXPECT_EQ(inst.rank_of(0, 0), 2);
+  EXPECT_EQ(inst.rank_of(0, 3), 3);
+  EXPECT_EQ(inst.rank_of(0, 1), kNoRank);          // unacceptable
+  EXPECT_EQ(inst.rank_of(0, inst.last_resort(0)), 4);  // list length + 1
+  EXPECT_EQ(inst.rank_of(0, kNone), kNoRank);
+}
+
+TEST(Instance, PrefersIncludingUnmatched) {
+  const auto inst = Instance::strict(3, {{1, 0}});
+  EXPECT_TRUE(inst.prefers(0, 1, 0));
+  EXPECT_FALSE(inst.prefers(0, 0, 1));
+  EXPECT_FALSE(inst.prefers(0, 1, 1));
+  EXPECT_TRUE(inst.prefers(0, 0, inst.last_resort(0)));
+  EXPECT_TRUE(inst.prefers(0, inst.last_resort(0), kNone));  // matched beats unmatched
+}
+
+TEST(Instance, TiesShareRanks) {
+  const auto inst = Instance::with_ties(5, {{{3}, {1, 2}, {0}}});
+  EXPECT_FALSE(inst.strict_prefs());
+  EXPECT_EQ(inst.rank_of(0, 3), 1);
+  EXPECT_EQ(inst.rank_of(0, 1), 2);
+  EXPECT_EQ(inst.rank_of(0, 2), 2);
+  EXPECT_EQ(inst.rank_of(0, 0), 3);
+  EXPECT_FALSE(inst.prefers(0, 1, 2));  // indifferent
+  EXPECT_FALSE(inst.prefers(0, 2, 1));
+  EXPECT_EQ(inst.num_ranks(0), 3);
+}
+
+TEST(Instance, NoLastResortMode) {
+  const auto inst = Instance::with_ties(3, {{{0, 1}}, {}}, /*with_last_resorts=*/false);
+  EXPECT_FALSE(inst.has_last_resorts());
+  EXPECT_EQ(inst.total_posts(), 3);
+  EXPECT_THROW(inst.last_resort(0), std::logic_error);
+  EXPECT_EQ(inst.list_length(1), 0u);  // empty lists allowed here
+}
+
+TEST(Instance, ValidationErrors) {
+  EXPECT_THROW(Instance::strict(2, {{0, 0}}), std::invalid_argument);   // duplicate post
+  EXPECT_THROW(Instance::strict(2, {{5}}), std::out_of_range);          // post out of range
+  EXPECT_THROW(Instance::strict(2, {{}}), std::invalid_argument);       // empty list w/ last resorts
+  EXPECT_THROW(Instance::with_ties(2, {{{}}}), std::invalid_argument);  // empty tie group
+  EXPECT_THROW(Instance::strict(-1, {}), std::invalid_argument);        // negative posts
+}
+
+TEST(Instance, OtherApplicantsLastResortIsUnacceptable) {
+  const auto inst = Instance::strict(2, {{0}, {1}});
+  EXPECT_EQ(inst.rank_of(0, inst.last_resort(1)), kNoRank);
+  EXPECT_EQ(inst.rank_of(1, inst.last_resort(0)), kNoRank);
+}
+
+TEST(Instance, ApplicantOutOfRangeThrows) {
+  const auto inst = Instance::strict(2, {{0}});
+  EXPECT_THROW(inst.rank_of(5, 0), std::out_of_range);
+  EXPECT_THROW(inst.last_resort(-1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ncpm::core

@@ -1,0 +1,95 @@
+// Text round-trips for instances, stable instances and matchings, plus
+// malformed-input rejection.
+
+#include "gen/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.hpp"
+#include "gen/stable_generators.hpp"
+#include "test_util.hpp"
+
+namespace ncpm::io {
+namespace {
+
+void expect_same_instance(const core::Instance& a, const core::Instance& b) {
+  ASSERT_EQ(a.num_applicants(), b.num_applicants());
+  ASSERT_EQ(a.num_posts(), b.num_posts());
+  ASSERT_EQ(a.has_last_resorts(), b.has_last_resorts());
+  for (std::int32_t x = 0; x < a.num_applicants(); ++x) {
+    const auto pa = a.posts_of(x);
+    const auto pb = b.posts_of(x);
+    ASSERT_EQ(std::vector<std::int32_t>(pa.begin(), pa.end()),
+              std::vector<std::int32_t>(pb.begin(), pb.end()));
+    const auto ra = a.ranks_of(x);
+    const auto rb = b.ranks_of(x);
+    ASSERT_EQ(std::vector<std::int32_t>(ra.begin(), ra.end()),
+              std::vector<std::int32_t>(rb.begin(), rb.end()));
+  }
+}
+
+TEST(Io, InstanceRoundTripStrict) {
+  const auto inst = ncpm::test::fig1_instance();
+  expect_same_instance(inst, read_instance(write_instance(inst)));
+}
+
+TEST(Io, InstanceRoundTripTies) {
+  gen::TiesConfig cfg;
+  cfg.num_applicants = 12;
+  cfg.num_posts = 9;
+  cfg.tie_prob = 0.6;
+  cfg.seed = 5;
+  const auto inst = gen::random_ties_instance(cfg);
+  expect_same_instance(inst, read_instance(write_instance(inst)));
+}
+
+TEST(Io, InstanceRoundTripNoLastResorts) {
+  const auto g = gen::random_bipartite(6, 5, 2.0, 3);
+  std::vector<std::vector<std::vector<std::int32_t>>> groups(6);
+  for (std::int32_t l = 0; l < 6; ++l) {
+    std::vector<std::int32_t> tier;
+    for (const auto e : g.left_incident(l)) tier.push_back(g.edge_right(static_cast<std::size_t>(e)));
+    if (!tier.empty()) groups[static_cast<std::size_t>(l)].push_back(tier);
+  }
+  const auto inst = core::Instance::with_ties(5, groups, false);
+  expect_same_instance(inst, read_instance(write_instance(inst)));
+}
+
+TEST(Io, StableInstanceRoundTrip) {
+  const auto inst = ncpm::test::fig5_instance();
+  const auto back = read_stable_instance(write_stable_instance(inst));
+  ASSERT_EQ(back.size(), inst.size());
+  for (std::int32_t m = 0; m < inst.size(); ++m) {
+    for (std::int32_t i = 0; i < inst.size(); ++i) {
+      EXPECT_EQ(back.man_pref(m, i), inst.man_pref(m, i));
+      EXPECT_EQ(back.woman_pref(m, i), inst.woman_pref(m, i));
+    }
+  }
+}
+
+TEST(Io, MatchingRoundTrip) {
+  matching::Matching m(4, 6);
+  m.match(0, 5);
+  m.match(2, 1);
+  const auto back = read_matching(write_matching(m), 4, 6);
+  EXPECT_TRUE(back == m);
+}
+
+TEST(Io, MalformedHeaderRejected) {
+  EXPECT_THROW(read_instance("bogus v1\n"), std::runtime_error);
+  EXPECT_THROW(read_stable_instance("ncpm-stable v2\n"), std::runtime_error);
+  EXPECT_THROW(read_matching("ncpm-instance v1\n", 2, 2), std::runtime_error);
+}
+
+TEST(Io, TruncatedInstanceRejected) {
+  EXPECT_THROW(read_instance("ncpm-instance v1\napplicants 2 posts 2 last_resorts 1\n0: 0\n"),
+               std::runtime_error);
+}
+
+TEST(Io, BadPostIdRejectedByInstanceValidation) {
+  EXPECT_THROW(read_instance("ncpm-instance v1\napplicants 1 posts 2 last_resorts 1\n0: 7\n"),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ncpm::io

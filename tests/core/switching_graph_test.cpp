@@ -1,0 +1,176 @@
+// The switching graph G_M (Section IV): Lemma 4's structure, Figure 4 of
+// the paper, margins, and switch application.
+
+#include "core/switching_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/popular_matching.hpp"
+#include "core/reduced_graph.hpp"
+#include "core/verify.hpp"
+#include "gen/generators.hpp"
+#include "test_util.hpp"
+
+namespace ncpm::core {
+namespace {
+
+/// The paper's stated matching for instance I, as a Matching object.
+matching::Matching paper_matching(const Instance& inst) {
+  matching::Matching m(inst.num_applicants(), inst.total_posts());
+  const auto posts = ncpm::test::fig1_paper_matching();
+  for (std::size_t a = 0; a < posts.size(); ++a) {
+    m.match(static_cast<std::int32_t>(a), posts[a]);
+  }
+  return m;
+}
+
+TEST(SwitchingGraph, Figure4Structure) {
+  const auto inst = ncpm::test::fig1_instance();
+  const auto rg = build_reduced_graph(inst);
+  const SwitchingEngine engine(inst, rg, paper_matching(inst));
+
+  // Edges of Figure 4 (source post -> target post, labelled by applicant):
+  // p1->p2 (a1), p2->p4 (a2), p4->p3 (a3), p3->p1 (a4), p5->p2 (a5),
+  // p7->p6 (a6), p8->p7 (a7), p9->p7 (a8).
+  const auto& pf = engine.pseudoforest();
+  EXPECT_EQ(pf.next[0], 1);
+  EXPECT_EQ(pf.next[1], 3);
+  EXPECT_EQ(pf.next[3], 2);
+  EXPECT_EQ(pf.next[2], 0);
+  EXPECT_EQ(pf.next[4], 1);
+  EXPECT_EQ(pf.next[6], 5);
+  EXPECT_EQ(pf.next[7], 6);
+  EXPECT_EQ(pf.next[8], 6);
+  EXPECT_EQ(engine.out_applicant()[0], 0);
+  EXPECT_EQ(engine.out_applicant()[8], 7);
+
+  // One switching cycle: p1 -> p2 -> p4 -> p3 -> p1.
+  const auto& analysis = engine.analysis();
+  EXPECT_TRUE(analysis.on_cycle[0]);
+  EXPECT_TRUE(analysis.on_cycle[1]);
+  EXPECT_TRUE(analysis.on_cycle[3]);
+  EXPECT_TRUE(analysis.on_cycle[2]);
+  EXPECT_FALSE(analysis.on_cycle[4]);  // p5 hangs off the cycle component
+  EXPECT_EQ(analysis.cycle_length[0], 4);
+
+  // Tree component {p6, p7, p8, p9}: sink p6 (unmatched s-post), switching
+  // paths start from the s-post vertices p8 and p9 (Lemma 4 + Fig. 4).
+  EXPECT_TRUE(pf.is_sink(5));
+  const auto label = analysis.component[5];
+  EXPECT_EQ(analysis.component[6], label);
+  EXPECT_EQ(analysis.component[7], label);
+  EXPECT_EQ(analysis.component[8], label);
+  EXPECT_FALSE(engine.component_has_cycle(label));
+  EXPECT_EQ(engine.path_starts_of_component(label), (std::vector<std::int32_t>{7, 8}));
+}
+
+TEST(SwitchingGraph, Lemma4PropertiesOnRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    gen::SolvableConfig cfg;
+    cfg.num_applicants = 80;
+    cfg.num_posts = 140;
+    cfg.all_f_fraction = 0.2;
+    cfg.contention = 2.0;
+    cfg.seed = seed;
+    const auto inst = gen::solvable_strict_instance(cfg);
+    const auto rg = build_reduced_graph(inst);
+    const auto m = find_popular_matching(inst);
+    ASSERT_TRUE(m.has_value());
+    const SwitchingEngine engine(inst, rg, *m);
+    const auto& pf = engine.pseudoforest();
+    const auto out = engine.out_applicant();
+    for (std::int32_t p = 0; p < inst.total_posts(); ++p) {
+      const auto pi = static_cast<std::size_t>(p);
+      // (i) out-degree <= 1 by representation; edge labels are consistent.
+      if (pf.next[pi] != pram::kNone) {
+        ASSERT_NE(out[pi], kNone);
+        EXPECT_EQ(m->right_of(out[pi]), p) << "edge source must be M(a)";
+      }
+      // (ii) a G_M vertex with no out-edge is an unmatched s-post.
+      if (out[pi] == kNone && engine.is_s_post_vertex()[pi] != 0 && m->right_matched(p)) {
+        // matched s-posts must carry an out-edge
+        ADD_FAILURE() << "matched s-post " << p << " has no out-edge";
+      }
+    }
+  }
+}
+
+TEST(SwitchingGraph, MarginsOfPaperInstanceAreNonPositive) {
+  // All applicants of instance I sit on real posts in the stated matching,
+  // so every switch has margin 0 under the Definition 4 values and
+  // Algorithm 3 must change nothing.
+  const auto inst = ncpm::test::fig1_instance();
+  const auto rg = build_reduced_graph(inst);
+  const SwitchingEngine engine(inst, rg, paper_matching(inst));
+  std::vector<std::int64_t> value(static_cast<std::size_t>(inst.total_posts()));
+  for (std::int32_t p = 0; p < inst.total_posts(); ++p) {
+    value[static_cast<std::size_t>(p)] = inst.is_last_resort(p) ? 0 : 1;
+  }
+  const auto report = engine.margins(value);
+  const auto choices = engine.best_choices(report);
+  EXPECT_TRUE(choices.empty());
+}
+
+TEST(SwitchingGraph, ApplyCycleSwitchesEveryCycleApplicant) {
+  const auto inst = ncpm::test::fig1_instance();
+  const auto rg = build_reduced_graph(inst);
+  const auto m = paper_matching(inst);
+  const SwitchingEngine engine(inst, rg, m);
+  // Apply the unique switching cycle (root = p1 = 0).
+  const auto result = engine.apply(std::vector<SwitchingEngine::Choice>{{0, true}});
+  EXPECT_TRUE(satisfies_popular_characterization(inst, rg, result));
+  // a1..a4 switched, a5..a8 untouched.
+  EXPECT_EQ(result.right_of(0), 1);  // a1: p1 -> p2
+  EXPECT_EQ(result.right_of(1), 3);  // a2: p2 -> p4
+  EXPECT_EQ(result.right_of(2), 2);  // a3: p4 -> p3
+  EXPECT_EQ(result.right_of(3), 0);  // a4: p3 -> p1
+  EXPECT_EQ(result.right_of(4), 4);
+  EXPECT_EQ(result.right_of(7), 8);
+}
+
+TEST(SwitchingGraph, ApplyPathMovesPrefixToSink) {
+  const auto inst = ncpm::test::fig1_instance();
+  const auto rg = build_reduced_graph(inst);
+  const auto m = paper_matching(inst);
+  const SwitchingEngine engine(inst, rg, m);
+  // Switching path from p9 (= 8): a8 moves p9 -> p7, a6 moves p7 -> p6;
+  // a7 (on the p8 branch) must not move.
+  const auto result = engine.apply(std::vector<SwitchingEngine::Choice>{{8, false}});
+  EXPECT_TRUE(satisfies_popular_characterization(inst, rg, result));
+  EXPECT_EQ(result.right_of(7), 6);  // a8 -> p7
+  EXPECT_EQ(result.right_of(5), 5);  // a6 -> p6
+  EXPECT_EQ(result.right_of(6), 7);  // a7 stays on p8
+  EXPECT_FALSE(result.right_matched(8));  // p9 released
+}
+
+TEST(SwitchingGraph, ApplyRejectsBadChoices) {
+  const auto inst = ncpm::test::fig1_instance();
+  const auto rg = build_reduced_graph(inst);
+  const SwitchingEngine engine(inst, rg, paper_matching(inst));
+  // p5 (= 4) is an f-post... no: p5 is an f-post vertex, not an s-post, so
+  // it cannot start a switching path.
+  EXPECT_THROW(engine.apply(std::vector<SwitchingEngine::Choice>{{4, false}}),
+               std::invalid_argument);
+  // p6 is the sink: no out-edge, not a valid start either.
+  EXPECT_THROW(engine.apply(std::vector<SwitchingEngine::Choice>{{5, false}}),
+               std::invalid_argument);
+  // p2 is on the cycle but is not its root (p1 = 0 is).
+  EXPECT_THROW(engine.apply(std::vector<SwitchingEngine::Choice>{{1, true}}),
+               std::invalid_argument);
+  // Two switches in one component.
+  EXPECT_THROW(engine.apply(std::vector<SwitchingEngine::Choice>{{7, false}, {8, false}}),
+               std::invalid_argument);
+}
+
+TEST(SwitchingGraph, MatchingOutsideReducedGraphRejected) {
+  const auto inst = ncpm::test::fig1_instance();
+  const auto rg = build_reduced_graph(inst);
+  matching::Matching bad(inst.num_applicants(), inst.total_posts());
+  // a1 to p6 (rank: not on a1's reduced list).
+  bad.match(0, 5);
+  for (std::int32_t a = 1; a < 8; ++a) bad.match(a, ncpm::test::fig1_paper_matching()[static_cast<std::size_t>(a)]);
+  EXPECT_THROW(SwitchingEngine(inst, rg, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ncpm::core

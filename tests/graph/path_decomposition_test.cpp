@@ -1,0 +1,110 @@
+// Half-edge maximal-path machinery: successor chains, rankings and degree
+// bookkeeping on paths, stars and cycles with alive masks.
+
+#include "graph/path_decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ncpm::graph {
+namespace {
+
+TEST(HalfEdge, SourceTargetRevEdge) {
+  // Edge 0 = {0, 1}, edge 1 = {1, 2}.
+  const std::vector<std::int32_t> eu{0, 1};
+  const std::vector<std::int32_t> ev{1, 2};
+  const std::vector<std::uint8_t> alive{1, 1};
+  const HalfEdgeStructure s(3, eu, ev, alive);
+  EXPECT_EQ(s.source(0), 0);
+  EXPECT_EQ(s.target(0), 1);
+  EXPECT_EQ(s.source(1), 1);
+  EXPECT_EQ(s.target(1), 0);
+  EXPECT_EQ(HalfEdgeStructure::rev(0), 1);
+  EXPECT_EQ(HalfEdgeStructure::edge_of(3), 1);
+  EXPECT_EQ(s.out_of(1, 1), 2);
+  EXPECT_EQ(s.out_of(2, 1), 3);
+}
+
+TEST(HalfEdge, PathChainsThroughDegreeTwoVertices) {
+  // Path 0 - 1 - 2 - 3: vertices 1, 2 have degree 2.
+  const std::vector<std::int32_t> eu{0, 1, 2};
+  const std::vector<std::int32_t> ev{1, 2, 3};
+  const std::vector<std::uint8_t> alive{1, 1, 1};
+  const HalfEdgeStructure s(4, eu, ev, alive);
+  // The rightward traversal 0->1->2->3: half-edges 0, 2, 4.
+  EXPECT_EQ(s.succ()[0], 2);
+  EXPECT_EQ(s.succ()[2], 4);
+  EXPECT_EQ(s.succ()[4], 4);  // target 3 has degree 1: terminal
+  EXPECT_EQ(s.ranking().rank[0], 2);
+  EXPECT_EQ(s.ranking().head[0], 4);
+  EXPECT_TRUE(s.ranking().reaches_terminal[0]);
+  // The leftward traversal from 3: half-edges 5, 3, 1.
+  EXPECT_EQ(s.succ()[5], 3);
+  EXPECT_EQ(s.succ()[3], 1);
+  EXPECT_EQ(s.ranking().rank[5], 2);
+}
+
+TEST(HalfEdge, StarStopsAtCenter) {
+  // Star: center 0 with leaves 1, 2, 3 (degree 3).
+  const std::vector<std::int32_t> eu{0, 0, 0};
+  const std::vector<std::int32_t> ev{1, 2, 3};
+  const std::vector<std::uint8_t> alive{1, 1, 1};
+  const HalfEdgeStructure s(4, eu, ev, alive);
+  EXPECT_EQ(s.degree(0), 3);
+  // Every traversal into the center terminates (degree != 2).
+  EXPECT_EQ(s.succ()[1], 1);  // 1 -> 0, stop
+  EXPECT_EQ(s.succ()[0], 0);  // 0 -> 1, leaf degree 1, stop
+}
+
+TEST(HalfEdge, CycleNeverTerminates) {
+  // Triangle 0-1-2.
+  const std::vector<std::int32_t> eu{0, 1, 2};
+  const std::vector<std::int32_t> ev{1, 2, 0};
+  const std::vector<std::uint8_t> alive{1, 1, 1};
+  const HalfEdgeStructure s(3, eu, ev, alive);
+  for (std::size_t h = 0; h < 6; ++h) {
+    EXPECT_FALSE(s.ranking().reaches_terminal[h]) << "half-edge " << h;
+  }
+}
+
+TEST(HalfEdge, DeadEdgesExcludedFromDegrees) {
+  const std::vector<std::int32_t> eu{0, 1, 2};
+  const std::vector<std::int32_t> ev{1, 2, 3};
+  const std::vector<std::uint8_t> alive{1, 0, 1};
+  const HalfEdgeStructure s(4, eu, ev, alive);
+  EXPECT_EQ(s.degree(1), 1);
+  EXPECT_EQ(s.degree(2), 1);
+  EXPECT_FALSE(s.edge_alive(1));
+  // With edge 1 dead, traversal 0->1 terminates at 1.
+  EXPECT_EQ(s.succ()[0], 0);
+}
+
+TEST(HalfEdge, SelfLoopRejected) {
+  const std::vector<std::int32_t> eu{0};
+  const std::vector<std::int32_t> ev{0};
+  const std::vector<std::uint8_t> alive{1};
+  EXPECT_THROW(HalfEdgeStructure(1, eu, ev, alive), std::invalid_argument);
+}
+
+TEST(HalfEdge, OutOfRangeRejected) {
+  const std::vector<std::int32_t> eu{0};
+  const std::vector<std::int32_t> ev{7};
+  const std::vector<std::uint8_t> alive{1};
+  EXPECT_THROW(HalfEdgeStructure(2, eu, ev, alive), std::invalid_argument);
+}
+
+TEST(HalfEdge, IncidentListsMatchDegrees) {
+  const std::vector<std::int32_t> eu{0, 0, 1};
+  const std::vector<std::int32_t> ev{1, 2, 2};
+  const std::vector<std::uint8_t> alive{1, 1, 1};
+  const HalfEdgeStructure s(3, eu, ev, alive);
+  for (std::int32_t v = 0; v < 3; ++v) {
+    EXPECT_EQ(static_cast<std::int64_t>(s.incident(v).size()), s.degree(v));
+  }
+  // Vertex 0's incident edges are 0 and 1 in some order.
+  const auto inc = s.incident(0);
+  EXPECT_EQ(std::min(inc[0], inc[1]), 0);
+  EXPECT_EQ(std::max(inc[0], inc[1]), 1);
+}
+
+}  // namespace
+}  // namespace ncpm::graph

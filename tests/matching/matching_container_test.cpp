@@ -1,0 +1,122 @@
+// Matching container invariants and the Mendelsohn–Dulmage combination
+// property (the load-bearing piece of the ties algorithm).
+
+#include "matching/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace ncpm::matching {
+namespace {
+
+TEST(Matching, MatchUnmatchMaintainsBothSides) {
+  Matching m(3, 4);
+  m.match(0, 2);
+  EXPECT_EQ(m.right_of(0), 2);
+  EXPECT_EQ(m.left_of(2), 0);
+  EXPECT_EQ(m.size(), 1u);
+  m.unmatch_left(0);
+  EXPECT_FALSE(m.left_matched(0));
+  EXPECT_FALSE(m.right_matched(2));
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(Matching, DoubleMatchThrows) {
+  Matching m(2, 2);
+  m.match(0, 1);
+  EXPECT_THROW(m.match(0, 0), std::logic_error);
+  EXPECT_THROW(m.match(1, 1), std::logic_error);
+}
+
+TEST(Matching, RebuildDetectsSharedRight) {
+  Matching m(2, 2);
+  m.set_pair_unchecked(0, 1);
+  m.set_pair_unchecked(1, 1);
+  EXPECT_THROW(m.rebuild_inverse_and_size(), std::logic_error);
+}
+
+TEST(Matching, RebuildRecomputesInverse) {
+  Matching m(3, 3);
+  m.set_pair_unchecked(0, 2);
+  m.set_pair_unchecked(2, 0);
+  m.rebuild_inverse_and_size();
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.left_of(2), 0);
+  EXPECT_EQ(m.left_of(0), 2);
+  EXPECT_EQ(m.left_of(1), kNone);
+}
+
+Matching random_matching(std::mt19937_64& rng, std::int32_t nl, std::int32_t nr,
+                         double match_prob) {
+  Matching m(nl, nr);
+  std::vector<std::int32_t> rights(static_cast<std::size_t>(nr));
+  for (std::int32_t r = 0; r < nr; ++r) rights[static_cast<std::size_t>(r)] = r;
+  std::shuffle(rights.begin(), rights.end(), rng);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  std::size_t next = 0;
+  for (std::int32_t l = 0; l < nl && next < rights.size(); ++l) {
+    if (unif(rng) < match_prob) m.match(l, rights[next++]);
+  }
+  return m;
+}
+
+struct MdParam {
+  std::uint64_t seed;
+  std::int32_t nl, nr;
+  double pa, pb;
+};
+
+class MendelsohnDulmageRandom : public ::testing::TestWithParam<MdParam> {};
+
+TEST_P(MendelsohnDulmageRandom, CoversLeftOfAAndRightOfB) {
+  const auto [seed, nl, nr, pa, pb] = GetParam();
+  std::mt19937_64 rng(seed);
+  for (int round = 0; round < 50; ++round) {
+    const Matching ma = random_matching(rng, nl, nr, pa);
+    const Matching mb = random_matching(rng, nl, nr, pb);
+    const Matching md = mendelsohn_dulmage(ma, mb);
+    for (std::int32_t l = 0; l < nl; ++l) {
+      if (ma.left_matched(l)) {
+        EXPECT_TRUE(md.left_matched(l)) << "left " << l << " lost";
+      }
+      if (md.left_matched(l)) {
+        // Every edge comes from ma or mb.
+        const std::int32_t r = md.right_of(l);
+        EXPECT_TRUE(ma.right_of(l) == r || mb.right_of(l) == r)
+            << "edge (" << l << "," << r << ") invented";
+      }
+    }
+    for (std::int32_t r = 0; r < nr; ++r) {
+      if (mb.right_matched(r)) {
+        EXPECT_TRUE(md.right_matched(r)) << "right " << r << " lost";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MendelsohnDulmageRandom,
+                         ::testing::Values(MdParam{1, 6, 6, 0.7, 0.7},
+                                           MdParam{2, 10, 7, 0.5, 0.9},
+                                           MdParam{3, 7, 10, 0.9, 0.5},
+                                           MdParam{4, 12, 12, 1.0, 1.0},
+                                           MdParam{5, 15, 15, 0.3, 0.3},
+                                           MdParam{6, 1, 1, 1.0, 1.0}));
+
+TEST(MendelsohnDulmage, ShapeMismatchThrows) {
+  const Matching a(2, 2), b(3, 2);
+  EXPECT_THROW(mendelsohn_dulmage(a, b), std::invalid_argument);
+}
+
+TEST(MendelsohnDulmage, SharedPairsAlwaysKept) {
+  Matching a(2, 2), b(2, 2);
+  a.match(0, 0);
+  b.match(0, 0);
+  b.match(1, 1);
+  const auto md = mendelsohn_dulmage(a, b);
+  EXPECT_EQ(md.right_of(0), 0);
+  EXPECT_TRUE(md.right_matched(1));  // right 1 covered by b
+}
+
+}  // namespace
+}  // namespace ncpm::matching

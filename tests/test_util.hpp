@@ -1,0 +1,64 @@
+#pragma once
+// Shared fixtures: the two worked examples of the paper and small helpers.
+
+#include <vector>
+
+#include "core/instance.hpp"
+#include "stable/instance.hpp"
+
+namespace ncpm::test {
+
+/// Figure 1: the popular-matching instance I (8 applicants, 9 posts),
+/// 0-indexed (a1 -> 0, p1 -> 0).
+inline core::Instance fig1_instance() {
+  return core::Instance::strict(9, {
+                                       {0, 3, 4, 1, 5},     // a1: p1 p4 p5 p2 p6
+                                       {3, 4, 6, 1, 7},     // a2: p4 p5 p7 p2 p8
+                                       {3, 0, 2, 7},        // a3: p4 p1 p3 p8
+                                       {0, 6, 3, 2, 8},     // a4: p1 p7 p4 p3 p9
+                                       {4, 0, 6, 1, 5},     // a5: p5 p1 p7 p2 p6
+                                       {6, 5},              // a6: p7 p6
+                                       {6, 3, 7, 1},        // a7: p7 p4 p8 p2
+                                       {6, 3, 0, 4, 8, 2},  // a8: p7 p4 p1 p5 p9 p3
+                                   });
+}
+
+/// The popular matching of instance I stated in Section II (a_i -> p_j).
+inline std::vector<std::int32_t> fig1_paper_matching() {
+  // {(a1,p1),(a2,p2),(a3,p4),(a4,p3),(a5,p5),(a6,p7),(a7,p8),(a8,p9)}
+  return {0, 1, 3, 2, 4, 6, 7, 8};
+}
+
+/// Figure 5: the stable-marriage instance of size 8, 0-indexed.
+inline stable::StableInstance fig5_instance() {
+  std::vector<std::vector<std::int32_t>> men = {
+      {4, 6, 0, 1, 5, 7, 3, 2},  // m1: w5 w7 w1 w2 w6 w8 w4 w3
+      {1, 2, 6, 4, 3, 0, 7, 5},  // m2: w2 w3 w7 w5 w4 w1 w8 w6
+      {7, 4, 0, 3, 5, 1, 2, 6},  // m3: w8 w5 w1 w4 w6 w2 w3 w7
+      {2, 1, 6, 3, 0, 5, 7, 4},  // m4: w3 w2 w7 w4 w1 w6 w8 w5
+      {6, 1, 4, 0, 2, 5, 7, 3},  // m5: w7 w2 w5 w1 w3 w6 w8 w4
+      {0, 5, 6, 4, 7, 3, 1, 2},  // m6: w1 w6 w7 w5 w8 w4 w2 w3
+      {1, 4, 6, 5, 2, 3, 7, 0},  // m7: w2 w5 w7 w6 w3 w4 w8 w1
+      {2, 7, 3, 4, 6, 1, 5, 0},  // m8: w3 w8 w4 w5 w7 w2 w6 w1
+  };
+  std::vector<std::vector<std::int32_t>> women = {
+      {4, 2, 6, 5, 0, 1, 7, 3},  // w1: m5 m3 m7 m6 m1 m2 m8 m4
+      {7, 5, 2, 4, 6, 1, 0, 3},  // w2: m8 m6 m3 m5 m7 m2 m1 m4
+      {0, 4, 5, 1, 3, 7, 6, 2},  // w3: m1 m5 m6 m2 m4 m8 m7 m3
+      {7, 6, 2, 1, 3, 0, 4, 5},  // w4: m8 m7 m3 m2 m4 m1 m5 m6
+      {5, 3, 6, 2, 7, 0, 1, 4},  // w5: m6 m4 m7 m3 m8 m1 m2 m5
+      {1, 7, 4, 2, 3, 5, 6, 0},  // w6: m2 m8 m5 m3 m4 m6 m7 m1
+      {6, 4, 1, 0, 7, 5, 3, 2},  // w7: m7 m5 m2 m1 m8 m6 m4 m3
+      {6, 3, 0, 4, 1, 2, 5, 7},  // w8: m7 m4 m1 m5 m2 m3 m6 m8
+  };
+  return stable::StableInstance::from_lists(std::move(men), std::move(women));
+}
+
+/// The stable matching M underlined in Figure 5 (derived in Section VI-C's
+/// reduced lists, Figure 6: the first reduced entry of each man).
+/// m1-w8, m2-w3, m3-w5, m4-w6, m5-w7, m6-w1, m7-w2, m8-w4.
+inline stable::MarriageMatching fig5_matching() {
+  return stable::MarriageMatching::from_wife_of({7, 2, 4, 5, 6, 0, 1, 3});
+}
+
+}  // namespace ncpm::test
