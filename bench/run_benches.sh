@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Run every Google Benchmark binary and write BENCH_<name>.json next to the
+# results of previous runs, seeding the perf-trajectory files.
+#
+#   bench/run_benches.sh [build-dir] [output-dir] [extra benchmark args...]
+#
+# Defaults: build-dir = build, output-dir = bench/results.
+set -euo pipefail
+
+build_dir="${1:-build}"
+out_dir="${2:-bench/results}"
+shift $(( $# > 2 ? 2 : $# )) || true
+
+if [[ ! -d "${build_dir}/bench" ]]; then
+  echo "error: ${build_dir}/bench not found — build first:" >&2
+  echo "  cmake -B ${build_dir} -S . && cmake --build ${build_dir} -j" >&2
+  exit 1
+fi
+
+mkdir -p "${out_dir}"
+
+found=0
+for bin in "${build_dir}"/bench/bench_*; do
+  [[ -f "${bin}" && -x "${bin}" ]] || continue
+  found=1
+  name="$(basename "${bin}")"
+  out="${out_dir}/BENCH_${name#bench_}.json"
+  echo "== ${name} -> ${out}"
+  "${bin}" --benchmark_format=json --benchmark_out="${out}" \
+           --benchmark_out_format=json "$@"
+done
+
+if [[ "${found}" -eq 0 ]]; then
+  echo "error: no bench_* binaries under ${build_dir}/bench" >&2
+  exit 1
+fi

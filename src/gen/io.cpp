@@ -23,6 +23,41 @@ std::int64_t read_int(std::istream& in, const char* context) {
   return value;
 }
 
+// Format bound, far above any plausible text file: rejects absurd headers
+// ("applicants 2147483647") before they drive multi-gigabyte allocations.
+constexpr std::int64_t kMaxCount = 10'000'000;
+
+std::int32_t read_count(std::istream& in, const char* context) {
+  const auto value = read_int(in, context);
+  if (value < 0 || value > kMaxCount) {
+    throw std::runtime_error(std::string("io: count out of range while reading ") + context);
+  }
+  return static_cast<std::int32_t>(value);
+}
+
+// The formats describe exactly one document; leftover non-whitespace content
+// means a header/body mismatch and must not be silently dropped.
+void expect_eof(std::istream& in, const char* context) {
+  in >> std::ws;
+  if (in.peek() != std::istream::traits_type::eof()) {
+    throw std::runtime_error(std::string("io: trailing content after ") + context);
+  }
+}
+
+std::int32_t parse_post_id(const std::string& tok) {
+  std::size_t consumed = 0;
+  long value = 0;
+  try {
+    value = std::stol(tok, &consumed);
+  } catch (const std::exception&) {
+    throw std::runtime_error("io: bad post id '" + tok + "'");
+  }
+  if (consumed != tok.size() || value < 0 || value > INT32_MAX) {
+    throw std::runtime_error("io: bad post id '" + tok + "'");
+  }
+  return static_cast<std::int32_t>(value);
+}
+
 }  // namespace
 
 std::string write_instance(const core::Instance& inst) {
@@ -55,9 +90,9 @@ core::Instance read_instance(std::istream& in) {
   expect(in, "ncpm-instance", "instance header");
   expect(in, "v1", "instance header");
   expect(in, "applicants", "instance header");
-  const auto n_a = static_cast<std::int32_t>(read_int(in, "applicant count"));
+  const auto n_a = read_count(in, "applicant count");
   expect(in, "posts", "instance header");
-  const auto n_p = static_cast<std::int32_t>(read_int(in, "post count"));
+  const auto n_p = read_count(in, "post count");
   expect(in, "last_resorts", "instance header");
   const bool last_resorts = read_int(in, "last_resorts flag") != 0;
 
@@ -76,12 +111,17 @@ core::Instance read_instance(std::istream& in) {
     bool in_tie = false;
     while (ls >> tok) {
       if (tok == "(") {
+        if (in_tie) throw std::runtime_error("io: nested '(' in applicant line");
         in_tie = true;
         groups[static_cast<std::size_t>(a)].emplace_back();
       } else if (tok == ")") {
+        if (!in_tie) throw std::runtime_error("io: unmatched ')' in applicant line");
+        if (groups[static_cast<std::size_t>(a)].back().empty()) {
+          throw std::runtime_error("io: empty tie group in applicant line");
+        }
         in_tie = false;
       } else {
-        const std::int32_t p = static_cast<std::int32_t>(std::stol(tok));
+        const std::int32_t p = parse_post_id(tok);
         if (in_tie) {
           groups[static_cast<std::size_t>(a)].back().push_back(p);
         } else {
@@ -89,7 +129,9 @@ core::Instance read_instance(std::istream& in) {
         }
       }
     }
+    if (in_tie) throw std::runtime_error("io: unclosed '(' in applicant line");
   }
+  expect_eof(in, "instance");
   return core::Instance::with_ties(n_p, std::move(groups), last_resorts);
 }
 
@@ -119,7 +161,7 @@ stable::StableInstance read_stable_instance(std::istream& in) {
   expect(in, "ncpm-stable", "stable header");
   expect(in, "v1", "stable header");
   expect(in, "n", "stable header");
-  const auto n = static_cast<std::int32_t>(read_int(in, "instance size"));
+  const auto n = read_count(in, "instance size");
   const auto read_side = [&](char prefix) {
     std::vector<std::vector<std::int32_t>> prefs(static_cast<std::size_t>(n));
     for (std::int32_t p = 0; p < n; ++p) {
@@ -134,6 +176,7 @@ stable::StableInstance read_stable_instance(std::istream& in) {
   };
   auto men = read_side('m');
   auto women = read_side('w');
+  expect_eof(in, "stable instance");
   return stable::StableInstance::from_lists(std::move(men), std::move(women));
 }
 
@@ -158,7 +201,13 @@ matching::Matching read_matching(std::istream& in, std::int32_t n_left, std::int
   std::int64_t l;
   while (in >> l) {
     const auto r = read_int(in, "matching pair");
+    if (l < 0 || l >= n_left || r < 0 || r >= n_right) {
+      throw std::runtime_error("io: matching pair out of range");
+    }
     m.match(static_cast<std::int32_t>(l), static_cast<std::int32_t>(r));
+  }
+  if (!in.eof()) {
+    throw std::runtime_error("io: bad matching pair");
   }
   return m;
 }

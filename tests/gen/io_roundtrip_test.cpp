@@ -1,0 +1,158 @@
+// Randomized write -> read -> identical round-trips for every io format,
+// plus rejection of the malformed inputs the hardened reader must refuse.
+
+#include "gen/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "gen/stable_generators.hpp"
+#include "stable/gale_shapley.hpp"
+
+namespace ncpm::io {
+namespace {
+
+void expect_same_instance(const core::Instance& a, const core::Instance& b) {
+  ASSERT_EQ(a.num_applicants(), b.num_applicants());
+  ASSERT_EQ(a.num_posts(), b.num_posts());
+  ASSERT_EQ(a.has_last_resorts(), b.has_last_resorts());
+  ASSERT_EQ(a.strict_prefs(), b.strict_prefs());
+  for (std::int32_t x = 0; x < a.num_applicants(); ++x) {
+    const auto pa = a.posts_of(x);
+    const auto pb = b.posts_of(x);
+    ASSERT_EQ(std::vector<std::int32_t>(pa.begin(), pa.end()),
+              std::vector<std::int32_t>(pb.begin(), pb.end()));
+    const auto ra = a.ranks_of(x);
+    const auto rb = b.ranks_of(x);
+    ASSERT_EQ(std::vector<std::int32_t>(ra.begin(), ra.end()),
+              std::vector<std::int32_t>(rb.begin(), rb.end()));
+  }
+}
+
+class IoRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IoRoundTrip, RandomStrictInstances) {
+  for (std::uint64_t round = 0; round < 8; ++round) {
+    gen::StrictConfig cfg;
+    cfg.num_applicants = 5 + static_cast<std::int32_t>(round) * 7;
+    cfg.num_posts = 6 + static_cast<std::int32_t>(round) * 5;
+    cfg.list_min = 1;
+    cfg.list_max = 5;
+    cfg.seed = GetParam() * 1000 + round;
+    const auto inst = gen::random_strict_instance(cfg);
+    expect_same_instance(inst, read_instance(write_instance(inst)));
+  }
+}
+
+TEST_P(IoRoundTrip, RandomTiesInstances) {
+  for (std::uint64_t round = 0; round < 8; ++round) {
+    gen::TiesConfig cfg;
+    cfg.num_applicants = 5 + static_cast<std::int32_t>(round) * 6;
+    cfg.num_posts = 6 + static_cast<std::int32_t>(round) * 4;
+    cfg.list_min = 1;
+    cfg.list_max = 5;
+    cfg.tie_prob = 0.5;
+    cfg.seed = GetParam() * 1000 + round;
+    const auto inst = gen::random_ties_instance(cfg);
+    expect_same_instance(inst, read_instance(write_instance(inst)));
+  }
+}
+
+TEST_P(IoRoundTrip, SolvableInstances) {
+  gen::SolvableConfig cfg;
+  cfg.num_applicants = 40;
+  cfg.num_posts = 120;
+  cfg.contention = 2.0;
+  cfg.seed = GetParam();
+  const auto inst = gen::solvable_strict_instance(cfg);
+  expect_same_instance(inst, read_instance(write_instance(inst)));
+}
+
+TEST_P(IoRoundTrip, StableInstancesAndDerivedMatchings) {
+  const auto n = 6 + static_cast<std::int32_t>(GetParam()) * 5;
+  const auto inst = gen::random_stable_instance(n, GetParam());
+  const auto back = read_stable_instance(write_stable_instance(inst));
+  ASSERT_EQ(back.size(), inst.size());
+  for (std::int32_t m = 0; m < n; ++m) {
+    for (std::int32_t i = 0; i < n; ++i) {
+      ASSERT_EQ(back.man_pref(m, i), inst.man_pref(m, i));
+      ASSERT_EQ(back.woman_pref(m, i), inst.woman_pref(m, i));
+    }
+  }
+  // Matchings round-trip through the pair list given the target shape.
+  const auto m0 = stable::man_optimal(inst);
+  matching::Matching as_matching(n, n);
+  for (std::int32_t man = 0; man < n; ++man) {
+    as_matching.match(man, m0.wife_of[static_cast<std::size_t>(man)]);
+  }
+  EXPECT_TRUE(read_matching(write_matching(as_matching), n, n) == as_matching);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IoRoundTrip, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(IoMalformed, NegativeCountsRejected) {
+  EXPECT_THROW(read_instance("ncpm-instance v1\napplicants -1 posts 2 last_resorts 1\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_instance("ncpm-instance v1\napplicants 2 posts -5 last_resorts 1\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_stable_instance("ncpm-stable v1\nn -3\n"), std::runtime_error);
+}
+
+TEST(IoMalformed, AbsurdCountsRejectedBeforeAllocation) {
+  EXPECT_THROW(
+      read_instance("ncpm-instance v1\napplicants 2147483647 posts 1 last_resorts 0\n"),
+      std::runtime_error);
+  EXPECT_THROW(read_stable_instance("ncpm-stable v1\nn 2147483647\n"), std::runtime_error);
+}
+
+TEST(IoMalformed, GarbagePostIdRejected) {
+  EXPECT_THROW(read_instance("ncpm-instance v1\napplicants 1 posts 3 last_resorts 1\n0: 1 xyz\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_instance("ncpm-instance v1\napplicants 1 posts 3 last_resorts 1\n0: 1 2z\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_instance("ncpm-instance v1\napplicants 1 posts 3 last_resorts 1\n0: -2\n"),
+               std::runtime_error);
+}
+
+TEST(IoMalformed, UnbalancedTieGroupsRejected) {
+  const char* kPrefix = "ncpm-instance v1\napplicants 1 posts 4 last_resorts 1\n";
+  EXPECT_THROW(read_instance(std::string(kPrefix) + "0: ( 1 2\n"), std::runtime_error);
+  EXPECT_THROW(read_instance(std::string(kPrefix) + "0: 1 2 )\n"), std::runtime_error);
+  EXPECT_THROW(read_instance(std::string(kPrefix) + "0: ( 1 ( 2 ) )\n"), std::runtime_error);
+  EXPECT_THROW(read_instance(std::string(kPrefix) + "0: ( ) 1\n"), std::runtime_error);
+}
+
+TEST(IoMalformed, MatchingPairsValidated) {
+  EXPECT_THROW(read_matching("ncpm-matching v1\n5 0\n", 2, 2), std::runtime_error);
+  EXPECT_THROW(read_matching("ncpm-matching v1\n0 5\n", 2, 2), std::runtime_error);
+  EXPECT_THROW(read_matching("ncpm-matching v1\n-1 0\n", 2, 2), std::runtime_error);
+  // Two left vertices claiming one right vertex is a consistency error.
+  EXPECT_THROW(read_matching("ncpm-matching v1\n0 1\n1 1\n", 2, 2), std::logic_error);
+  // Trailing garbage must not silently truncate the pair list.
+  EXPECT_THROW(read_matching("ncpm-matching v1\n0 0\ngarbage 1\n", 2, 2), std::runtime_error);
+}
+
+TEST(IoMalformed, TrailingContentRejected) {
+  // Header/body mismatch: a third applicant line under "applicants 2".
+  EXPECT_THROW(
+      read_instance("ncpm-instance v1\napplicants 2 posts 2 last_resorts 1\n0: 0\n1: 1\n2: 0\n"),
+      std::runtime_error);
+  EXPECT_THROW(read_stable_instance(
+                   "ncpm-stable v1\nn 1\nm0: 0\nw0: 0\nextra\n"),
+               std::runtime_error);
+  // Trailing whitespace and newlines stay acceptable.
+  EXPECT_NO_THROW(
+      read_instance("ncpm-instance v1\napplicants 2 posts 2 last_resorts 1\n0: 0\n1: 1\n\n  \n"));
+}
+
+TEST(IoMalformed, WrongApplicantLineHeaderRejected) {
+  EXPECT_THROW(read_instance("ncpm-instance v1\napplicants 2 posts 2 last_resorts 1\n0: 0\n5: 1\n"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ncpm::io

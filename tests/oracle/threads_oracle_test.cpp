@@ -1,0 +1,102 @@
+// Randomized oracle layer, property (d): the PRAM substrate's thread count
+// is an execution detail — results of the NC pipeline must be invariant to
+// pram::set_num_threads over 1..8 on every seeded instance family.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/popular_matching.hpp"
+#include "core/reduced_graph.hpp"
+#include "core/verify.hpp"
+#include "gen/generators.hpp"
+#include "matching/matching.hpp"
+#include "pram/parallel.hpp"
+
+namespace ncpm::core {
+namespace {
+
+constexpr std::uint64_t kSweepSize = 20;
+constexpr int kThreadCounts[] = {1, 2, 3, 4, 8};
+
+class ThreadInvariance : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override { original_threads_ = pram::num_threads(); }
+  void TearDown() override { pram::set_num_threads(original_threads_); }
+
+ private:
+  int original_threads_ = 1;
+};
+
+// Run the pipeline once per thread count and compare against the 1-thread
+// reference: existence, popularity characterization, and size must all
+// agree; a thread-count-dependent answer is a synchronization bug.
+void ExpectInvariantAcrossThreads(const Instance& inst, std::uint64_t seed) {
+  const auto rg = build_reduced_graph(inst);
+  std::optional<matching::Matching> reference;
+  for (const int threads : kThreadCounts) {
+    pram::set_num_threads(threads);
+    const auto m = find_popular_matching(inst);
+    if (threads == 1) {
+      reference = m ? std::optional(*m) : std::nullopt;
+      continue;
+    }
+    ASSERT_EQ(m.has_value(), reference.has_value())
+        << "seed " << seed << " threads " << threads;
+    if (m.has_value()) {
+      EXPECT_TRUE(satisfies_popular_characterization(inst, rg, *m))
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(matching_size(inst, *m), matching_size(inst, *reference))
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(popularity_votes(inst, *m, *reference), 0)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+TEST_P(ThreadInvariance, RandomStrictInstances) {
+  for (std::uint64_t round = 0; round < kSweepSize; ++round) {
+    gen::StrictConfig cfg;
+    cfg.num_applicants = 40 + static_cast<std::int32_t>(round % 5) * 30;
+    cfg.num_posts = 50 + static_cast<std::int32_t>(round % 3) * 40;
+    cfg.list_min = 1;
+    cfg.list_max = 6;
+    cfg.seed = GetParam() * 10'000 + round;
+    ExpectInvariantAcrossThreads(gen::random_strict_instance(cfg), cfg.seed);
+  }
+}
+
+TEST_P(ThreadInvariance, SolvableFamilies) {
+  for (std::uint64_t round = 0; round < kSweepSize; ++round) {
+    gen::SolvableConfig cfg;
+    cfg.num_applicants = 60 + static_cast<std::int32_t>(round % 4) * 30;
+    cfg.num_posts = cfg.num_applicants * 3;
+    cfg.all_f_fraction = (round % 3) * 0.25;
+    cfg.contention = 1.0 + (round % 4);
+    cfg.seed = GetParam() * 10'000 + round;
+    ExpectInvariantAcrossThreads(gen::solvable_strict_instance(cfg), cfg.seed);
+  }
+}
+
+TEST_P(ThreadInvariance, AdversarialFamilies) {
+  // Binary trees stress the Lemma 2 peeling depth; contention families must
+  // report "no popular matching" under every thread count.
+  for (std::int32_t depth = 1; depth <= 5; ++depth) {
+    ExpectInvariantAcrossThreads(gen::binary_tree_instance(depth),
+                                 static_cast<std::uint64_t>(depth));
+  }
+  for (std::int32_t n = 3; n <= 7; ++n) {
+    const auto inst = gen::contention_instance(n);
+    for (const int threads : kThreadCounts) {
+      pram::set_num_threads(threads);
+      EXPECT_FALSE(find_popular_matching(inst).has_value()) << "n " << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreadInvariance, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace ncpm::core
