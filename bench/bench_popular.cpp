@@ -12,6 +12,7 @@
 #include "core/popular_matching.hpp"
 #include "gen/generators.hpp"
 #include "pram/list_ranking.hpp"
+#include "pram/workspace.hpp"
 
 namespace {
 
@@ -52,6 +53,30 @@ void BM_PopularSequential(benchmark::State& state) {
 }
 BENCHMARK(BM_PopularSequential)->RangeMultiplier(4)->Range(1 << 8, 1 << 17)
     ->Unit(benchmark::kMillisecond)->Complexity(benchmark::oN);
+
+// Large sparse configuration: the adversarial binary-tree family drives
+// Θ(log n) while-rounds whose alive-edge set shrinks by roughly one tree
+// level per round. An engine that re-scans all m original edges every round
+// pays Θ(m log m) *per round*; a compacting engine pays it once and then
+// works proportionally to the surviving edges. This is the configuration
+// where the difference dominates end-to-end wall-clock.
+void BM_PopularNC_LargeSparse(benchmark::State& state) {
+  const auto inst =
+      ncpm::gen::binary_tree_instance(static_cast<std::int32_t>(state.range(0)));
+  ncpm::pram::Workspace ws;  // reused across iterations: steady-state regime
+  ncpm::core::PopularRunStats stats;
+  for (auto _ : state) {
+    auto m = ncpm::core::find_popular_matching(inst, ws, nullptr, &stats);
+    benchmark::DoNotOptimize(m);
+  }
+  state.counters["n_applicants"] = static_cast<double>(inst.num_applicants());
+  state.counters["while_rounds"] = static_cast<double>(stats.while_rounds);
+  // Allocations observed during the *last* iteration's round loop — 0 once
+  // the workspace is warm (the zero-allocation guarantee).
+  state.counters["ws_allocs_steady"] = static_cast<double>(
+      stats.workspace_allocs_first_round + stats.workspace_allocs_later_rounds);
+}
+BENCHMARK(BM_PopularNC_LargeSparse)->DenseRange(12, 18, 2)->Unit(benchmark::kMillisecond);
 
 // Zipf-skewed random instances: heavy first-choice contention; existence is
 // not guaranteed, so this measures the decision pipeline on realistic loads.

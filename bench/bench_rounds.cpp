@@ -10,6 +10,7 @@
 #include "core/reduced_graph.hpp"
 #include "gen/generators.hpp"
 #include "pram/list_ranking.hpp"
+#include "pram/workspace.hpp"
 
 namespace {
 
@@ -17,16 +18,20 @@ void BM_Lemma2_BinaryTree(benchmark::State& state) {
   const auto depth = static_cast<std::int32_t>(state.range(0));
   const auto inst = ncpm::gen::binary_tree_instance(depth);
   const auto rg = ncpm::core::build_reduced_graph(inst);
+  ncpm::pram::Workspace ws;  // reused across iterations: steady-state regime
   std::uint64_t rounds = 0;
+  std::uint64_t steady_allocs = 0;
   for (auto _ : state) {
-    auto result = ncpm::core::applicant_complete_matching(inst, rg);
+    auto result = ncpm::core::applicant_complete_matching(inst, rg, ws);
     rounds = result.while_rounds;
+    steady_allocs = result.workspace_allocs_first_round + result.workspace_allocs_later_rounds;
     benchmark::DoNotOptimize(result);
   }
   const auto n = static_cast<std::uint64_t>(inst.num_applicants() + inst.total_posts());
   state.counters["n"] = static_cast<double>(n);
   state.counters["while_rounds"] = static_cast<double>(rounds);
   state.counters["lemma2_bound"] = static_cast<double>(ncpm::pram::ceil_log2(n) + 1);
+  state.counters["ws_allocs_steady"] = static_cast<double>(steady_allocs);
 }
 BENCHMARK(BM_Lemma2_BinaryTree)->DenseRange(2, 16, 2)->Unit(benchmark::kMillisecond);
 

@@ -60,6 +60,28 @@ void BM_MaxCardNC_Threads(benchmark::State& state) {
 BENCHMARK(BM_MaxCardNC_Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(24)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// Large sparse configuration (see bench_popular.cpp): chain-heavy reduced
+// graph with many while-rounds, where per-round work proportional to the
+// surviving edges — not the original m — decides the wall-clock.
+const ncpm::core::Instance& sparse_instance() {
+  static const ncpm::core::Instance inst = ncpm::gen::binary_tree_instance(17);
+  return inst;
+}
+
+void BM_PopularNC_LargeSparse_Threads(benchmark::State& state) {
+  const auto& inst = sparse_instance();
+  const int original = ncpm::pram::num_threads();
+  ncpm::pram::set_num_threads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto m = ncpm::core::find_popular_matching(inst);
+    benchmark::DoNotOptimize(m);
+  }
+  ncpm::pram::set_num_threads(original);
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_PopularNC_LargeSparse_Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 void BM_SequentialBaseline_Reference(benchmark::State& state) {
   const auto& inst = big_instance();
   for (auto _ : state) {

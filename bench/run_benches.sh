@@ -19,6 +19,55 @@ fi
 
 mkdir -p "${out_dir}"
 
+# Stamp the run's provenance into the benchmark JSON context so committed
+# result files identify exactly what produced them.
+stamp_json() {
+  python3 - "$1" <<'PY'
+import json, os, platform, subprocess, sys
+
+path = sys.argv[1]
+try:
+    with open(path) as f:
+        data = json.load(f)
+except (OSError, json.JSONDecodeError):
+    # A filter that matches nothing leaves an empty output file; skip it.
+    print(f"   (no JSON to stamp in {path})")
+    sys.exit(0)
+
+def git(*args):
+    try:
+        return subprocess.run(["git", *args], capture_output=True, text=True,
+                              check=True).stdout.strip()
+    except Exception:
+        return "unknown"
+
+ctx = data.setdefault("context", {})
+ctx["git_commit"] = git("rev-parse", "HEAD")
+ctx["git_dirty"] = git("status", "--porcelain") != ""
+try:
+    # OMP_NUM_THREADS may be an OpenMP nesting list like "4,2"; the outer
+    # level is what the PRAM substrate sees.
+    threads = int(os.environ.get("OMP_NUM_THREADS", "").split(",")[0])
+except ValueError:
+    threads = 0
+ctx["threads"] = threads or os.cpu_count()
+cpu = platform.processor() or "unknown"
+try:
+    with open("/proc/cpuinfo") as f:
+        for line in f:
+            if line.startswith("model name"):
+                cpu = line.split(":", 1)[1].strip()
+                break
+except OSError:
+    pass
+ctx["cpu_model"] = cpu
+
+with open(path, "w") as f:
+    json.dump(data, f, indent=2)
+    f.write("\n")
+PY
+}
+
 found=0
 for bin in "${build_dir}"/bench/bench_*; do
   [[ -f "${bin}" && -x "${bin}" ]] || continue
@@ -28,6 +77,7 @@ for bin in "${build_dir}"/bench/bench_*; do
   echo "== ${name} -> ${out}"
   "${bin}" --benchmark_format=json --benchmark_out="${out}" \
            --benchmark_out_format=json "$@"
+  stamp_json "${out}"
 done
 
 if [[ "${found}" -eq 0 ]]; then

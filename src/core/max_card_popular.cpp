@@ -25,7 +25,10 @@ matching::Matching maximize_cardinality(const Instance& inst, const matching::Ma
 
 std::optional<matching::Matching> find_max_card_popular(const Instance& inst,
                                                         pram::NcCounters* counters) {
-  const auto popular = find_popular_matching(inst, counters);
+  // One workspace per call: Algorithm 2's round scratch is warmed once and
+  // reused by every pass of the pipeline.
+  pram::Workspace ws;
+  const auto popular = find_popular_matching(inst, ws, counters);
   if (!popular.has_value()) return std::nullopt;
   return maximize_cardinality(inst, *popular, counters);
 }

@@ -49,7 +49,8 @@ matching::Matching optimize_weight(const Instance& inst, const matching::Matchin
 std::optional<matching::Matching> find_optimal_popular(const Instance& inst,
                                                        const WeightFn& weight, bool maximize,
                                                        pram::NcCounters* counters) {
-  const auto popular = find_popular_matching(inst, counters);
+  pram::Workspace ws;
+  const auto popular = find_popular_matching(inst, ws, counters);
   if (!popular.has_value()) return std::nullopt;
   return optimize_weight(inst, *popular, weight, maximize, counters);
 }
@@ -152,7 +153,8 @@ matching::Matching optimize_profile(const Instance& inst, const matching::Matchi
 
 std::optional<matching::Matching> find_rank_maximal_popular(const Instance& inst,
                                                             pram::NcCounters* counters) {
-  const auto popular = find_popular_matching(inst, counters);
+  pram::Workspace ws;
+  const auto popular = find_popular_matching(inst, ws, counters);
   if (!popular.has_value()) return std::nullopt;
   return optimize_profile(
       inst, *popular,
@@ -162,7 +164,8 @@ std::optional<matching::Matching> find_rank_maximal_popular(const Instance& inst
 
 std::optional<matching::Matching> find_fair_popular(const Instance& inst,
                                                     pram::NcCounters* counters) {
-  const auto popular = find_popular_matching(inst, counters);
+  pram::Workspace ws;
+  const auto popular = find_popular_matching(inst, ws, counters);
   if (!popular.has_value()) return std::nullopt;
   return optimize_profile(
       inst, *popular,

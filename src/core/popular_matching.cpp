@@ -9,16 +9,28 @@ namespace ncpm::core {
 std::optional<matching::Matching> find_popular_matching(const Instance& inst,
                                                         pram::NcCounters* counters,
                                                         PopularRunStats* stats) {
+  pram::Workspace ws;
+  return find_popular_matching(inst, ws, counters, stats);
+}
+
+std::optional<matching::Matching> find_popular_matching(const Instance& inst,
+                                                        pram::Workspace& ws,
+                                                        pram::NcCounters* counters,
+                                                        PopularRunStats* stats) {
   const ReducedGraph rg = build_reduced_graph(inst, counters);
-  ApplicantCompleteResult ac = applicant_complete_matching(inst, rg, counters);
-  if (stats != nullptr) stats->while_rounds = ac.while_rounds;
+  ApplicantCompleteResult ac = applicant_complete_matching(inst, rg, ws, counters);
+  if (stats != nullptr) {
+    stats->while_rounds = ac.while_rounds;
+    stats->workspace_allocs_first_round = ac.workspace_allocs_first_round;
+    stats->workspace_allocs_later_rounds = ac.workspace_allocs_later_rounds;
+  }
   if (!ac.exists) return std::nullopt;
 
   const auto n_a = static_cast<std::size_t>(inst.num_applicants());
   const auto n_ext = static_cast<std::size_t>(inst.total_posts());
 
   // Which extended posts are matched?
-  std::vector<std::uint8_t> post_matched(n_ext, 0);
+  auto post_matched = ws.take<std::uint8_t>(n_ext, std::uint8_t{0});
   pram::parallel_for(n_a, [&](std::size_t a) {
     post_matched[static_cast<std::size_t>(ac.post_of[a])] = 1;  // injective writes
   });

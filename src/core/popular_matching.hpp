@@ -15,17 +15,32 @@
 #include "core/instance.hpp"
 #include "matching/matching.hpp"
 #include "pram/counters.hpp"
+#include "pram/workspace.hpp"
 
 namespace ncpm::core {
 
 struct PopularRunStats {
   std::uint64_t while_rounds = 0;  ///< Algorithm 2 while-loop iterations (Lemma 2)
+  /// Workspace buffer growths inside the Algorithm 2 round loop: warm-up
+  /// (first round) vs steady state (all later rounds; 0 == the zero-
+  /// allocation guarantee holds).
+  std::uint64_t workspace_allocs_first_round = 0;
+  std::uint64_t workspace_allocs_later_rounds = 0;
 };
 
 /// The NC pipeline. Requires strict preferences and last resorts. The
 /// returned matching pairs applicants with extended post ids and is
 /// applicant-complete (last resorts count as matched).
 std::optional<matching::Matching> find_popular_matching(const Instance& inst,
+                                                        pram::NcCounters* counters = nullptr,
+                                                        PopularRunStats* stats = nullptr);
+
+/// Workspace-reusing variant: all Algorithm 2 round-engine scratch is
+/// leased from `ws`. Passing the same workspace across calls keeps the
+/// buffers warm, so repeated solves perform no round-loop allocation at
+/// all.
+std::optional<matching::Matching> find_popular_matching(const Instance& inst,
+                                                        pram::Workspace& ws,
                                                         pram::NcCounters* counters = nullptr,
                                                         PopularRunStats* stats = nullptr);
 

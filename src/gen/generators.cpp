@@ -16,7 +16,9 @@ std::vector<std::int32_t> sample_distinct(std::mt19937_64& rng, std::int32_t num
                                           std::int32_t count,
                                           const std::vector<double>& cumulative) {
   std::vector<std::int32_t> out;
+  out.reserve(static_cast<std::size_t>(count));
   std::unordered_set<std::int32_t> seen;
+  seen.reserve(static_cast<std::size_t>(count));
   std::uniform_real_distribution<double> unif(0.0, cumulative.back());
   while (static_cast<std::int32_t>(out.size()) < count) {
     std::int32_t p;
@@ -106,7 +108,9 @@ core::Instance solvable_strict_instance(const SolvableConfig& cfg) {
   for (std::size_t a = 0; a < n_a; ++a) {
     const std::int32_t len = len_dist(rng);
     const std::int32_t f = perm[group[a]];
-    std::vector<std::int32_t> list{f};
+    std::vector<std::int32_t> list;
+    list.reserve(static_cast<std::size_t>(len) + 1);
+    list.push_back(f);
     std::unordered_set<std::int32_t> seen{f};
     const bool all_f = unif01(rng) < cfg.all_f_fraction;
     if (!all_f) {
@@ -187,6 +191,7 @@ core::Instance random_ties_instance(const TiesConfig& cfg) {
       static_cast<std::size_t>(cfg.num_applicants));
   for (auto& applicant_groups : groups) {
     const auto flat = sample_distinct(rng, cfg.num_posts, len_dist(rng), cdf);
+    applicant_groups.reserve(flat.size());
     for (std::size_t i = 0; i < flat.size(); ++i) {
       if (i == 0 || unif01(rng) >= cfg.tie_prob) {
         applicant_groups.push_back({flat[i]});
@@ -204,6 +209,8 @@ graph::BipartiteGraph random_bipartite(std::int32_t n_left, std::int32_t n_right
   std::uniform_int_distribution<std::int32_t> right_dist(0, n_right - 1);
   std::poisson_distribution<std::int32_t> deg_dist(avg_degree);
   std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  edges.reserve(static_cast<std::size_t>(
+      static_cast<double>(n_left < 0 ? 0 : n_left) * (avg_degree + 1.0)));
   for (std::int32_t l = 0; l < n_left; ++l) {
     const std::int32_t deg = std::min(deg_dist(rng), n_right);
     std::unordered_set<std::int32_t> seen;

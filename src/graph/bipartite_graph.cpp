@@ -1,5 +1,6 @@
 #include "graph/bipartite_graph.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 namespace ncpm::graph {
@@ -19,6 +20,9 @@ BipartiteGraph::BipartiteGraph(std::int32_t n_left, std::int32_t n_right,
     eu_[e] = l;
     ev_[e] = r;
   }
+  if (m > static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max())) {
+    throw std::out_of_range("BipartiteGraph: edge count exceeds int32 (id space)");
+  }
   ladj_off_.assign(static_cast<std::size_t>(n_left) + 1, 0);
   radj_off_.assign(static_cast<std::size_t>(n_right) + 1, 0);
   for (std::size_t e = 0; e < m; ++e) {
@@ -29,11 +33,13 @@ BipartiteGraph::BipartiteGraph(std::int32_t n_left, std::int32_t n_right,
   for (std::size_t i = 1; i < radj_off_.size(); ++i) radj_off_[i] += radj_off_[i - 1];
   ladj_.resize(m);
   radj_.resize(m);
-  std::vector<std::size_t> lcur(ladj_off_.begin(), ladj_off_.end() - 1);
-  std::vector<std::size_t> rcur(radj_off_.begin(), radj_off_.end() - 1);
+  std::vector<std::int32_t> lcur(ladj_off_.begin(), ladj_off_.end() - 1);
+  std::vector<std::int32_t> rcur(radj_off_.begin(), radj_off_.end() - 1);
   for (std::size_t e = 0; e < m; ++e) {
-    ladj_[lcur[static_cast<std::size_t>(eu_[e])]++] = static_cast<std::int32_t>(e);
-    radj_[rcur[static_cast<std::size_t>(ev_[e])]++] = static_cast<std::int32_t>(e);
+    ladj_[static_cast<std::size_t>(lcur[static_cast<std::size_t>(eu_[e])]++)] =
+        static_cast<std::int32_t>(e);
+    radj_[static_cast<std::size_t>(rcur[static_cast<std::size_t>(ev_[e])]++)] =
+        static_cast<std::int32_t>(e);
   }
 }
 

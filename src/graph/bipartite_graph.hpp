@@ -35,10 +35,12 @@ class BipartiteGraph {
   std::span<const std::int32_t> edge_rights() const noexcept { return ev_; }
 
   std::size_t degree_left(std::int32_t l) const {
-    return ladj_off_[static_cast<std::size_t>(l) + 1] - ladj_off_[static_cast<std::size_t>(l)];
+    return static_cast<std::size_t>(ladj_off_[static_cast<std::size_t>(l) + 1] -
+                                    ladj_off_[static_cast<std::size_t>(l)]);
   }
   std::size_t degree_right(std::int32_t r) const {
-    return radj_off_[static_cast<std::size_t>(r) + 1] - radj_off_[static_cast<std::size_t>(r)];
+    return static_cast<std::size_t>(radj_off_[static_cast<std::size_t>(r) + 1] -
+                                    radj_off_[static_cast<std::size_t>(r)]);
   }
 
   /// Edge ids incident to left vertex l (order of insertion).
@@ -53,9 +55,12 @@ class BipartiteGraph {
  private:
   std::int32_t n_left_ = 0;
   std::int32_t n_right_ = 0;
-  std::vector<std::int32_t> eu_, ev_;            // edge endpoints
-  std::vector<std::size_t> ladj_off_, radj_off_;  // CSR offsets
-  std::vector<std::int32_t> ladj_, radj_;         // CSR payload: edge ids
+  std::vector<std::int32_t> eu_, ev_;  // edge endpoints
+  // CSR offsets. Edge ids are int32 everywhere in this library, so int32
+  // offsets are exact; half-width offsets halve the CSR index memory and
+  // keep more of it in cache.
+  std::vector<std::int32_t> ladj_off_, radj_off_;
+  std::vector<std::int32_t> ladj_, radj_;  // CSR payload: edge ids
 };
 
 }  // namespace ncpm::graph

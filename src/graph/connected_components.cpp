@@ -9,6 +9,9 @@ namespace ncpm::graph {
 
 namespace {
 
+/// Grain for the very cheap per-vertex loops (a load, a compare, a store).
+constexpr std::size_t kGrain = 2048;
+
 /// CRCW-min write: lower `slot` to `value` if smaller, atomically.
 inline void atomic_fetch_min(std::int32_t& slot, std::int32_t value) {
   std::atomic_ref<std::int32_t> ref(slot);
@@ -24,6 +27,14 @@ ComponentLabels connected_components(std::size_t n, std::span<const std::int32_t
                                      std::span<const std::int32_t> ev,
                                      std::span<const std::uint8_t> edge_alive,
                                      pram::NcCounters* counters) {
+  pram::Workspace ws;
+  return connected_components(n, eu, ev, edge_alive, ws, counters);
+}
+
+ComponentLabels connected_components(std::size_t n, std::span<const std::int32_t> eu,
+                                     std::span<const std::int32_t> ev,
+                                     std::span<const std::uint8_t> edge_alive,
+                                     pram::Workspace& ws, pram::NcCounters* counters) {
   if (eu.size() != ev.size()) {
     throw std::invalid_argument("connected_components: eu/ev size mismatch");
   }
@@ -33,11 +44,13 @@ ComponentLabels connected_components(std::size_t n, std::span<const std::int32_t
   const std::size_t m = eu.size();
   ComponentLabels out;
   out.label.resize(n);
-  pram::parallel_for(n, [&](std::size_t v) { out.label[v] = static_cast<std::int32_t>(v); });
+  pram::parallel_for_grain(
+      n, kGrain, [&](std::size_t v) { out.label[v] = static_cast<std::int32_t>(v); });
   pram::add_round(counters, n);
 
-  auto& parent = out.label;
-  std::vector<std::int32_t> next_parent(n);
+  auto scratch = ws.take<std::int32_t>(n);
+  std::span<std::int32_t> parent = out.label;
+  std::span<std::int32_t> next_parent = scratch.span();
   std::uint8_t changed = 1;
   while (changed != 0) {
     changed = 0;
@@ -57,16 +70,21 @@ ComponentLabels connected_components(std::size_t n, std::span<const std::int32_t
     // Shortcut: full pointer jumping until every vertex points at a root.
     bool shortcutting = true;
     while (shortcutting) {
-      pram::parallel_for(n, [&](std::size_t v) {
+      pram::parallel_for_grain(n, kGrain, [&](std::size_t v) {
         next_parent[v] = parent[static_cast<std::size_t>(parent[v])];
       });
-      shortcutting = pram::parallel_any(n, [&](std::size_t v) { return next_parent[v] != parent[v]; });
-      parent.swap(next_parent);
+      shortcutting =
+          pram::parallel_any(n, [&](std::size_t v) { return next_parent[v] != parent[v]; });
+      std::swap(parent, next_parent);
       pram::add_round(counters, n);
     }
     ++out.hook_rounds;
   }
 
+  if (parent.data() != out.label.data()) {
+    pram::parallel_for_grain(n, kGrain, [&](std::size_t v) { out.label[v] = parent[v]; });
+    pram::add_round(counters, n);
+  }
   out.count = static_cast<std::int32_t>(pram::parallel_count(
       n, [&](std::size_t v) { return parent[v] == static_cast<std::int32_t>(v); }));
   return out;

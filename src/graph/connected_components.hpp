@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "pram/counters.hpp"
+#include "pram/workspace.hpp"
 
 namespace ncpm::graph {
 
@@ -31,5 +32,12 @@ ComponentLabels connected_components(std::size_t n, std::span<const std::int32_t
                                      std::span<const std::int32_t> ev,
                                      std::span<const std::uint8_t> edge_alive = {},
                                      pram::NcCounters* counters = nullptr);
+
+/// Workspace-backed variant: the pointer-jumping scratch is leased from
+/// `ws`, so repeated calls reuse one warm buffer set.
+ComponentLabels connected_components(std::size_t n, std::span<const std::int32_t> eu,
+                                     std::span<const std::int32_t> ev,
+                                     std::span<const std::uint8_t> edge_alive,
+                                     pram::Workspace& ws, pram::NcCounters* counters = nullptr);
 
 }  // namespace ncpm::graph

@@ -14,6 +14,24 @@
 // Half-edges on all-degree-2 cycles never reach a terminal; `ranking.
 // reaches_terminal` distinguishes them (they are the even cycles left for
 // the final phase of Algorithm 2).
+//
+// Two containers live here:
+//
+//  * `HalfEdgeStructure` — the full structure with CSR incidence lists,
+//    built over an edge array with an alive mask. Reusable: `rebuild()`
+//    reconstructs it in place, retaining the capacity of every internal
+//    array, with scratch leased from a caller-provided Workspace. The
+//    round engines below no longer need the CSR, so this stays as the
+//    reference implementation: the cross-checking tests exercise it, and
+//    it is the public utility for any pass that needs full `incident()`
+//    lists rather than the two-slot degree-2 view.
+//  * `AliveEdgePaths` — the lean per-round engine. It operates on a
+//    *compacted* alive-edge array (every edge alive by construction) and
+//    rebuilds degrees, the two-slot incidence needed for degree-2
+//    continuation, successors and the ranking in work proportional to the
+//    number of surviving edges: full-size per-vertex arrays are only ever
+//    reset at the endpoints the alive edges touch. Zero heap allocation
+//    once the owning workspace is warm.
 
 #include <cstddef>
 #include <cstdint>
@@ -22,15 +40,24 @@
 
 #include "pram/counters.hpp"
 #include "pram/list_ranking.hpp"
+#include "pram/workspace.hpp"
 
 namespace ncpm::graph {
 
 class HalfEdgeStructure {
  public:
+  HalfEdgeStructure() = default;
   /// Build the structure over alive edges. Self-loops are rejected.
   HalfEdgeStructure(std::size_t n_vertices, std::span<const std::int32_t> eu,
                     std::span<const std::int32_t> ev, std::span<const std::uint8_t> edge_alive,
                     pram::NcCounters* counters = nullptr);
+
+  /// Rebuild in place over a new edge set, reusing the capacity of every
+  /// internal array; scratch comes from `ws`. With a warm workspace and
+  /// non-growing sizes this performs no heap allocation.
+  void rebuild(std::size_t n_vertices, std::span<const std::int32_t> eu,
+               std::span<const std::int32_t> ev, std::span<const std::uint8_t> edge_alive,
+               pram::Workspace& ws, pram::NcCounters* counters = nullptr);
 
   std::size_t n_vertices() const noexcept { return n_; }
   std::size_t n_edges() const noexcept { return eu_.size(); }
@@ -76,6 +103,73 @@ class HalfEdgeStructure {
   std::vector<std::int32_t> incident_;
   std::vector<std::int32_t> succ_;
   pram::ListRanking ranking_;
+};
+
+/// The per-round path engine over a compacted alive-edge array. All storage
+/// is leased once from the owning workspace (sized for `max_edges` /
+/// `n_vertices`); `rebuild()` then costs Θ(m_alive) work and no allocation.
+///
+/// Vertex-indexed state (`degree`) is only valid for vertices that are an
+/// endpoint of some edge in the current compacted array — exactly the
+/// vertices the round-synchronous algorithms ever query.
+class AliveEdgePaths {
+ public:
+  AliveEdgePaths(std::size_t n_vertices, std::size_t max_edges, pram::Workspace& ws);
+
+  /// Rebuild over the compacted edges (eu[i], ev[i]), i < eu.size() <=
+  /// max_edges: links plus the list ranking. Every edge is alive;
+  /// endpoints must be valid non-equal vertex ids (the caller's compaction
+  /// guarantees it, so this is not re-validated here).
+  void rebuild(std::span<const std::int32_t> eu, std::span<const std::int32_t> ev,
+               pram::Workspace& ws, pram::NcCounters* counters = nullptr) {
+    rebuild_links(eu, ev, {}, counters);
+    rank(ws, counters);
+  }
+
+  /// Stage 1 only: degrees, two-slot incidence and successors. An empty
+  /// `edge_alive` means every edge is alive (the compacted shape); with a
+  /// mask, dead half-edges become terminals. For callers that do their own
+  /// ranking over `succ()` (e.g. two_regular's cycle labelling).
+  void rebuild_links(std::span<const std::int32_t> eu, std::span<const std::int32_t> ev,
+                     std::span<const std::uint8_t> edge_alive,
+                     pram::NcCounters* counters = nullptr);
+
+  /// Stage 2: list-rank the successor chains; head()/rank()/
+  /// reaches_terminal() are valid afterwards.
+  void rank(pram::Workspace& ws, pram::NcCounters* counters = nullptr);
+
+  std::size_t n_edges() const noexcept { return m_; }
+  std::size_t n_half_edges() const noexcept { return 2 * m_; }
+
+  static std::int32_t rev(std::int32_t h) noexcept { return h ^ 1; }
+  std::int32_t source(std::int32_t h) const {
+    const auto e = static_cast<std::size_t>(h >> 1);
+    return (h & 1) != 0 ? ev_[e] : eu_[e];
+  }
+  std::int32_t target(std::int32_t h) const {
+    const auto e = static_cast<std::size_t>(h >> 1);
+    return (h & 1) != 0 ? eu_[e] : ev_[e];
+  }
+
+  /// Degree of v in the current edge array (valid for endpoints only).
+  std::int32_t degree(std::int32_t v) const { return deg_[static_cast<std::size_t>(v)]; }
+
+  std::span<const std::int32_t> succ() const noexcept { return succ_.span().first(2 * m_); }
+  std::span<const std::int32_t> head() const noexcept { return head_.span().first(2 * m_); }
+  std::span<const std::int64_t> rank() const noexcept { return rank_.span().first(2 * m_); }
+  std::span<const std::uint8_t> reaches_terminal() const noexcept {
+    return reaches_.span().first(2 * m_);
+  }
+
+ private:
+  std::size_t m_ = 0;
+  std::span<const std::int32_t> eu_, ev_;  // the caller's compacted arrays
+  pram::WsBuffer<std::int32_t> deg_;       // per vertex; reset only where touched
+  pram::WsBuffer<std::int32_t> inc_;       // two incident-edge slots per vertex
+  pram::WsBuffer<std::int32_t> succ_;
+  pram::WsBuffer<std::int32_t> head_;
+  pram::WsBuffer<std::int64_t> rank_;
+  pram::WsBuffer<std::uint8_t> reaches_;
 };
 
 }  // namespace ncpm::graph

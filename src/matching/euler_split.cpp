@@ -6,45 +6,60 @@
 #include "pram/list_ranking.hpp"
 #include "pram/parallel.hpp"
 #include "pram/scan.hpp"
+#include "pram/workspace.hpp"
 
 namespace ncpm::matching {
 
 namespace {
 
+/// Grain for the very cheap per-half-edge loops: a few instructions each, so
+/// let every thread chew contiguous blocks instead of paying the scheduler
+/// per element.
+constexpr std::size_t kGrain = 2048;
+
 /// One Euler split: among the alive edges (all vertices d-regular, d even),
 /// keep exactly d/2 per vertex. Vertices live in a unified id space
-/// (left l -> l, right r -> n_left + r).
-void euler_halve(const graph::BipartiteGraph& g, std::vector<std::uint8_t>& alive,
-                 pram::NcCounters* counters) {
+/// (left l -> l, right r -> n_left + r). All scratch is leased from `ws`,
+/// so the log2(d) cascade reuses one warm set of buffers.
+void euler_halve(const graph::BipartiteGraph& g, std::span<std::uint8_t> alive,
+                 pram::Workspace& ws, pram::NcCounters* counters) {
   const std::size_t m = g.num_edges();
-  const std::size_t n = static_cast<std::size_t>(g.n_left()) + static_cast<std::size_t>(g.n_right());
+  const std::size_t n =
+      static_cast<std::size_t>(g.n_left()) + static_cast<std::size_t>(g.n_right());
   const std::size_t nh = 2 * m;
 
   // Alive incidence lists per unified vertex.
-  std::vector<std::int64_t> degree(n, 0);
+  auto degree = ws.take<std::int64_t>(n, std::int64_t{0});
   pram::parallel_for(m, [&](std::size_t e) {
     if (alive[e] == 0) return;
     const auto u = static_cast<std::size_t>(g.edge_left(e));
-    const auto v = static_cast<std::size_t>(g.n_left()) + static_cast<std::size_t>(g.edge_right(e));
+    const auto v =
+        static_cast<std::size_t>(g.n_left()) + static_cast<std::size_t>(g.edge_right(e));
     std::atomic_ref<std::int64_t>(degree[u]).fetch_add(1, std::memory_order_relaxed);
     std::atomic_ref<std::int64_t>(degree[v]).fetch_add(1, std::memory_order_relaxed);
   });
   pram::add_round(counters, m);
 
-  std::vector<std::int64_t> offset(n);
-  const std::int64_t total = pram::exclusive_scan<std::int64_t>(degree, offset, counters);
-  std::vector<std::int32_t> incident(static_cast<std::size_t>(total));
-  std::vector<std::int64_t> slot_of_half(nh, -1);  // position of each entering half-edge
-  std::vector<std::int64_t> cursor(offset);
+  auto offset = ws.take<std::int64_t>(n);
+  const std::int64_t total =
+      pram::exclusive_scan<std::int64_t>(degree.span(), offset.span(), ws, counters);
+  auto incident = ws.take<std::int32_t>(static_cast<std::size_t>(total));
+  auto slot_of_half = ws.take<std::int64_t>(nh, std::int64_t{-1});
+  auto cursor = ws.take<std::int64_t>(n);
+  pram::parallel_for_grain(n, kGrain, [&](std::size_t v) { cursor[v] = offset[v]; });
+  pram::add_round(counters, n);
   pram::parallel_for(m, [&](std::size_t e) {
     if (alive[e] == 0) return;
     const auto u = static_cast<std::size_t>(g.edge_left(e));
-    const auto v = static_cast<std::size_t>(g.n_left()) + static_cast<std::size_t>(g.edge_right(e));
+    const auto v =
+        static_cast<std::size_t>(g.n_left()) + static_cast<std::size_t>(g.edge_right(e));
     // Half-edge 2e enters v (travels left -> right); 2e+1 enters u.
-    const auto pv = std::atomic_ref<std::int64_t>(cursor[v]).fetch_add(1, std::memory_order_relaxed);
+    const auto pv =
+        std::atomic_ref<std::int64_t>(cursor[v]).fetch_add(1, std::memory_order_relaxed);
     incident[static_cast<std::size_t>(pv)] = static_cast<std::int32_t>(e);
     slot_of_half[2 * e] = pv;
-    const auto pu = std::atomic_ref<std::int64_t>(cursor[u]).fetch_add(1, std::memory_order_relaxed);
+    const auto pu =
+        std::atomic_ref<std::int64_t>(cursor[u]).fetch_add(1, std::memory_order_relaxed);
     incident[static_cast<std::size_t>(pu)] = static_cast<std::int32_t>(e);
     slot_of_half[2 * e + 1] = pu;
   });
@@ -53,8 +68,8 @@ void euler_halve(const graph::BipartiteGraph& g, std::vector<std::uint8_t>& aliv
   // Pair consecutive incident edges at every vertex: entering via the edge in
   // slot 2i leaves via slot 2i+1 and vice versa. This makes `succ` a
   // permutation of alive half-edges whose orbits are closed trails.
-  std::vector<std::int32_t> succ(nh);
-  pram::parallel_for(nh, [&](std::size_t h) {
+  auto succ = ws.take<std::int32_t>(nh);
+  pram::parallel_for_grain(nh, kGrain, [&](std::size_t h) {
     if (alive[h >> 1] == 0) {
       succ[h] = static_cast<std::int32_t>(h);
       return;
@@ -73,24 +88,28 @@ void euler_halve(const graph::BipartiteGraph& g, std::vector<std::uint8_t>& aliv
 
   // Label each directed trail, break at the label, rank, and keep the even
   // parity class. Trails in bipartite graphs have even length.
-  std::vector<std::int64_t> key(nh);
-  pram::parallel_for(nh, [&](std::size_t h) {
+  auto key = ws.take<std::int64_t>(nh);
+  pram::parallel_for_grain(nh, kGrain, [&](std::size_t h) {
     key[h] = alive[h >> 1] != 0 ? static_cast<std::int64_t>(h) : static_cast<std::int64_t>(nh);
   });
   pram::add_round(counters, nh);
-  const auto label = pram::window_min(succ, key, nh, counters);
+  auto label = ws.take<std::int64_t>(nh);
+  pram::window_min_into(succ.span(), key.span(), nh, label.span(), ws, counters);
 
-  std::vector<std::int32_t> broken(nh);
-  pram::parallel_for(nh, [&](std::size_t h) {
+  auto broken = ws.take<std::int32_t>(nh);
+  pram::parallel_for_grain(nh, kGrain, [&](std::size_t h) {
     broken[h] = label[h] == static_cast<std::int64_t>(h) ? static_cast<std::int32_t>(h) : succ[h];
   });
   pram::add_round(counters, nh);
-  const auto ranking = pram::list_rank(broken, counters);
+  auto head = ws.take<std::int32_t>(nh);
+  auto rank = ws.take<std::int64_t>(nh);
+  auto reaches = ws.take<std::uint8_t>(nh);
+  pram::list_rank_into(broken.span(), {head.span(), rank.span(), reaches.span()}, ws, counters);
 
-  std::vector<std::int64_t> len_at(nh, 0);
-  pram::parallel_for(nh, [&](std::size_t h) {
+  auto len_at = ws.take<std::int64_t>(nh, std::int64_t{0});
+  pram::parallel_for_grain(nh, kGrain, [&](std::size_t h) {
     if (alive[h >> 1] != 0 && label[h] == static_cast<std::int64_t>(h)) {
-      len_at[h] = ranking.rank[static_cast<std::size_t>(succ[h])] + 1;
+      len_at[h] = rank[static_cast<std::size_t>(succ[h])] + 1;
     }
   });
   pram::add_round(counters, nh);
@@ -98,19 +117,19 @@ void euler_halve(const graph::BipartiteGraph& g, std::vector<std::uint8_t>& aliv
   // Keep an edge iff the traversal carrying the smaller label sees it at even
   // distance from the root. Deciding from one traversal only keeps the
   // per-vertex counts exact (paired edges sit at adjacent trail positions).
-  std::vector<std::uint8_t> keep(m, 0);
-  pram::parallel_for(nh, [&](std::size_t h) {
+  auto keep = ws.take<std::uint8_t>(m, std::uint8_t{0});
+  pram::parallel_for_grain(nh, kGrain, [&](std::size_t h) {
     if (alive[h >> 1] == 0) return;
     const auto mine = label[h];
-    const auto other = label[static_cast<std::size_t>(h ^ 1)];
+    const auto other = label[h ^ 1];
     if (mine >= other) return;
     const std::int64_t len = len_at[static_cast<std::size_t>(mine)];
-    const std::int64_t d = (len - ranking.rank[h]) % len;
+    const std::int64_t d = (len - rank[h]) % len;
     if ((d & 1) == 0) keep[h >> 1] = 1;
   });
   pram::add_round(counters, nh);
 
-  pram::parallel_for(m, [&](std::size_t e) {
+  pram::parallel_for_grain(m, kGrain, [&](std::size_t e) {
     if (alive[e] != 0) alive[e] = keep[e];
   });
   pram::add_round(counters, m);
@@ -139,9 +158,10 @@ Matching regular_bipartite_perfect_matching(const graph::BipartiteGraph& g,
     throw std::invalid_argument("regular_bipartite_perfect_matching: degree must be a power of two");
   }
 
-  std::vector<std::uint8_t> alive(g.num_edges(), 1);
+  pram::Workspace ws;
+  auto alive = ws.take<std::uint8_t>(g.num_edges(), std::uint8_t{1});
   for (std::size_t cur = d; cur > 1; cur /= 2) {
-    euler_halve(g, alive, counters);
+    euler_halve(g, alive.span(), ws, counters);
   }
 
   Matching m(g.n_left(), g.n_right());

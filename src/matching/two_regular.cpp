@@ -11,67 +11,96 @@ namespace ncpm::matching {
 std::optional<std::vector<std::int32_t>> two_regular_perfect_matching(
     std::size_t n_vertices, std::span<const std::int32_t> eu, std::span<const std::int32_t> ev,
     std::span<const std::uint8_t> edge_alive, pram::NcCounters* counters) {
-  const graph::HalfEdgeStructure s(n_vertices, eu, ev, edge_alive, counters);
-  const std::size_t nh = s.n_half_edges();
+  pram::Workspace ws;
+  return two_regular_perfect_matching(n_vertices, eu, ev, edge_alive, ws, counters);
+}
 
-  // In a 2-regular graph no alive traversal may terminate.
+std::optional<std::vector<std::int32_t>> two_regular_perfect_matching(
+    std::size_t n_vertices, std::span<const std::int32_t> eu, std::span<const std::int32_t> ev,
+    std::span<const std::uint8_t> edge_alive, pram::Workspace& ws, pram::NcCounters* counters) {
+  const std::size_t m = eu.size();
+  if (ev.size() != m || (!edge_alive.empty() && edge_alive.size() != m)) {
+    throw std::invalid_argument("two_regular_perfect_matching: edge array size mismatch");
+  }
+  const auto alive = [&](std::size_t e) { return edge_alive.empty() || edge_alive[e] != 0; };
+  const bool bad = pram::parallel_any(m, [&](std::size_t e) {
+    if (!alive(e)) return false;
+    return eu[e] < 0 || ev[e] < 0 || static_cast<std::size_t>(eu[e]) >= n_vertices ||
+           static_cast<std::size_t>(ev[e]) >= n_vertices || eu[e] == ev[e];
+  });
+  if (bad) {
+    throw std::invalid_argument("two_regular_perfect_matching: bad alive edge");
+  }
+  const std::size_t nh = 2 * m;
+
+  // Degrees, two-slot incidence and successors for the touched vertices
+  // only — a 2-regular graph never needs the full CSR, and the cycle
+  // labelling below does its own ranking, so only the links stage runs.
+  graph::AliveEdgePaths paths(n_vertices, m, ws);
+  paths.rebuild_links(eu, ev, edge_alive, counters);
+  const std::span<const std::int32_t> succ = paths.succ();
+
+  // Dead or blocked half-edges are terminal. In a 2-regular graph no alive
+  // traversal may terminate, which stands in for the degree check.
   const bool terminal = pram::parallel_any(nh, [&](std::size_t h) {
-    return s.edge_alive(h >> 1) && s.ranking().reaches_terminal[h] != 0;
+    return alive(h >> 1) && succ[h] == static_cast<std::int32_t>(h);
   });
   if (terminal) {
     throw std::invalid_argument("two_regular_perfect_matching: a vertex has degree != 2");
   }
 
   // Label every *directed* cycle with its minimum alive half-edge id.
-  std::vector<std::int64_t> key(nh);
+  auto key = ws.take<std::int64_t>(nh);
   pram::parallel_for(nh, [&](std::size_t h) {
-    key[h] = s.edge_alive(h >> 1) ? static_cast<std::int64_t>(h)
-                                  : static_cast<std::int64_t>(nh);  // dead: +inf
+    key[h] = alive(h >> 1) ? static_cast<std::int64_t>(h)
+                           : static_cast<std::int64_t>(nh);  // dead: +inf
   });
   pram::add_round(counters, nh);
-  const auto label = pram::window_min(s.succ(), key, nh, counters);
+  auto label = ws.take<std::int64_t>(nh);
+  pram::window_min_into(succ, key.span(), nh, label.span(), ws, counters);
 
   // Break each directed cycle at its label and rank: rank[h] = dist(h -> root).
-  std::vector<std::int32_t> broken(nh);
+  auto broken = ws.take<std::int32_t>(nh);
   pram::parallel_for(nh, [&](std::size_t h) {
     const bool is_root = label[h] == static_cast<std::int64_t>(h);
-    broken[h] = is_root ? static_cast<std::int32_t>(h) : s.succ()[h];
+    broken[h] = is_root ? static_cast<std::int32_t>(h) : succ[h];
   });
   pram::add_round(counters, nh);
-  const auto ranking = pram::list_rank(broken, counters);
+  auto head = ws.take<std::int32_t>(nh);
+  auto rank = ws.take<std::int64_t>(nh);
+  auto reaches = ws.take<std::uint8_t>(nh);
+  pram::list_rank_into(broken.span(), {head.span(), rank.span(), reaches.span()}, ws, counters);
 
   // Cycle lengths, published at each root.
-  std::vector<std::int64_t> len_at(nh, 0);
+  auto len_at = ws.take<std::int64_t>(nh, std::int64_t{0});
   pram::parallel_for(nh, [&](std::size_t h) {
-    if (s.edge_alive(h >> 1) && label[h] == static_cast<std::int64_t>(h)) {
-      len_at[h] = ranking.rank[static_cast<std::size_t>(s.succ()[h])] + 1;
+    if (alive(h >> 1) && label[h] == static_cast<std::int64_t>(h)) {
+      len_at[h] = rank[static_cast<std::size_t>(succ[h])] + 1;
     }
   });
   pram::add_round(counters, nh);
 
   const bool odd = pram::parallel_any(nh, [&](std::size_t h) {
-    return s.edge_alive(h >> 1) && label[h] == static_cast<std::int64_t>(h) &&
-           (len_at[h] & 1) != 0;
+    return alive(h >> 1) && label[h] == static_cast<std::int64_t>(h) && (len_at[h] & 1) != 0;
   });
   if (odd) return std::nullopt;
 
   // Of the two traversals of an undirected cycle only the one carrying the
   // smaller label selects edges; it picks those at even distance from the root.
-  std::vector<std::uint8_t> selected(s.n_edges(), 0);
+  auto selected = ws.take<std::uint8_t>(m, std::uint8_t{0});
   pram::parallel_for(nh, [&](std::size_t h) {
-    if (!s.edge_alive(h >> 1)) return;
+    if (!alive(h >> 1)) return;
     const auto mine = label[h];
-    const auto other = label[static_cast<std::size_t>(graph::HalfEdgeStructure::rev(
-        static_cast<std::int32_t>(h)))];
+    const auto other = label[h ^ 1];
     if (mine >= other) return;
     const std::int64_t len = len_at[static_cast<std::size_t>(mine)];
-    const std::int64_t d_from_root = (len - ranking.rank[h]) % len;
+    const std::int64_t d_from_root = (len - rank[h]) % len;
     if ((d_from_root & 1) == 0) selected[h >> 1] = 1;
   });
   pram::add_round(counters, nh);
 
   std::vector<std::int32_t> out;
-  for (std::size_t e = 0; e < s.n_edges(); ++e) {
+  for (std::size_t e = 0; e < m; ++e) {
     if (selected[e] != 0) out.push_back(static_cast<std::int32_t>(e));
   }
   return out;

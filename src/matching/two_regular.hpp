@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "pram/counters.hpp"
+#include "pram/workspace.hpp"
 
 namespace ncpm::matching {
 
@@ -32,5 +33,14 @@ namespace ncpm::matching {
 std::optional<std::vector<std::int32_t>> two_regular_perfect_matching(
     std::size_t n_vertices, std::span<const std::int32_t> eu, std::span<const std::int32_t> ev,
     std::span<const std::uint8_t> edge_alive, pram::NcCounters* counters = nullptr);
+
+/// Workspace-backed variant: all scratch is leased from `ws`, so a warm
+/// workspace makes the whole pass allocation-free (except for the returned
+/// edge list). An empty `edge_alive` means every edge is alive — the shape
+/// the compacted round engine hands in.
+std::optional<std::vector<std::int32_t>> two_regular_perfect_matching(
+    std::size_t n_vertices, std::span<const std::int32_t> eu, std::span<const std::int32_t> ev,
+    std::span<const std::uint8_t> edge_alive, pram::Workspace& ws,
+    pram::NcCounters* counters = nullptr);
 
 }  // namespace ncpm::matching

@@ -27,6 +27,7 @@
 
 #include "pram/counters.hpp"
 #include "pram/parallel.hpp"
+#include "pram/workspace.hpp"
 
 namespace ncpm::pram {
 
@@ -111,6 +112,66 @@ inline ListRanking list_rank(std::span<const std::int32_t> next, NcCounters* cou
   return detail::list_rank_impl(next, [](std::size_t) { return std::int64_t{1}; }, counters);
 }
 
+/// Caller-provided destination arrays for the allocation-free ranking.
+struct ListRankingSpans {
+  std::span<std::int32_t> head;
+  std::span<std::int64_t> rank;
+  std::span<std::uint8_t> reaches_terminal;
+};
+
+/// Wyllie ranking into caller-provided arrays; doubling scratch is leased
+/// from `ws`, so a warm workspace makes the whole pass allocation-free.
+inline void list_rank_into(std::span<const std::int32_t> next, const ListRankingSpans& out,
+                           Workspace& ws, NcCounters* counters = nullptr) {
+  const std::size_t n = next.size();
+  if (out.head.size() != n || out.rank.size() != n || out.reaches_terminal.size() != n) {
+    throw std::invalid_argument("list_rank_into: output span size mismatch");
+  }
+  const bool bad = parallel_any(n, [&](std::size_t v) {
+    return next[v] < 0 || static_cast<std::size_t>(next[v]) >= n;
+  });
+  if (bad) throw std::out_of_range("list_rank_into: successor out of range");
+
+  auto tmp_head = ws.take<std::int32_t>(n);
+  auto tmp_rank = ws.take<std::int64_t>(n);
+  std::span<std::int32_t> head_cur = out.head;
+  std::span<std::int32_t> head_nxt = tmp_head.span();
+  std::span<std::int64_t> rank_cur = out.rank;
+  std::span<std::int64_t> rank_nxt = tmp_rank.span();
+
+  parallel_for(n, [&](std::size_t v) {
+    const std::int32_t nx = next[v];
+    head_cur[v] = nx;
+    rank_cur[v] = (static_cast<std::size_t>(nx) == v) ? 0 : 1;
+  });
+  add_round(counters, n);
+
+  const std::uint32_t rounds = ceil_log2(n) + 1;
+  for (std::uint32_t k = 0; k < rounds; ++k) {
+    parallel_for(n, [&](std::size_t v) {
+      const auto h = static_cast<std::size_t>(head_cur[v]);
+      rank_nxt[v] = rank_cur[v] + rank_cur[h];
+      head_nxt[v] = head_cur[h];
+    });
+    std::swap(head_cur, head_nxt);
+    std::swap(rank_cur, rank_nxt);
+    add_round(counters, n);
+  }
+  if (head_cur.data() != out.head.data()) {
+    parallel_for(n, [&](std::size_t v) {
+      out.head[v] = head_cur[v];
+      out.rank[v] = rank_cur[v];
+    });
+    add_round(counters, n);
+  }
+
+  parallel_for(n, [&](std::size_t v) {
+    const auto h = static_cast<std::size_t>(out.head[v]);
+    out.reaches_terminal[v] = (static_cast<std::size_t>(next[h]) == h) ? 1 : 0;
+  });
+  add_round(counters, n);
+}
+
 /// Weighted ranking: rank[v] = sum of weight[u] over every non-terminal u on
 /// the path from v (inclusive) to its terminal (exclusive).
 inline ListRanking weighted_list_rank(std::span<const std::int32_t> next,
@@ -177,6 +238,43 @@ inline std::vector<std::int64_t> window_min(std::span<const std::int32_t> next,
     add_round(counters, n);
   }
   return val;
+}
+
+/// window_min into a caller-provided array, doubling scratch from `ws`.
+inline void window_min_into(std::span<const std::int32_t> next, std::span<const std::int64_t> key,
+                            std::uint64_t window, std::span<std::int64_t> out, Workspace& ws,
+                            NcCounters* counters = nullptr) {
+  const std::size_t n = next.size();
+  if (key.size() != n || out.size() != n) {
+    throw std::invalid_argument("window_min_into: size mismatch");
+  }
+  auto tmp_val = ws.take<std::int64_t>(n);
+  auto jump_a = ws.take<std::int32_t>(n);
+  auto jump_b = ws.take<std::int32_t>(n);
+  std::span<std::int64_t> val_cur = out;
+  std::span<std::int64_t> val_nxt = tmp_val.span();
+  std::span<std::int32_t> jump_cur = jump_a.span();
+  std::span<std::int32_t> jump_nxt = jump_b.span();
+  parallel_for(n, [&](std::size_t v) {
+    val_cur[v] = key[v];
+    jump_cur[v] = next[v];
+  });
+  add_round(counters, n);
+  const std::uint32_t rounds = ceil_log2(window == 0 ? 1 : window);
+  for (std::uint32_t k = 0; k < rounds; ++k) {
+    parallel_for(n, [&](std::size_t v) {
+      const auto j = static_cast<std::size_t>(jump_cur[v]);
+      val_nxt[v] = val_cur[v] < val_cur[j] ? val_cur[v] : val_cur[j];
+      jump_nxt[v] = jump_cur[j];
+    });
+    std::swap(val_cur, val_nxt);
+    std::swap(jump_cur, jump_nxt);
+    add_round(counters, n);
+  }
+  if (val_cur.data() != out.data()) {
+    parallel_for(n, [&](std::size_t v) { out[v] = val_cur[v]; });
+    add_round(counters, n);
+  }
 }
 
 }  // namespace ncpm::pram

@@ -15,20 +15,22 @@
 
 #include "pram/counters.hpp"
 #include "pram/parallel.hpp"
+#include "pram/workspace.hpp"
 
 namespace ncpm::pram {
 
-/// Exclusive prefix sum of `in` into `out` (same length). Returns the total.
-/// `out[i] = in[0] + ... + in[i-1]`, `out[0] = 0`.
+namespace detail {
+
+/// Blocked two-pass exclusive scan over caller-provided block sums
+/// (`block_sum` must hold at least num_threads() elements).
 template <typename T>
-T exclusive_scan(std::span<const T> in, std::span<T> out, NcCounters* counters = nullptr) {
+T exclusive_scan_blocked(std::span<const T> in, std::span<T> out, std::span<T> block_sum,
+                         NcCounters* counters) {
   const std::size_t n = in.size();
-  if (n == 0) return T{};
   const std::size_t nthreads = static_cast<std::size_t>(num_threads());
   const std::size_t block = (n + nthreads - 1) / nthreads;
   const std::size_t nblocks = (n + block - 1) / block;
 
-  std::vector<T> block_sum(nblocks, T{});
   parallel_for(nblocks, [&](std::size_t b) {
     const std::size_t lo = b * block;
     const std::size_t hi = lo + block < n ? lo + block : n;
@@ -58,6 +60,27 @@ T exclusive_scan(std::span<const T> in, std::span<T> out, NcCounters* counters =
   });
   add_round(counters, n);
   return total;
+}
+
+}  // namespace detail
+
+/// Exclusive prefix sum of `in` into `out` (same length). Returns the total.
+/// `out[i] = in[0] + ... + in[i-1]`, `out[0] = 0`.
+template <typename T>
+T exclusive_scan(std::span<const T> in, std::span<T> out, NcCounters* counters = nullptr) {
+  if (in.empty()) return T{};
+  std::vector<T> block_sum(static_cast<std::size_t>(num_threads()), T{});
+  return detail::exclusive_scan_blocked(in, out, std::span<T>(block_sum), counters);
+}
+
+/// Exclusive scan with the per-block partial sums leased from `ws`:
+/// allocation-free once the workspace is warm.
+template <typename T>
+T exclusive_scan(std::span<const T> in, std::span<T> out, Workspace& ws,
+                 NcCounters* counters = nullptr) {
+  if (in.empty()) return T{};
+  auto block_sum = ws.take<T>(static_cast<std::size_t>(num_threads()));
+  return detail::exclusive_scan_blocked(in, out, block_sum.span(), counters);
 }
 
 /// Inclusive prefix sum: `out[i] = in[0] + ... + in[i]`. Returns the total.

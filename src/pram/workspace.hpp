@@ -1,0 +1,158 @@
+#pragma once
+// Reusable scratch arenas for the round-synchronous algorithms.
+//
+// Every round-structured algorithm in this library (Algorithm 2's while
+// loop, the Euler-split cascade, pointer-jumping passes, connected
+// components) needs the same families of scratch buffers over and over:
+// successor arrays, rank arrays, CSR offsets, flag and position arrays.
+// Allocating them anew each round makes the hot loop pay the allocator
+// instead of the hardware. A Workspace owns typed pools of buffers;
+// `take<T>(n)` leases one — growing it only when no pooled buffer is big
+// enough — and the lease hands the storage back on destruction. In steady
+// state, with capacities warmed up by the first round, taking and returning
+// buffers performs no heap allocation; `heap_allocations()` makes that
+// observable to tests and benchmarks.
+//
+// Leases must not outlive the workspace they came from. Buffer contents
+// start unspecified (stale data from an earlier lease) unless the fill
+// overload is used.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "pram/parallel.hpp"
+
+namespace ncpm::pram {
+
+class Workspace;
+
+namespace detail {
+template <typename T>
+void workspace_give_back(Workspace* ws, std::vector<T>&& buf);
+}  // namespace detail
+
+/// RAII lease of a scratch buffer from a Workspace. Move-only.
+template <typename T>
+class WsBuffer {
+ public:
+  WsBuffer() = default;
+  WsBuffer(WsBuffer&& other) noexcept
+      : ws_(std::exchange(other.ws_, nullptr)), buf_(std::move(other.buf_)) {}
+  WsBuffer& operator=(WsBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      ws_ = std::exchange(other.ws_, nullptr);
+      buf_ = std::move(other.buf_);
+    }
+    return *this;
+  }
+  WsBuffer(const WsBuffer&) = delete;
+  WsBuffer& operator=(const WsBuffer&) = delete;
+  ~WsBuffer() { release(); }
+
+  std::span<T> span() noexcept { return buf_; }
+  std::span<const T> span() const noexcept { return buf_; }
+  T* data() noexcept { return buf_.data(); }
+  std::size_t size() const noexcept { return buf_.size(); }
+  T& operator[](std::size_t i) { return buf_[i]; }
+  const T& operator[](std::size_t i) const { return buf_[i]; }
+
+ private:
+  friend class Workspace;
+  WsBuffer(Workspace* ws, std::vector<T>&& buf) : ws_(ws), buf_(std::move(buf)) {}
+  void release() {
+    if (ws_ != nullptr) {
+      detail::workspace_give_back<T>(ws_, std::move(buf_));
+      ws_ = nullptr;
+    }
+  }
+
+  Workspace* ws_ = nullptr;
+  std::vector<T> buf_;
+};
+
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Lease a buffer of `n` elements with unspecified contents. Prefers the
+  /// smallest pooled buffer whose capacity already fits; allocates (and
+  /// counts it) only when none does.
+  template <typename T>
+  WsBuffer<T> take(std::size_t n) {
+    auto& p = pool<T>();
+    std::vector<T> buf;
+    if (!p.empty()) {
+      // Best fit: smallest capacity >= n, else the largest available (it
+      // will grow the least).
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < p.size(); ++i) {
+        const bool best_fits = p[best].capacity() >= n;
+        const bool i_fits = p[i].capacity() >= n;
+        if ((i_fits && (!best_fits || p[i].capacity() < p[best].capacity())) ||
+            (!i_fits && !best_fits && p[i].capacity() > p[best].capacity())) {
+          best = i;
+        }
+      }
+      buf = std::move(p[best]);
+      p[best] = std::move(p.back());
+      p.pop_back();
+    }
+    const std::size_t cap_before = buf.capacity();
+    buf.resize(n);
+    if (buf.capacity() != cap_before) ++allocs_;
+    return WsBuffer<T>(this, std::move(buf));
+  }
+
+  /// Lease a buffer of `n` elements, every element set to `fill` (one
+  /// parallel round, not counted against any NcCounters).
+  template <typename T>
+  WsBuffer<T> take(std::size_t n, T fill) {
+    WsBuffer<T> out = take<T>(n);
+    T* const data = out.data();
+    parallel_for(n, [&](std::size_t i) { data[i] = fill; });
+    return out;
+  }
+
+  /// Number of heap growths this workspace has performed (buffer and pool
+  /// bookkeeping). Flat between two points in time == the region between
+  /// them ran allocation-free with respect to this workspace.
+  std::uint64_t heap_allocations() const noexcept { return allocs_; }
+
+ private:
+  template <typename T>
+  friend void detail::workspace_give_back(Workspace* ws, std::vector<T>&& buf);
+
+  template <typename T>
+  std::vector<std::vector<T>>& pool() {
+    return std::get<std::vector<std::vector<T>>>(pools_);
+  }
+
+  template <typename T>
+  void give_back(std::vector<T>&& buf) {
+    auto& p = pool<T>();
+    if (p.size() == p.capacity()) ++allocs_;  // the push below grows the pool
+    p.push_back(std::move(buf));
+  }
+
+  std::uint64_t allocs_ = 0;
+  std::tuple<std::vector<std::vector<std::int32_t>>, std::vector<std::vector<std::int64_t>>,
+             std::vector<std::vector<std::uint8_t>>, std::vector<std::vector<std::uint32_t>>,
+             std::vector<std::vector<std::uint64_t>>>
+      pools_;
+};
+
+namespace detail {
+template <typename T>
+void workspace_give_back(Workspace* ws, std::vector<T>&& buf) {
+  ws->give_back<T>(std::move(buf));
+}
+}  // namespace detail
+
+}  // namespace ncpm::pram

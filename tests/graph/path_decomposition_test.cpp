@@ -24,6 +24,35 @@ TEST(HalfEdge, SourceTargetRevEdge) {
   EXPECT_EQ(s.out_of(2, 1), 3);
 }
 
+TEST(HalfEdge, RebuildReusesTheStructureAcrossGraphs) {
+  pram::Workspace ws;
+  HalfEdgeStructure s;
+  // First build: the path 0 - 1 - 2 - 3.
+  {
+    const std::vector<std::int32_t> eu{0, 1, 2};
+    const std::vector<std::int32_t> ev{1, 2, 3};
+    const std::vector<std::uint8_t> alive{1, 1, 1};
+    s.rebuild(4, eu, ev, alive, ws);
+    EXPECT_EQ(s.n_edges(), 3u);
+    EXPECT_EQ(s.degree(1), 2);
+    EXPECT_EQ(s.ranking().head[0], 4);
+  }
+  // Rebuild in place over a smaller graph with a mask; results must match a
+  // from-scratch construction exactly.
+  const std::vector<std::int32_t> eu{0, 1};
+  const std::vector<std::int32_t> ev{1, 2};
+  const std::vector<std::uint8_t> alive{1, 0};
+  s.rebuild(3, eu, ev, alive, ws);
+  const HalfEdgeStructure fresh(3, eu, ev, alive);
+  ASSERT_EQ(s.n_edges(), fresh.n_edges());
+  for (std::int32_t v = 0; v < 3; ++v) EXPECT_EQ(s.degree(v), fresh.degree(v));
+  for (std::size_t h = 0; h < s.n_half_edges(); ++h) {
+    EXPECT_EQ(s.succ()[h], fresh.succ()[h]) << "half-edge " << h;
+    EXPECT_EQ(s.ranking().rank[h], fresh.ranking().rank[h]) << "half-edge " << h;
+    EXPECT_EQ(s.ranking().head[h], fresh.ranking().head[h]) << "half-edge " << h;
+  }
+}
+
 TEST(HalfEdge, PathChainsThroughDegreeTwoVertices) {
   // Path 0 - 1 - 2 - 3: vertices 1, 2 have degree 2.
   const std::vector<std::int32_t> eu{0, 1, 2};

@@ -1,0 +1,105 @@
+// The reusable-workspace contract: leases have the requested size, returned
+// buffers are recycled, and a warm workspace serves take/return cycles with
+// zero heap growth — the property the round engine's zero-allocation
+// guarantee is built on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "pram/workspace.hpp"
+
+namespace ncpm::pram {
+namespace {
+
+TEST(Workspace, TakeYieldsRequestedSizeAndFill) {
+  Workspace ws;
+  auto a = ws.take<std::int32_t>(100);
+  EXPECT_EQ(a.size(), 100u);
+  auto b = ws.take<std::int64_t>(7, std::int64_t{42});
+  ASSERT_EQ(b.size(), 7u);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_EQ(b[i], 42);
+}
+
+TEST(Workspace, WarmReuseDoesNotAllocate) {
+  Workspace ws;
+  {
+    auto a = ws.take<std::int32_t>(1000);
+    auto b = ws.take<std::int32_t>(500);
+    auto c = ws.take<std::uint8_t>(2000);
+    a[0] = 1;
+    b[0] = 2;
+    c[0] = 3;
+  }
+  const std::uint64_t warm = ws.heap_allocations();
+  for (int round = 0; round < 10; ++round) {
+    auto a = ws.take<std::int32_t>(1000);
+    auto b = ws.take<std::int32_t>(500);
+    auto c = ws.take<std::uint8_t>(2000);
+    a[0] = round;
+    b[0] = round;
+    c[0] = static_cast<std::uint8_t>(round);
+  }
+  EXPECT_EQ(ws.heap_allocations(), warm);
+}
+
+TEST(Workspace, ShrinkingRequestsReuseTheLargeBuffer) {
+  Workspace ws;
+  { auto a = ws.take<std::int64_t>(4096); a[0] = 0; }
+  const std::uint64_t warm = ws.heap_allocations();
+  for (std::size_t n = 4096; n > 0; n /= 2) {
+    auto a = ws.take<std::int64_t>(n);
+    EXPECT_EQ(a.size(), n);
+  }
+  EXPECT_EQ(ws.heap_allocations(), warm);
+}
+
+TEST(Workspace, BestFitPrefersSmallestSufficientBuffer) {
+  Workspace ws;
+  {
+    auto small = ws.take<std::int32_t>(10);
+    auto big = ws.take<std::int32_t>(10000);
+    small[0] = 1;
+    big[0] = 1;
+  }
+  const std::uint64_t warm = ws.heap_allocations();
+  {
+    // Asking for 10 must not grow anything, and must leave the 10000-cap
+    // buffer available for the concurrent big request.
+    auto small_again = ws.take<std::int32_t>(10);
+    auto big_again = ws.take<std::int32_t>(10000);
+    EXPECT_EQ(small_again.size(), 10u);
+    EXPECT_EQ(big_again.size(), 10000u);
+  }
+  EXPECT_EQ(ws.heap_allocations(), warm);
+}
+
+TEST(Workspace, MoveTransfersOwnership) {
+  Workspace ws;
+  auto a = ws.take<std::int32_t>(64);
+  a[63] = 9;
+  WsBuffer<std::int32_t> b = std::move(a);
+  EXPECT_EQ(b.size(), 64u);
+  EXPECT_EQ(b[63], 9);
+  WsBuffer<std::int32_t> c;
+  c = std::move(b);
+  EXPECT_EQ(c.size(), 64u);
+  EXPECT_EQ(c[63], 9);
+}
+
+TEST(Workspace, GrowthIsCountedExactly) {
+  Workspace ws;
+  const std::uint64_t before = ws.heap_allocations();
+  { auto a = ws.take<std::int32_t>(100); a[0] = 0; }
+  EXPECT_GT(ws.heap_allocations(), before);
+  const std::uint64_t warm = ws.heap_allocations();
+  { auto a = ws.take<std::int32_t>(100); a[0] = 0; }
+  EXPECT_EQ(ws.heap_allocations(), warm);
+  // Growing the same buffer is a new allocation.
+  { auto a = ws.take<std::int32_t>(100000); a[0] = 0; }
+  EXPECT_GT(ws.heap_allocations(), warm);
+}
+
+}  // namespace
+}  // namespace ncpm::pram
