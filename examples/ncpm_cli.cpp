@@ -1,99 +1,97 @@
-// ncpm_cli — command-line front end over the text formats of gen/io.hpp.
+// ncpm_cli — command-line front end over the engine subsystem and the
+// text/binary formats of gen/io.hpp and gen/io_binary.hpp.
 //
-//   ncpm_cli solve < instance.txt          popular matching (Algorithm 1)
-//   ncpm_cli max-card < instance.txt       largest popular matching (Alg. 3)
-//   ncpm_cli fair | rank-maximal < ...     Section IV-E variants
-//   ncpm_cli count < instance.txt          number of popular matchings
-//   ncpm_cli check < instance.txt          existence + statistics only
-//   ncpm_cli next-stable < stable.txt      rotations exposed in M0 (Alg. 4)
-//   ncpm_cli rotations < stable.txt        the instance's full rotation set
-//   ncpm_cli gen-popular N P SEED          emit a random strict instance
-//   ncpm_cli gen-stable N SEED             emit a random stable instance
+//   ncpm_cli solve [file] [--threads N]       popular matching (Algorithm 1)
+//   ncpm_cli max-card [file]                  largest popular matching (Alg. 3)
+//   ncpm_cli fair | rank-maximal [file]       Section IV-E variants
+//   ncpm_cli count [file]                     number of popular matchings
+//   ncpm_cli check [file]                     existence + statistics only
+//   ncpm_cli next-stable [file]               rotations exposed in M0 (Alg. 4)
+//   ncpm_cli rotations [file]                 the instance's full rotation set
+//   ncpm_cli batch FILE [--threads N] [--mode M]
+//                                             solve an ncpm-binary batch file
+//   ncpm_cli pack OUT.bin IN.txt [IN2.txt..]  text instances -> binary batch
+//   ncpm_cli gen-popular N P SEED             emit a random strict instance
+//   ncpm_cli gen-stable N SEED                emit a random stable instance
+//   ncpm_cli gen-batch COUNT N P SEED OUT.bin random solvable binary batch
 //
-// Instances are read from stdin; matchings / instances are written to
-// stdout in the formats documented in gen/io.hpp.
+// Instances are read from the optional input file (stdin when omitted);
+// matchings / instances are written to stdout in the formats documented in
+// gen/io.hpp. Every solving mode dispatches one engine::Request through an
+// engine::Engine — the same per-mode code path the batch subcommand fans
+// out across worker threads.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
-#include "core/max_card_popular.hpp"
-#include "core/optimal_popular.hpp"
-#include "core/popular_matching.hpp"
-#include "core/switching_graph.hpp"
-#include "core/ties.hpp"
-#include "core/verify.hpp"
+#include "engine/engine.hpp"
 #include "gen/generators.hpp"
 #include "gen/io.hpp"
+#include "gen/io_binary.hpp"
 #include "gen/stable_generators.hpp"
-#include "stable/gale_shapley.hpp"
-#include "stable/next_stable.hpp"
+#include "pram/parallel.hpp"
+#include "stable/rotations.hpp"
 
 namespace {
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: ncpm_cli solve|max-card|fair|rank-maximal|count|check < instance.txt\n"
-               "       ncpm_cli next-stable|rotations < stable.txt\n"
-               "       ncpm_cli gen-popular N P SEED | gen-stable N SEED\n");
+  std::fprintf(
+      stderr,
+      "usage: ncpm_cli solve|max-card|fair|rank-maximal|count|check [file] [--threads N]\n"
+      "       ncpm_cli next-stable|rotations [file]\n"
+      "       ncpm_cli batch FILE [--threads N] [--mode M]\n"
+      "       ncpm_cli pack OUT.bin IN.txt [IN2.txt ...]\n"
+      "       ncpm_cli gen-popular N P SEED | gen-stable N SEED\n"
+      "       ncpm_cli gen-batch COUNT N P SEED OUT.bin\n");
   return 2;
 }
 
-int emit_matching(const ncpm::core::Instance& inst,
-                  const std::optional<ncpm::matching::Matching>& m) {
-  if (!m.has_value()) {
-    std::printf("no popular matching exists\n");
-    return 1;
+struct Options {
+  std::vector<std::string> positional;
+  int threads = 0;             // 0 = unset (mode-dependent default)
+  std::string mode = "solve";  // batch submode
+};
+
+bool parse_flags(int argc, char** argv, Options& opts) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads") {
+      if (++i >= argc) return false;
+      opts.threads = std::atoi(argv[i]);
+      if (opts.threads < 1) return false;
+    } else if (arg == "--mode") {
+      if (++i >= argc) return false;
+      opts.mode = argv[i];
+    } else if (arg.rfind("--", 0) == 0) {
+      return false;
+    } else {
+      opts.positional.push_back(arg);
+    }
   }
-  std::fprintf(stderr, "size %zu of %d applicants\n", ncpm::core::matching_size(inst, *m),
-               inst.num_applicants());
-  std::fputs(ncpm::io::write_matching(*m).c_str(), stdout);
-  return 0;
+  return true;
 }
 
-int run_popular(const std::string& mode) {
-  const auto inst = ncpm::io::read_instance(std::cin);
-  if (mode == "check") {
-    const bool strict = inst.strict_prefs();
-    const auto m = strict ? ncpm::core::find_popular_matching(inst)
-                          : ncpm::core::find_popular_matching_ties(inst);
-    std::printf("applicants %d posts %d %s\n", inst.num_applicants(), inst.num_posts(),
-                strict ? "strict" : "ties");
-    if (!m.has_value()) {
-      std::printf("admits_popular no\n");
-    } else {
-      std::printf("admits_popular yes\nsize %zu\n", ncpm::core::matching_size(inst, *m));
-      if (strict) {
-        const auto count = ncpm::core::count_popular_matchings(inst);
-        std::printf("popular_matchings %llu\n", static_cast<unsigned long long>(*count));
-      }
-    }
-    return 0;
+/// Read the whole instance document from the given file (or stdin).
+std::string slurp_input(const Options& opts) {
+  if (opts.positional.empty()) {
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    return buf.str();
   }
-  if (!inst.strict_prefs()) {
-    if (mode != "solve") {
-      std::fprintf(stderr, "mode '%s' requires strict preferences; use 'solve'\n", mode.c_str());
-      return 2;
-    }
-    return emit_matching(inst, ncpm::core::find_popular_matching_ties(inst));
+  std::ifstream file(opts.positional.front(), std::ios::binary);
+  if (!file) {
+    throw std::runtime_error("cannot open input file '" + opts.positional.front() + "'");
   }
-  if (mode == "solve") return emit_matching(inst, ncpm::core::find_popular_matching(inst));
-  if (mode == "max-card") return emit_matching(inst, ncpm::core::find_max_card_popular(inst));
-  if (mode == "fair") return emit_matching(inst, ncpm::core::find_fair_popular(inst));
-  if (mode == "rank-maximal") {
-    return emit_matching(inst, ncpm::core::find_rank_maximal_popular(inst));
-  }
-  if (mode == "count") {
-    const auto count = ncpm::core::count_popular_matchings(inst);
-    if (!count.has_value()) {
-      std::printf("no popular matching exists\n");
-      return 1;
-    }
-    std::printf("%llu\n", static_cast<unsigned long long>(*count));
-    return 0;
-  }
-  return usage();
+  std::ostringstream buf;
+  buf << file.rdbuf();
+  return buf.str();
 }
 
 void print_rotation(const ncpm::stable::Rotation& rho) {
@@ -101,27 +99,219 @@ void print_rotation(const ncpm::stable::Rotation& rho) {
   std::printf("\n");
 }
 
-int run_stable(const std::string& mode) {
-  const auto inst = ncpm::io::read_stable_instance(std::cin);
-  if (mode == "next-stable") {
-    const auto m0 = ncpm::stable::man_optimal(inst);
-    const auto result = ncpm::stable::next_stable_matchings(inst, m0);
-    if (result.is_woman_optimal) {
-      std::printf("man-optimal == woman-optimal: unique stable matching\n");
+/// Render one engine Result the way the pre-engine CLI printed each mode.
+int print_result(const ncpm::engine::Result& res) {
+  using ncpm::engine::Mode;
+  using ncpm::engine::Status;
+  switch (res.status) {
+    case Status::kNoSolution:
+      if (res.mode == Mode::kCheck && res.check.has_value()) break;  // printed below
+      std::printf("no popular matching exists\n");
+      return 1;
+    case Status::kInvalid:
+    case Status::kError:
+      std::fprintf(stderr, "error: %s\n", res.error.c_str());
+      return 2;
+    case Status::kDeadlineExpired:
+    case Status::kCancelled:
+      std::fprintf(stderr, "error: request %s\n",
+                   std::string(ncpm::engine::status_name(res.status)).c_str());
+      return 2;
+    case Status::kOk:
+      break;
+  }
+
+  switch (res.mode) {
+    case Mode::kSolve:
+    case Mode::kMaxCard:
+    case Mode::kFair:
+    case Mode::kRankMaximal:
+      std::fprintf(stderr, "size %zu of %d applicants\n", res.matching_size, res.applicants);
+      std::fputs(ncpm::io::write_matching(*res.matching).c_str(), stdout);
+      return 0;
+    case Mode::kCount:
+      std::printf("%llu\n", static_cast<unsigned long long>(*res.count));
+      return 0;
+    case Mode::kCheck: {
+      const auto& report = *res.check;
+      std::printf("applicants %d posts %d %s\n", report.applicants, report.posts,
+                  report.strict ? "strict" : "ties");
+      if (!report.admits_popular) {
+        std::printf("admits_popular no\n");
+      } else {
+        std::printf("admits_popular yes\nsize %zu\n", report.size);
+        if (report.count.has_value()) {
+          std::printf("popular_matchings %llu\n",
+                      static_cast<unsigned long long>(*report.count));
+        }
+      }
       return 0;
     }
-    std::printf("%zu rotation(s) exposed in the man-optimal matching:\n",
-                result.rotations.size());
-    for (const auto& rho : result.rotations) print_rotation(rho);
-    return 0;
+    case Mode::kNextStable: {
+      const auto& result = *res.next_stable;
+      if (result.is_woman_optimal) {
+        std::printf("man-optimal == woman-optimal: unique stable matching\n");
+        return 0;
+      }
+      std::printf("%zu rotation(s) exposed in the man-optimal matching:\n",
+                  result.rotations.size());
+      for (const auto& rho : result.rotations) print_rotation(rho);
+      return 0;
+    }
   }
-  if (mode == "rotations") {
-    const auto rotations = ncpm::stable::all_rotations(inst);
-    std::printf("%zu rotation(s) in the instance:\n", rotations.size());
-    for (const auto& rho : rotations) print_rotation(rho);
-    return 0;
+  return 2;
+}
+
+/// Single-request path: every mode is one Request through a small engine.
+int run_engine_mode(ncpm::engine::Mode mode, const Options& opts) {
+  ncpm::engine::Request request;
+  if (mode == ncpm::engine::Mode::kNextStable) {
+    request = ncpm::engine::Request::next_stable(
+        ncpm::io::read_stable_instance(slurp_input(opts)));
+  } else {
+    request = ncpm::engine::Request::popular(mode, ncpm::io::read_instance(slurp_input(opts)));
   }
-  return usage();
+  // One request, one worker: --threads sets the solve's own OpenMP team,
+  // defaulting to the ambient team size (all cores) as the pre-engine CLI did.
+  const int solver_threads = opts.threads > 0 ? opts.threads : ncpm::pram::num_threads();
+  ncpm::engine::Engine engine({/*num_workers=*/1, solver_threads});
+  return print_result(engine.submit(std::move(request)).get());
+}
+
+int run_rotations(const Options& opts) {
+  const auto inst = ncpm::io::read_stable_instance(slurp_input(opts));
+  const auto rotations = ncpm::stable::all_rotations(inst);
+  std::printf("%zu rotation(s) in the instance:\n", rotations.size());
+  for (const auto& rho : rotations) print_rotation(rho);
+  return 0;
+}
+
+int run_batch(const Options& opts) {
+  if (opts.positional.size() != 1) return usage();
+  const auto mode = ncpm::engine::parse_mode(opts.mode);
+  if (!mode.has_value() || *mode == ncpm::engine::Mode::kNextStable) {
+    std::fprintf(stderr, "error: batch mode '%s' is not a popular-matching mode\n",
+                 opts.mode.c_str());
+    return 2;
+  }
+  std::ifstream file(opts.positional.front(), std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot open batch file '%s'\n",
+                 opts.positional.front().c_str());
+    return 2;
+  }
+  auto instances = ncpm::io::read_binary_instances(file);
+  if (instances.empty()) {
+    std::fprintf(stderr, "error: batch file holds no instances\n");
+    return 2;
+  }
+
+  // Batch throughput scales across workers, one OpenMP thread each.
+  ncpm::engine::Engine engine(
+      {/*num_workers=*/opts.threads > 0 ? opts.threads : 1, /*solver_threads=*/1});
+  std::vector<ncpm::engine::Request> requests;
+  requests.reserve(instances.size());
+  for (auto& inst : instances) {
+    requests.push_back(ncpm::engine::Request::popular(*mode, std::move(inst)));
+  }
+  const auto started = std::chrono::steady_clock::now();
+  auto futures = engine.submit_batch(std::move(requests));
+
+  std::size_t solved = 0;
+  std::size_t no_solution = 0;
+  std::size_t failed = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const auto res = futures[i].get();
+    switch (res.status) {
+      case ncpm::engine::Status::kOk:
+        ++solved;
+        if (res.matching.has_value()) {
+          std::printf("[%zu] ok size %zu\n", i, res.matching_size);
+        } else if (res.count.has_value()) {
+          std::printf("[%zu] ok count %llu\n", i,
+                      static_cast<unsigned long long>(*res.count));
+        } else {
+          std::printf("[%zu] ok\n", i);
+        }
+        break;
+      case ncpm::engine::Status::kNoSolution:
+        ++no_solution;
+        std::printf("[%zu] no-popular\n", i);
+        break;
+      default:
+        ++failed;
+        std::printf("[%zu] %s %s\n", i,
+                    std::string(ncpm::engine::status_name(res.status)).c_str(),
+                    res.error.c_str());
+        break;
+    }
+  }
+  const auto elapsed = std::chrono::duration_cast<std::chrono::duration<double>>(
+      std::chrono::steady_clock::now() - started);
+
+  const auto stats = engine.stats();
+  std::fprintf(stderr,
+               "batch: %zu instances, %zu solved, %zu without popular matching, %zu failed\n",
+               futures.size(), solved, no_solution, failed);
+  std::fprintf(stderr, "engine: %d worker(s), %.0f instances/sec, mean queue latency %.1f us\n",
+               engine.num_workers(),
+               static_cast<double>(futures.size()) / (elapsed.count() > 0 ? elapsed.count() : 1),
+               stats.completed == 0 ? 0.0
+                                    : static_cast<double>(stats.queue_ns_total) / 1e3 /
+                                          static_cast<double>(stats.completed));
+  std::fprintf(stderr, "engine: workspace allocations per worker:");
+  for (const auto allocs : stats.workspace_allocs_per_worker) {
+    std::fprintf(stderr, " %llu", static_cast<unsigned long long>(allocs));
+  }
+  std::fprintf(stderr, "\n");
+  return failed == 0 ? 0 : 2;
+}
+
+int run_pack(const Options& opts) {
+  if (opts.positional.size() < 2) return usage();
+  // Read and parse every input before opening (and truncating) the output,
+  // so a mistyped input file cannot destroy an existing batch file.
+  std::vector<ncpm::core::Instance> instances;
+  instances.reserve(opts.positional.size() - 1);
+  for (std::size_t i = 1; i < opts.positional.size(); ++i) {
+    std::ifstream in(opts.positional[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open input file '%s'\n", opts.positional[i].c_str());
+      return 2;
+    }
+    instances.push_back(ncpm::io::read_instance(in));
+  }
+  std::ofstream out(opts.positional.front(), std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open output file '%s'\n",
+                 opts.positional.front().c_str());
+    return 2;
+  }
+  ncpm::io::write_binary_header(out);
+  for (const auto& inst : instances) ncpm::io::write_binary_instance(out, inst);
+  return 0;
+}
+
+int run_gen_batch(int argc, char** argv) {
+  if (argc != 7) return usage();
+  const int count = std::atoi(argv[2]);
+  ncpm::gen::SolvableConfig cfg;
+  cfg.num_applicants = std::atoi(argv[3]);
+  cfg.num_posts = std::atoi(argv[4]);
+  const auto seed = static_cast<std::uint64_t>(std::atoll(argv[5]));
+  // Validate the arguments before opening (and truncating) the output file.
+  if (count < 1 || cfg.num_applicants < 1 || cfg.num_posts < 1) return usage();
+  std::ofstream out(argv[6], std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open output file '%s'\n", argv[6]);
+    return 2;
+  }
+  ncpm::io::write_binary_header(out);
+  for (int i = 0; i < count; ++i) {
+    cfg.seed = seed + static_cast<std::uint64_t>(i);
+    ncpm::io::write_binary_instance(out, ncpm::gen::solvable_strict_instance(cfg));
+  }
+  return 0;
 }
 
 }  // namespace
@@ -129,6 +319,7 @@ int run_stable(const std::string& mode) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string mode = argv[1];
+  Options opts;
   try {
     if (mode == "gen-popular") {
       if (argc != 5) return usage();
@@ -148,8 +339,18 @@ int main(int argc, char** argv) {
                  stdout);
       return 0;
     }
-    if (mode == "next-stable" || mode == "rotations") return run_stable(mode);
-    return run_popular(mode);
+    if (mode == "gen-batch") return run_gen_batch(argc, argv);
+    if (!parse_flags(argc, argv, opts)) return usage();
+    if (mode == "batch") return run_batch(opts);
+    if (mode == "pack") return run_pack(opts);
+    if (mode == "rotations") {
+      if (opts.positional.size() > 1) return usage();
+      return run_rotations(opts);
+    }
+    if (opts.positional.size() > 1) return usage();
+    const auto engine_mode = ncpm::engine::parse_mode(mode);
+    if (!engine_mode.has_value()) return usage();
+    return run_engine_mode(*engine_mode, opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;

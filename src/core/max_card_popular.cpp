@@ -8,19 +8,33 @@
 namespace ncpm::core {
 
 matching::Matching maximize_cardinality(const Instance& inst, const matching::Matching& popular,
-                                        pram::NcCounters* counters) {
+                                        pram::Workspace& ws, pram::NcCounters* counters) {
   const ReducedGraph rg = build_reduced_graph(inst, counters);
   const SwitchingEngine engine(inst, rg, popular, counters);
 
   // Definition 4: a post is worth 1 unless it is a last resort.
   const auto n_ext = static_cast<std::size_t>(inst.total_posts());
-  std::vector<std::int64_t> value(n_ext);
+  auto value = ws.take<std::int64_t>(n_ext);
+  std::int64_t* const value_data = value.data();
   pram::parallel_for(n_ext, [&](std::size_t p) {
-    value[p] = inst.is_last_resort(static_cast<std::int32_t>(p)) ? 0 : 1;
+    value_data[p] = inst.is_last_resort(static_cast<std::int32_t>(p)) ? 0 : 1;
   });
   pram::add_round(counters, n_ext);
 
-  return engine.apply_best(value, counters);
+  return engine.apply_best(value.span(), counters);
+}
+
+matching::Matching maximize_cardinality(const Instance& inst, const matching::Matching& popular,
+                                        pram::NcCounters* counters) {
+  pram::Workspace ws;
+  return maximize_cardinality(inst, popular, ws, counters);
+}
+
+std::optional<matching::Matching> find_max_card_popular(const Instance& inst, pram::Workspace& ws,
+                                                        pram::NcCounters* counters) {
+  const auto popular = find_popular_matching(inst, ws, counters);
+  if (!popular.has_value()) return std::nullopt;
+  return maximize_cardinality(inst, *popular, ws, counters);
 }
 
 std::optional<matching::Matching> find_max_card_popular(const Instance& inst,
@@ -28,9 +42,7 @@ std::optional<matching::Matching> find_max_card_popular(const Instance& inst,
   // One workspace per call: Algorithm 2's round scratch is warmed once and
   // reused by every pass of the pipeline.
   pram::Workspace ws;
-  const auto popular = find_popular_matching(inst, ws, counters);
-  if (!popular.has_value()) return std::nullopt;
-  return maximize_cardinality(inst, *popular, counters);
+  return find_max_card_popular(inst, ws, counters);
 }
 
 }  // namespace ncpm::core

@@ -22,7 +22,7 @@ std::size_t bucket_of(const Instance& inst, std::int32_t a, std::int32_t p, std:
 }  // namespace
 
 matching::Matching optimize_weight(const Instance& inst, const matching::Matching& popular,
-                                   const WeightFn& weight, bool maximize,
+                                   const WeightFn& weight, bool maximize, pram::Workspace& ws,
                                    pram::NcCounters* counters) {
   const ReducedGraph rg = build_reduced_graph(inst, counters);
   const SwitchingEngine engine(inst, rg, popular, counters);
@@ -30,7 +30,7 @@ matching::Matching optimize_weight(const Instance& inst, const matching::Matchin
 
   // Per-vertex delta: gain for the out-edge applicant when it switches.
   // WeightFn is user code — evaluate sequentially (it may not be thread-safe).
-  std::vector<std::int64_t> delta(n_ext, 0);
+  auto delta = ws.take<std::int64_t>(n_ext, std::int64_t{0});
   const auto out = engine.out_applicant();
   for (std::size_t v = 0; v < n_ext; ++v) {
     const std::int32_t a = out[v];
@@ -41,18 +41,32 @@ matching::Matching optimize_weight(const Instance& inst, const matching::Matchin
   }
   pram::add_round(counters, n_ext);
 
-  const auto report = engine.margins_from_deltas(delta, counters);
+  const auto report = engine.margins_from_deltas(delta.span(), counters);
   const auto choices = engine.best_choices(report, counters);
   return engine.apply(choices, counters);
+}
+
+matching::Matching optimize_weight(const Instance& inst, const matching::Matching& popular,
+                                   const WeightFn& weight, bool maximize,
+                                   pram::NcCounters* counters) {
+  pram::Workspace ws;
+  return optimize_weight(inst, popular, weight, maximize, ws, counters);
+}
+
+std::optional<matching::Matching> find_optimal_popular(const Instance& inst,
+                                                       const WeightFn& weight, bool maximize,
+                                                       pram::Workspace& ws,
+                                                       pram::NcCounters* counters) {
+  const auto popular = find_popular_matching(inst, ws, counters);
+  if (!popular.has_value()) return std::nullopt;
+  return optimize_weight(inst, *popular, weight, maximize, ws, counters);
 }
 
 std::optional<matching::Matching> find_optimal_popular(const Instance& inst,
                                                        const WeightFn& weight, bool maximize,
                                                        pram::NcCounters* counters) {
   pram::Workspace ws;
-  const auto popular = find_popular_matching(inst, ws, counters);
-  if (!popular.has_value()) return std::nullopt;
-  return optimize_weight(inst, *popular, weight, maximize, counters);
+  return find_optimal_popular(inst, weight, maximize, ws, counters);
 }
 
 Profile matching_profile(const Instance& inst, const matching::Matching& m) {
@@ -74,7 +88,7 @@ namespace {
 /// improves on y.
 matching::Matching optimize_profile(const Instance& inst, const matching::Matching& popular,
                                     const std::function<bool(const Profile&, const Profile&)>& better,
-                                    pram::NcCounters* counters) {
+                                    pram::Workspace& ws, pram::NcCounters* counters) {
   const ReducedGraph rg = build_reduced_graph(inst, counters);
   const SwitchingEngine engine(inst, rg, popular, counters);
   const std::size_t n_ext = engine.pseudoforest().size();
@@ -84,21 +98,24 @@ matching::Matching optimize_profile(const Instance& inst, const matching::Matchi
 
   // One int64 margin pass per profile bucket; a switch's profile delta at
   // vertex v is +1 in the bucket of the new post, -1 in the old post's.
+  // The delta buffer is leased once and rewritten per bucket.
+  auto delta = ws.take<std::int64_t>(n_ext);
+  std::int64_t* const delta_data = delta.data();
   std::vector<SwitchingEngine::MarginReport> reports;
   reports.reserve(dim);
   for (std::size_t k = 0; k < dim; ++k) {
-    std::vector<std::int64_t> delta(n_ext, 0);
     pram::parallel_for(n_ext, [&](std::size_t v) {
       const std::int32_t a = out[v];
-      if (a == kNone) return;
-      const std::int32_t to = pf.next[v];
       std::int64_t d = 0;
-      if (bucket_of(inst, a, to, dim) == k) ++d;
-      if (bucket_of(inst, a, static_cast<std::int32_t>(v), dim) == k) --d;
-      delta[v] = d;
+      if (a != kNone) {
+        const std::int32_t to = pf.next[v];
+        if (bucket_of(inst, a, to, dim) == k) ++d;
+        if (bucket_of(inst, a, static_cast<std::int32_t>(v), dim) == k) --d;
+      }
+      delta_data[v] = d;
     });
     pram::add_round(counters, n_ext);
-    reports.push_back(engine.margins_from_deltas(delta, counters));
+    reports.push_back(engine.margins_from_deltas(delta.span(), counters));
   }
 
   const auto path_profile = [&](std::int32_t q) {
@@ -152,24 +169,35 @@ matching::Matching optimize_profile(const Instance& inst, const matching::Matchi
 }  // namespace
 
 std::optional<matching::Matching> find_rank_maximal_popular(const Instance& inst,
+                                                            pram::Workspace& ws,
                                                             pram::NcCounters* counters) {
-  pram::Workspace ws;
   const auto popular = find_popular_matching(inst, ws, counters);
   if (!popular.has_value()) return std::nullopt;
   return optimize_profile(
       inst, *popular,
-      [](const Profile& x, const Profile& y) { return Profile::rank_maximal_less(y, x); },
+      [](const Profile& x, const Profile& y) { return Profile::rank_maximal_less(y, x); }, ws,
       counters);
+}
+
+std::optional<matching::Matching> find_rank_maximal_popular(const Instance& inst,
+                                                            pram::NcCounters* counters) {
+  pram::Workspace ws;
+  return find_rank_maximal_popular(inst, ws, counters);
+}
+
+std::optional<matching::Matching> find_fair_popular(const Instance& inst, pram::Workspace& ws,
+                                                    pram::NcCounters* counters) {
+  const auto popular = find_popular_matching(inst, ws, counters);
+  if (!popular.has_value()) return std::nullopt;
+  return optimize_profile(
+      inst, *popular,
+      [](const Profile& x, const Profile& y) { return Profile::fair_less(x, y); }, ws, counters);
 }
 
 std::optional<matching::Matching> find_fair_popular(const Instance& inst,
                                                     pram::NcCounters* counters) {
   pram::Workspace ws;
-  const auto popular = find_popular_matching(inst, ws, counters);
-  if (!popular.has_value()) return std::nullopt;
-  return optimize_profile(
-      inst, *popular,
-      [](const Profile& x, const Profile& y) { return Profile::fair_less(x, y); }, counters);
+  return find_fair_popular(inst, ws, counters);
 }
 
 }  // namespace ncpm::core

@@ -17,6 +17,7 @@
 #include "core/profile.hpp"
 #include "matching/matching.hpp"
 #include "pram/counters.hpp"
+#include "pram/workspace.hpp"
 
 namespace ncpm::core {
 
@@ -29,21 +30,36 @@ using WeightFn = std::function<std::int64_t(std::int32_t, std::int32_t)>;
 std::optional<matching::Matching> find_optimal_popular(const Instance& inst,
                                                        const WeightFn& weight, bool maximize,
                                                        pram::NcCounters* counters = nullptr);
+std::optional<matching::Matching> find_optimal_popular(const Instance& inst,
+                                                       const WeightFn& weight, bool maximize,
+                                                       pram::Workspace& ws,
+                                                       pram::NcCounters* counters = nullptr);
 
 /// Weight-optimise starting from a known popular matching.
 matching::Matching optimize_weight(const Instance& inst, const matching::Matching& popular,
                                    const WeightFn& weight, bool maximize,
                                    pram::NcCounters* counters = nullptr);
+matching::Matching optimize_weight(const Instance& inst, const matching::Matching& popular,
+                                   const WeightFn& weight, bool maximize, pram::Workspace& ws,
+                                   pram::NcCounters* counters = nullptr);
 
 /// Rank-maximal popular matching: profile lexicographically maximal from
-/// rank 1 (most rank-1 applicants, then most rank-2, ...).
+/// rank 1 (most rank-1 applicants, then most rank-2, ...). Every entry
+/// point has a workspace-reusing overload: pass the same warm workspace
+/// across calls (as the engine's workers do) and the whole pipeline leases
+/// its scratch from it instead of allocating.
 std::optional<matching::Matching> find_rank_maximal_popular(const Instance& inst,
+                                                            pram::NcCounters* counters = nullptr);
+std::optional<matching::Matching> find_rank_maximal_popular(const Instance& inst,
+                                                            pram::Workspace& ws,
                                                             pram::NcCounters* counters = nullptr);
 
 /// Fair popular matching: profile reverse-lexicographically minimal (fewest
 /// last resorts, then fewest worst-rank applicants, ...). Always also a
 /// maximum-cardinality popular matching.
 std::optional<matching::Matching> find_fair_popular(const Instance& inst,
+                                                    pram::NcCounters* counters = nullptr);
+std::optional<matching::Matching> find_fair_popular(const Instance& inst, pram::Workspace& ws,
                                                     pram::NcCounters* counters = nullptr);
 
 /// The profile of an applicant-complete matching; dimension max_ranks()+1,

@@ -286,10 +286,21 @@ std::vector<std::int32_t> SwitchingEngine::nontrivial_components() const {
 
 std::optional<std::uint64_t> count_popular_matchings(const Instance& inst,
                                                      pram::NcCounters* counters) {
-  const auto seed = find_popular_matching(inst, counters);
+  pram::Workspace ws;
+  return count_popular_matchings(inst, ws, counters);
+}
+
+std::optional<std::uint64_t> count_popular_matchings(const Instance& inst, pram::Workspace& ws,
+                                                     pram::NcCounters* counters) {
+  const auto seed = find_popular_matching(inst, ws, counters);
   if (!seed.has_value()) return std::nullopt;
+  return count_popular_matchings(inst, *seed, counters);
+}
+
+std::uint64_t count_popular_matchings(const Instance& inst, const matching::Matching& popular,
+                                      pram::NcCounters* counters) {
   const ReducedGraph rg = build_reduced_graph(inst, counters);
-  const SwitchingEngine engine(inst, rg, *seed, counters);
+  const SwitchingEngine engine(inst, rg, popular, counters);
   std::uint64_t count = 1;
   const auto saturating_mul = [&count](std::uint64_t factor) {
     if (factor != 0 && count > std::numeric_limits<std::uint64_t>::max() / factor) {

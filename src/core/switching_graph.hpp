@@ -34,6 +34,7 @@
 #include "matching/matching.hpp"
 #include "pram/counters.hpp"
 #include "pram/list_ranking.hpp"
+#include "pram/workspace.hpp"
 
 namespace ncpm::core {
 
@@ -131,5 +132,14 @@ std::vector<matching::Matching> all_popular_matchings_via_switching(const Instan
 /// following McDermid & Irving's structure results.)
 std::optional<std::uint64_t> count_popular_matchings(const Instance& inst,
                                                      pram::NcCounters* counters = nullptr);
+/// Workspace-reusing variant (the seed matching's Algorithm 2 rounds lease
+/// their scratch from `ws`).
+std::optional<std::uint64_t> count_popular_matchings(const Instance& inst, pram::Workspace& ws,
+                                                     pram::NcCounters* counters = nullptr);
+/// Count from a known popular matching, skipping the seed solve (callers
+/// that already hold one — the engine's check mode — pay one pipeline run,
+/// not two).
+std::uint64_t count_popular_matchings(const Instance& inst, const matching::Matching& popular,
+                                      pram::NcCounters* counters = nullptr);
 
 }  // namespace ncpm::core

@@ -1,0 +1,316 @@
+#include "engine/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/max_card_popular.hpp"
+#include "core/optimal_popular.hpp"
+#include "core/switching_graph.hpp"
+#include "core/ties.hpp"
+#include "core/verify.hpp"
+#include "pram/parallel.hpp"
+#include "pram/workspace.hpp"
+#include "stable/gale_shapley.hpp"
+
+namespace ncpm::engine {
+
+namespace {
+
+constexpr std::string_view kModeNames[kNumModes] = {
+    "solve", "max-card", "fair", "rank-maximal", "count", "check", "next-stable"};
+
+/// Modes whose algorithms are defined only for strict preference lists.
+bool requires_strict(Mode mode) {
+  return mode == Mode::kMaxCard || mode == Mode::kFair || mode == Mode::kRankMaximal ||
+         mode == Mode::kCount;
+}
+
+void fill_matching(const core::Instance& inst, std::optional<matching::Matching> m,
+                   Result& out) {
+  out.applicants = inst.num_applicants();
+  if (!m.has_value()) {
+    out.status = Status::kNoSolution;
+    return;
+  }
+  out.status = Status::kOk;
+  out.matching_size = core::matching_size(inst, *m);
+  out.matching = std::move(m);
+}
+
+/// The per-mode dispatch every front end (CLI single requests, CLI batches,
+/// benchmarks) funnels through. `ws` is the worker's long-lived workspace;
+/// each strict pipeline threads it end-to-end so repeated requests of
+/// comparable shape run without workspace growth.
+void execute(const Request& req, pram::Workspace& ws, Result& out) {
+  if (req.mode == Mode::kNextStable) {
+    if (!req.stable_instance.has_value()) {
+      out.status = Status::kInvalid;
+      out.error = "next-stable request carries no stable instance";
+      return;
+    }
+    const auto& inst = *req.stable_instance;
+    const auto m0 = stable::man_optimal(inst);
+    out.next_stable = stable::next_stable_matchings(inst, m0);
+    out.status = Status::kOk;
+    return;
+  }
+
+  if (!req.instance.has_value()) {
+    out.status = Status::kInvalid;
+    out.error = "request carries no instance";
+    return;
+  }
+  const auto& inst = *req.instance;
+  if (!inst.has_last_resorts()) {
+    out.status = Status::kInvalid;
+    out.error = "popular-matching modes require last resorts";
+    return;
+  }
+  const bool strict = inst.strict_prefs();
+  if (!strict && requires_strict(req.mode)) {
+    out.status = Status::kInvalid;
+    out.error = std::string("mode '") + std::string(mode_name(req.mode)) +
+                "' requires strict preferences; use 'solve'";
+    return;
+  }
+
+  switch (req.mode) {
+    case Mode::kSolve:
+      if (strict) {
+        fill_matching(inst, core::find_popular_matching(inst, ws, nullptr, &out.run_stats), out);
+      } else {
+        fill_matching(inst, core::find_popular_matching_ties(inst), out);
+      }
+      return;
+    case Mode::kMaxCard:
+      fill_matching(inst, core::find_max_card_popular(inst, ws), out);
+      return;
+    case Mode::kFair:
+      fill_matching(inst, core::find_fair_popular(inst, ws), out);
+      return;
+    case Mode::kRankMaximal:
+      fill_matching(inst, core::find_rank_maximal_popular(inst, ws), out);
+      return;
+    case Mode::kCount: {
+      const auto count = core::count_popular_matchings(inst, ws);
+      if (!count.has_value()) {
+        out.status = Status::kNoSolution;
+        return;
+      }
+      out.count = *count;
+      out.status = Status::kOk;
+      return;
+    }
+    case Mode::kCheck: {
+      CheckReport report;
+      report.applicants = inst.num_applicants();
+      report.posts = inst.num_posts();
+      report.strict = strict;
+      const auto m = strict
+                         ? core::find_popular_matching(inst, ws, nullptr, &out.run_stats)
+                         : core::find_popular_matching_ties(inst);
+      report.admits_popular = m.has_value();
+      if (m.has_value()) {
+        report.size = core::matching_size(inst, *m);
+        // Count from the matching already in hand — one pipeline run, not two.
+        if (strict) report.count = core::count_popular_matchings(inst, *m);
+      }
+      out.check = report;
+      out.status = report.admits_popular ? Status::kOk : Status::kNoSolution;
+      return;
+    }
+    case Mode::kNextStable:
+      break;  // handled above
+  }
+  out.status = Status::kInvalid;
+  out.error = "unknown mode";
+}
+
+}  // namespace
+
+std::string_view mode_name(Mode mode) {
+  return kModeNames[static_cast<std::size_t>(mode)];
+}
+
+std::optional<Mode> parse_mode(std::string_view name) {
+  for (std::size_t i = 0; i < kNumModes; ++i) {
+    if (kModeNames[i] == name) return static_cast<Mode>(i);
+  }
+  return std::nullopt;
+}
+
+std::string_view status_name(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kNoSolution: return "no-solution";
+    case Status::kDeadlineExpired: return "deadline-expired";
+    case Status::kCancelled: return "cancelled";
+    case Status::kInvalid: return "invalid";
+    case Status::kError: return "error";
+  }
+  return "unknown";
+}
+
+Engine::Engine(EngineConfig config) : config_(config), start_(std::chrono::steady_clock::now()) {
+  if (config_.num_workers < 1) config_.num_workers = 1;
+  if (config_.solver_threads < 1) config_.solver_threads = 1;
+  stats_.num_workers = config_.num_workers;
+  workers_.reserve(static_cast<std::size_t>(config_.num_workers));
+  for (int i = 0; i < config_.num_workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Spawn only after the vector is fully built: a worker publishes into its
+  // own slot, and slots must not move underneath it.
+  for (int i = 0; i < config_.num_workers; ++i) {
+    workers_[static_cast<std::size_t>(i)]->thread = std::thread([this, i] { worker_main(i); });
+  }
+}
+
+Engine::~Engine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+std::future<Result> Engine::enqueue_locked(Request&& request,
+                                           std::chrono::steady_clock::time_point now) {
+  if (stopping_) throw std::runtime_error("engine: submit after shutdown");
+  Task task;
+  task.request = std::move(request);
+  task.enqueued = now;
+  auto future = task.promise.get_future();
+  queue_.push_back(std::move(task));
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.submitted;
+    ++stats_.per_mode[static_cast<std::size_t>(queue_.back().request.mode)].submitted;
+    if (queue_.size() > stats_.peak_queue_depth) stats_.peak_queue_depth = queue_.size();
+  }
+  return future;
+}
+
+std::future<Result> Engine::submit(Request request) {
+  std::future<Result> future;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    future = enqueue_locked(std::move(request), std::chrono::steady_clock::now());
+  }
+  cv_.notify_one();
+  return future;
+}
+
+std::vector<std::future<Result>> Engine::submit_batch(std::vector<Request> requests) {
+  std::vector<std::future<Result>> futures;
+  futures.reserve(requests.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& req : requests) futures.push_back(enqueue_locked(std::move(req), now));
+  }
+  cv_.notify_all();
+  return futures;
+}
+
+void Engine::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+}
+
+void Engine::record(const Result& result) {
+  const auto queue_ns = static_cast<std::uint64_t>(result.queue_latency.count());
+  const auto solve_ns = static_cast<std::uint64_t>(result.solve_time.count());
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  auto& mode = stats_.per_mode[static_cast<std::size_t>(result.mode)];
+  ++stats_.completed;
+  ++mode.completed;
+  stats_.queue_ns_total += queue_ns;
+  stats_.solve_ns_total += solve_ns;
+  mode.queue_ns_total += queue_ns;
+  mode.solve_ns_total += solve_ns;
+  if (queue_ns > stats_.queue_ns_max) stats_.queue_ns_max = queue_ns;
+  switch (result.status) {
+    case Status::kOk: ++mode.ok; break;
+    case Status::kNoSolution: ++mode.no_solution; break;
+    case Status::kDeadlineExpired: ++mode.deadline_expired; break;
+    case Status::kCancelled: ++mode.cancelled; break;
+    case Status::kInvalid: ++mode.invalid; break;
+    case Status::kError: ++mode.errors; break;
+  }
+}
+
+void Engine::worker_main(int worker_id) {
+  // Per-thread OpenMP ICV: this worker's solves use their own small team
+  // without touching the team size of any other thread.
+  pram::set_num_threads(config_.solver_threads);
+  pram::Workspace ws;
+  Worker& self = *workers_[static_cast<std::size_t>(worker_id)];
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+
+    const auto dequeued = std::chrono::steady_clock::now();
+    Result result;
+    result.mode = task.request.mode;
+    result.worker_id = worker_id;
+    result.queue_latency = dequeued - task.enqueued;
+    if (task.request.cancel.has_value() && task.request.cancel->cancelled()) {
+      result.status = Status::kCancelled;
+    } else if (task.request.deadline.has_value() && dequeued > *task.request.deadline) {
+      result.status = Status::kDeadlineExpired;
+    } else {
+      try {
+        execute(task.request, ws, result);
+      } catch (const std::exception& e) {
+        result.status = Status::kError;
+        result.error = e.what();
+      }
+    }
+    result.solve_time = std::chrono::steady_clock::now() - dequeued;
+
+    self.workspace_allocs.store(ws.heap_allocations(), std::memory_order_relaxed);
+    record(result);
+    task.promise.set_value(std::move(result));
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+EngineStats Engine::stats() const {
+  EngineStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    snapshot = stats_;
+  }
+  snapshot.uptime_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                           start_)
+          .count());
+  snapshot.workspace_allocs_per_worker.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    const auto allocs = w->workspace_allocs.load(std::memory_order_relaxed);
+    snapshot.workspace_allocs_per_worker.push_back(allocs);
+    snapshot.workspace_allocs_total += allocs;
+  }
+  return snapshot;
+}
+
+}  // namespace ncpm::engine

@@ -1,0 +1,241 @@
+#pragma once
+// Concurrent multi-instance batch solver.
+//
+// The NC algorithms below this layer solve *one* instance with many
+// threads; production traffic is the transpose — *many* instances, each
+// small enough that a single worker solves it in microseconds. An Engine
+// owns a fixed pool of worker threads, each holding a long-lived
+// pram::Workspace, and multiplexes a stream of typed Requests across them:
+// the first few solves warm a worker's buffer pools, after which every
+// further request of comparable shape runs allocation-free (the
+// steady-state guarantee PR 2 established per call, amortised here across
+// millions of calls).
+//
+// Submission is future-based: `submit` / `submit_batch` enqueue and return
+// immediately; workers drain the queue FIFO. Deadlines and cancellation
+// are cooperative — both are checked when a request reaches a worker, so
+// an expired or cancelled request is dropped without paying for its solve
+// (a solve already running is never preempted). Results carry per-request
+// timing (queue latency, solve time) plus the Algorithm 2 round/allocation
+// stats; `stats()` aggregates everything into an EngineStats snapshot.
+//
+// Each worker pins its own OpenMP team to `solver_threads` (an OpenMP ICV
+// is per-thread, so workers do not fight over a global setting). The
+// default of 1 makes worker count the only parallelism knob: batch
+// throughput scales with workers instead of oversubscribing cores with
+// nested parallel-for teams.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "core/popular_matching.hpp"
+#include "matching/matching.hpp"
+#include "stable/instance.hpp"
+#include "stable/next_stable.hpp"
+
+namespace ncpm::engine {
+
+/// Every mode ncpm_cli serves, as a typed request kind.
+enum class Mode : std::uint8_t {
+  kSolve = 0,       ///< popular matching (Algorithm 1; ties via AIKM)
+  kMaxCard,         ///< largest popular matching (Algorithm 3)
+  kFair,            ///< fair popular matching (Section IV-E)
+  kRankMaximal,     ///< rank-maximal popular matching (Section IV-E)
+  kCount,           ///< number of popular matchings
+  kCheck,           ///< existence + statistics only
+  kNextStable,      ///< rotations exposed in the man-optimal matching (Alg. 4)
+};
+inline constexpr std::size_t kNumModes = 7;
+
+std::string_view mode_name(Mode mode);
+std::optional<Mode> parse_mode(std::string_view name);
+
+enum class Status : std::uint8_t {
+  kOk = 0,           ///< solved; payload fields are populated
+  kNoSolution,       ///< well-formed instance admitting no popular matching
+  kDeadlineExpired,  ///< deadline passed before a worker picked the request up
+  kCancelled,        ///< cancel token fired before a worker picked the request up
+  kInvalid,          ///< request malformed (missing instance, mode/instance mismatch)
+  kError,            ///< solver threw; Result::error carries the message
+};
+
+std::string_view status_name(Status status);
+
+/// Shared cooperative cancellation flag; copies observe the same token.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+  void cancel() const noexcept { flag_->store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept { return flag_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+struct Request {
+  Mode mode = Mode::kSolve;
+  /// Popular-matching modes; ignored by kNextStable.
+  std::optional<core::Instance> instance;
+  /// kNextStable only.
+  std::optional<stable::StableInstance> stable_instance;
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  std::optional<CancelToken> cancel;
+
+  static Request popular(Mode mode, core::Instance inst) {
+    Request r;
+    r.mode = mode;
+    r.instance = std::move(inst);
+    return r;
+  }
+  static Request next_stable(stable::StableInstance inst) {
+    Request r;
+    r.mode = Mode::kNextStable;
+    r.stable_instance = std::move(inst);
+    return r;
+  }
+  Request&& with_deadline_after(std::chrono::nanoseconds budget) && {
+    deadline = std::chrono::steady_clock::now() + budget;
+    return std::move(*this);
+  }
+  Request&& with_cancel(CancelToken token) && {
+    cancel = std::move(token);
+    return std::move(*this);
+  }
+};
+
+/// kCheck payload: the statistics the CLI's `check` mode prints.
+struct CheckReport {
+  std::int32_t applicants = 0;
+  std::int32_t posts = 0;
+  bool strict = true;
+  bool admits_popular = false;
+  std::size_t size = 0;  ///< matching size when one exists
+  /// Number of popular matchings (strict instances that admit one).
+  std::optional<std::uint64_t> count;
+};
+
+struct Result {
+  Mode mode = Mode::kSolve;
+  Status status = Status::kError;
+  /// kSolve / kMaxCard / kFair / kRankMaximal with status kOk.
+  std::optional<matching::Matching> matching;
+  std::size_t matching_size = 0;  ///< real posts only (last resorts excluded)
+  std::int32_t applicants = 0;    ///< instance size, for the matching modes
+  /// kCount with status kOk.
+  std::optional<std::uint64_t> count;
+  std::optional<CheckReport> check;                        ///< kCheck
+  std::optional<stable::NextStableResult> next_stable;     ///< kNextStable
+  /// Algorithm 2 round/allocation stats (strict kSolve requests).
+  core::PopularRunStats run_stats;
+  std::string error;  ///< kInvalid / kError explanation
+  std::chrono::nanoseconds queue_latency{0};  ///< submit -> worker dequeue
+  std::chrono::nanoseconds solve_time{0};     ///< dequeue -> result ready
+  int worker_id = -1;
+};
+
+struct EngineConfig {
+  int num_workers = 1;    ///< clamped to >= 1
+  int solver_threads = 1; ///< OpenMP team size inside each worker's solves
+};
+
+struct ModeStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  ///< reached a worker and produced any status
+  std::uint64_t ok = 0;
+  std::uint64_t no_solution = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t invalid = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t queue_ns_total = 0;
+  std::uint64_t solve_ns_total = 0;
+};
+
+struct EngineStats {
+  int num_workers = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t queue_ns_total = 0;
+  std::uint64_t queue_ns_max = 0;
+  std::uint64_t solve_ns_total = 0;
+  std::uint64_t peak_queue_depth = 0;
+  std::uint64_t uptime_ns = 0;  ///< since engine construction
+  std::array<ModeStats, kNumModes> per_mode{};
+  /// Workspace buffer growths per worker since engine start. Flat between
+  /// two snapshots == the region between them ran workspace-allocation-free
+  /// (the steady-state guarantee, observable per worker).
+  std::vector<std::uint64_t> workspace_allocs_per_worker;
+  std::uint64_t workspace_allocs_total = 0;
+
+  /// Completed requests per second of engine uptime (0 when idle-fresh).
+  double completed_per_sec() const noexcept {
+    return uptime_ns == 0 ? 0.0
+                          : static_cast<double>(completed) * 1e9 / static_cast<double>(uptime_ns);
+  }
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = {});
+  /// Drains every queued request (fulfilling all futures), then joins.
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  std::future<Result> submit(Request request);
+  std::vector<std::future<Result>> submit_batch(std::vector<Request> requests);
+
+  /// Block until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  EngineStats stats() const;
+  int num_workers() const noexcept { return static_cast<int>(workers_.size()); }
+
+ private:
+  struct Task {
+    Request request;
+    std::promise<Result> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+  struct Worker {
+    std::thread thread;
+    /// ws.heap_allocations() published after every task (workspace itself
+    /// is thread-local to the worker loop).
+    std::atomic<std::uint64_t> workspace_allocs{0};
+  };
+
+  void worker_main(int worker_id);
+  void record(const Result& result);
+  std::future<Result> enqueue_locked(Request&& request,
+                                     std::chrono::steady_clock::time_point now);
+
+  EngineConfig config_;
+  std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Task> queue_;
+  int active_ = 0;
+  bool stopping_ = false;
+
+  mutable std::mutex stats_mu_;
+  EngineStats stats_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace ncpm::engine

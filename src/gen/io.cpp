@@ -1,8 +1,11 @@
 #include "gen/io.hpp"
 
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
+
+#include "gen/tie_groups.hpp"
 
 namespace ncpm::io {
 
@@ -44,17 +47,17 @@ void expect_eof(std::istream& in, const char* context) {
   }
 }
 
-std::int32_t parse_post_id(const std::string& tok) {
+// std::nullopt for anything that is not a plain non-negative int32; the
+// caller owns the error message (and its line number).
+std::optional<std::int32_t> parse_post_id(const std::string& tok) {
   std::size_t consumed = 0;
   long value = 0;
   try {
     value = std::stol(tok, &consumed);
   } catch (const std::exception&) {
-    throw std::runtime_error("io: bad post id '" + tok + "'");
+    return std::nullopt;
   }
-  if (consumed != tok.size() || value < 0 || value > INT32_MAX) {
-    throw std::runtime_error("io: bad post id '" + tok + "'");
-  }
+  if (consumed != tok.size() || value < 0 || value > INT32_MAX) return std::nullopt;
   return static_cast<std::int32_t>(value);
 }
 
@@ -68,10 +71,7 @@ std::string write_instance(const core::Instance& inst) {
   for (std::int32_t a = 0; a < inst.num_applicants(); ++a) {
     out << a << ":";
     const auto posts = inst.posts_of(a);
-    const auto ranks = inst.ranks_of(a);
-    for (std::size_t i = 0; i < posts.size();) {
-      std::size_t j = i;
-      while (j + 1 < posts.size() && ranks[j + 1] == ranks[i]) ++j;
+    detail::for_each_tie_group(inst.ranks_of(a), [&](std::size_t i, std::size_t j) {
       if (j == i) {
         out << " " << posts[i];
       } else {
@@ -79,59 +79,140 @@ std::string write_instance(const core::Instance& inst) {
         for (std::size_t k = i; k <= j; ++k) out << " " << posts[k];
         out << " )";
       }
-      i = j + 1;
-    }
+    });
     out << "\n";
   }
   return out.str();
 }
 
 core::Instance read_instance(std::istream& in) {
-  expect(in, "ncpm-instance", "instance header");
-  expect(in, "v1", "instance header");
-  expect(in, "applicants", "instance header");
-  const auto n_a = read_count(in, "applicant count");
-  expect(in, "posts", "instance header");
-  const auto n_p = read_count(in, "post count");
-  expect(in, "last_resorts", "instance header");
-  const bool last_resorts = read_int(in, "last_resorts flag") != 0;
+  // Line-tracking parse so every rejection can name the offending line.
+  // The header stays token-oriented (any whitespace layout, as with the
+  // pre-tracking reader); the applicant body is line-oriented by format.
+  std::size_t line_no = 0;
+  std::string line;
+  std::istringstream tokens(line);  // scanner state: tokens of the current line
+  const auto at_line = [&line_no] { return " (line " + std::to_string(line_no) + ")"; };
+  const auto bad = [&](const std::string& what) {
+    throw std::runtime_error("io: " + what + at_line());
+  };
+  // Next whitespace-separated token, crossing line boundaries.
+  const auto next_token = [&](std::string& tok, const char* context) {
+    while (!(tokens >> tok)) {
+      if (!std::getline(in, line)) {
+        bad(std::string("truncated instance while reading ") + context);
+      }
+      ++line_no;
+      tokens.clear();
+      tokens.str(line);
+    }
+  };
+  // Rest of the current line if non-blank, else the next non-blank line
+  // (blank lines are insignificant between lines, exactly like the header's
+  // token scan). False at end of stream.
+  const auto next_body_line = [&]() {
+    std::string rest;
+    if (std::getline(tokens, rest) && rest.find_first_not_of(" \t\r") != std::string::npos) {
+      line = std::move(rest);
+      return true;
+    }
+    tokens.clear();
+    tokens.str("");
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (line.find_first_not_of(" \t\r") != std::string::npos) return true;
+    }
+    return false;
+  };
+  const auto expect_token = [&](const std::string& token, const char* context) {
+    std::string got;
+    next_token(got, context);
+    if (got != token) bad("expected '" + token + "' while reading " + std::string(context));
+  };
+  const auto read_header_count = [&](const char* context) {
+    std::string tok;
+    next_token(tok, context);
+    std::int64_t value = 0;
+    std::size_t consumed = 0;
+    try {
+      value = std::stoll(tok, &consumed);
+    } catch (const std::exception&) {
+      bad(std::string("expected an integer while reading ") + context);
+    }
+    if (consumed != tok.size()) bad(std::string("expected an integer while reading ") + context);
+    if (value < 0 || value > kMaxCount) {
+      bad(std::string("count out of range while reading ") + context);
+    }
+    return static_cast<std::int32_t>(value);
+  };
+
+  expect_token("ncpm-instance", "instance header");
+  expect_token("v1", "instance header");
+  expect_token("applicants", "instance header");
+  const std::int32_t n_a = read_header_count("applicant count");
+  expect_token("posts", "instance header");
+  const std::int32_t n_p = read_header_count("post count");
+  expect_token("last_resorts", "instance header");
+  std::string flag_tok;
+  next_token(flag_tok, "last_resorts flag");
+  bool last_resorts = false;
+  try {
+    std::size_t consumed = 0;
+    last_resorts = std::stoll(flag_tok, &consumed) != 0;
+    if (consumed != flag_tok.size()) throw std::invalid_argument(flag_tok);
+  } catch (const std::exception&) {
+    bad("expected an integer while reading last_resorts flag");
+  }
 
   std::vector<std::vector<std::vector<std::int32_t>>> groups(static_cast<std::size_t>(n_a));
-  in >> std::ws;
   for (std::int32_t a = 0; a < n_a; ++a) {
-    std::string line;
-    if (!std::getline(in, line)) throw std::runtime_error("io: truncated instance");
+    if (!next_body_line()) bad("truncated instance");
     std::istringstream ls(line);
     std::string head;
     ls >> head;
     if (head != std::to_string(a) + ":") {
-      throw std::runtime_error("io: bad applicant line header '" + head + "'");
+      bad("bad applicant line header '" + head + "'");
     }
     std::string tok;
     bool in_tie = false;
     while (ls >> tok) {
       if (tok == "(") {
-        if (in_tie) throw std::runtime_error("io: nested '(' in applicant line");
+        if (in_tie) bad("nested '(' in applicant line");
         in_tie = true;
         groups[static_cast<std::size_t>(a)].emplace_back();
       } else if (tok == ")") {
-        if (!in_tie) throw std::runtime_error("io: unmatched ')' in applicant line");
+        if (!in_tie) bad("unmatched ')' in applicant line");
         if (groups[static_cast<std::size_t>(a)].back().empty()) {
-          throw std::runtime_error("io: empty tie group in applicant line");
+          bad("empty tie group in applicant line");
         }
         in_tie = false;
       } else {
-        const std::int32_t p = parse_post_id(tok);
+        const auto p = parse_post_id(tok);
+        if (!p.has_value()) bad("bad post id '" + tok + "'");
         if (in_tie) {
-          groups[static_cast<std::size_t>(a)].back().push_back(p);
+          groups[static_cast<std::size_t>(a)].back().push_back(*p);
         } else {
-          groups[static_cast<std::size_t>(a)].push_back({p});
+          groups[static_cast<std::size_t>(a)].push_back({*p});
         }
       }
     }
-    if (in_tie) throw std::runtime_error("io: unclosed '(' in applicant line");
+    if (in_tie) bad("unclosed '(' in applicant line");
   }
-  expect_eof(in, "instance");
+  // Exactly one document per stream: any leftover non-blank content — on
+  // the scanner's current line (reachable when applicants == 0) or on a
+  // later line — is a header/body mismatch and must not be silently dropped.
+  {
+    std::string rest;
+    if (std::getline(tokens, rest) && rest.find_first_not_of(" \t\r") != std::string::npos) {
+      bad("trailing content after instance");
+    }
+  }
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") != std::string::npos) {
+      bad("trailing content after instance");
+    }
+  }
   return core::Instance::with_ties(n_p, std::move(groups), last_resorts);
 }
 

@@ -1,0 +1,25 @@
+#pragma once
+// Shared serialisation helper: iterate an applicant's preference list as
+// tie groups (maximal runs of equal rank). Both the text and the binary
+// writers emit groups through this single definition, so their grouping
+// semantics cannot diverge — which is what keeps the text/binary round-trip
+// byte-identical.
+
+#include <cstdint>
+#include <span>
+
+namespace ncpm::io::detail {
+
+/// Calls `group(first, last)` for each maximal run posts[first..last]
+/// sharing one rank, in list order.
+template <typename F>
+void for_each_tie_group(std::span<const std::int32_t> ranks, F&& group) {
+  for (std::size_t i = 0; i < ranks.size();) {
+    std::size_t j = i;
+    while (j + 1 < ranks.size() && ranks[j + 1] == ranks[i]) ++j;
+    group(i, j);
+    i = j + 1;
+  }
+}
+
+}  // namespace ncpm::io::detail
