@@ -1,9 +1,10 @@
 // Engine throughput: instances/sec over a mixed sparse/dense batch as a
-// function of worker count. Each worker solves with a single-thread OpenMP
-// team, so worker count is the only parallelism axis — the scaling claim is
-// that a batch of independent instances scales near-linearly 1 -> 4 workers
-// (each worker's warm workspace keeps the steady state allocation-free, so
-// there is no allocator contention to serialise them).
+// function of worker count. Each worker solves on a one-lane executor, so
+// worker count is the only parallelism axis here (lane scaling is covered
+// by bench_scaling.cpp) — the scaling claim is that a batch of independent
+// instances scales near-linearly 1 -> 4 workers (each worker's warm
+// workspace keeps the steady state allocation-free, so there is no
+// allocator contention to serialise them).
 
 #include <benchmark/benchmark.h>
 
@@ -51,7 +52,7 @@ void BM_EngineThroughput(benchmark::State& state) {
 
   // One engine per run (not per iteration): workspaces stay warm across
   // iterations, which is the serving steady state being measured.
-  ncpm::engine::Engine engine({workers, /*solver_threads=*/1});
+  ncpm::engine::Engine engine({workers, /*lanes_per_worker=*/1});
   std::size_t solved = 0;
   for (auto _ : state) {
     std::vector<ncpm::engine::Request> requests;

@@ -1,9 +1,10 @@
-// Experiment C9: thread scaling of the end-to-end NC pipeline. A PRAM
-// algorithm on p << n cores can only show p-bounded speedup; the reproduced
-// claim is that the implementation scales with cores until the memory
-// system saturates, while the sequential baseline (single-threaded by
-// nature) stays flat. UseRealTime because OpenMP work does not appear in
-// per-thread CPU time.
+// Experiment C9: executor-lane scaling of the end-to-end NC pipeline. A
+// PRAM algorithm on p << n cores can only show p-bounded speedup; the
+// reproduced claim is that the implementation scales with cores until the
+// memory system saturates, while the sequential baseline (single-threaded
+// by nature) stays flat. Each width is a private pram::Executor bound via a
+// Workspace — no global state. UseRealTime because pool-thread work does
+// not appear in per-thread CPU time.
 
 #include <benchmark/benchmark.h>
 
@@ -11,7 +12,8 @@
 #include "core/max_card_popular.hpp"
 #include "core/popular_matching.hpp"
 #include "gen/generators.hpp"
-#include "pram/parallel.hpp"
+#include "pram/executor.hpp"
+#include "pram/workspace.hpp"
 
 namespace {
 
@@ -34,13 +36,12 @@ const ncpm::core::Instance& big_instance() {
 
 void BM_PopularNC_Threads(benchmark::State& state) {
   const auto& inst = big_instance();
-  const int original = ncpm::pram::num_threads();
-  ncpm::pram::set_num_threads(static_cast<int>(state.range(0)));
+  ncpm::pram::Executor ex(static_cast<int>(state.range(0)));
+  ncpm::pram::Workspace ws(ex);
   for (auto _ : state) {
-    auto m = ncpm::core::find_popular_matching(inst);
+    auto m = ncpm::core::find_popular_matching(inst, ws);
     benchmark::DoNotOptimize(m);
   }
-  ncpm::pram::set_num_threads(original);
   state.counters["threads"] = static_cast<double>(state.range(0));
 }
 BENCHMARK(BM_PopularNC_Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(24)
@@ -48,13 +49,12 @@ BENCHMARK(BM_PopularNC_Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(24
 
 void BM_MaxCardNC_Threads(benchmark::State& state) {
   const auto& inst = big_instance();
-  const int original = ncpm::pram::num_threads();
-  ncpm::pram::set_num_threads(static_cast<int>(state.range(0)));
+  ncpm::pram::Executor ex(static_cast<int>(state.range(0)));
+  ncpm::pram::Workspace ws(ex);
   for (auto _ : state) {
-    auto m = ncpm::core::find_max_card_popular(inst);
+    auto m = ncpm::core::find_max_card_popular(inst, ws);
     benchmark::DoNotOptimize(m);
   }
-  ncpm::pram::set_num_threads(original);
   state.counters["threads"] = static_cast<double>(state.range(0));
 }
 BENCHMARK(BM_MaxCardNC_Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(24)
@@ -70,13 +70,12 @@ const ncpm::core::Instance& sparse_instance() {
 
 void BM_PopularNC_LargeSparse_Threads(benchmark::State& state) {
   const auto& inst = sparse_instance();
-  const int original = ncpm::pram::num_threads();
-  ncpm::pram::set_num_threads(static_cast<int>(state.range(0)));
+  ncpm::pram::Executor ex(static_cast<int>(state.range(0)));
+  ncpm::pram::Workspace ws(ex);
   for (auto _ : state) {
-    auto m = ncpm::core::find_popular_matching(inst);
+    auto m = ncpm::core::find_popular_matching(inst, ws);
     benchmark::DoNotOptimize(m);
   }
-  ncpm::pram::set_num_threads(original);
   state.counters["threads"] = static_cast<double>(state.range(0));
 }
 BENCHMARK(BM_PopularNC_LargeSparse_Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)

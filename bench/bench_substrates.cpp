@@ -140,4 +140,27 @@ void BM_EulerSplitRegularMatching(benchmark::State& state) {
 BENCHMARK(BM_EulerSplitRegularMatching)->RangeMultiplier(4)->Range(1 << 10, 1 << 18)
     ->Unit(benchmark::kMillisecond);
 
+// Dispatch + barrier cost of one executor round over a trivial body, per
+// lane count: the fixed price every synchronous PRAM round pays on this
+// substrate. Lanes = 1 is the inline path (no pool, no barrier) — the
+// regression gate for "the executor costs nothing when parallelism is off".
+void BM_ExecutorOverhead(benchmark::State& state) {
+  ncpm::pram::Executor ex(static_cast<int>(state.range(0)));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  std::vector<std::int64_t> out(n);
+  for (auto _ : state) {
+    ex.parallel_for(n, [&](std::size_t i) { out[i] = static_cast<std::int64_t>(i); });
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(state.iterations()));
+  state.counters["lanes"] = static_cast<double>(state.range(0));
+}
+// UseRealTime: lane 0 blocks in the round barrier, which accrues no
+// per-thread CPU time — exactly the overhead being measured.
+BENCHMARK(BM_ExecutorOverhead)
+    ->ArgsProduct({{1, 2, 4, 8}, {1 << 10, 1 << 16, 1 << 20}})
+    ->UseRealTime();
+
 }  // namespace

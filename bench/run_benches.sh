@@ -45,9 +45,9 @@ ctx = data.setdefault("context", {})
 ctx["git_commit"] = git("rev-parse", "HEAD")
 ctx["git_dirty"] = git("status", "--porcelain") != ""
 try:
-    # OMP_NUM_THREADS may be an OpenMP nesting list like "4,2"; the outer
-    # level is what the PRAM substrate sees.
-    threads = int(os.environ.get("OMP_NUM_THREADS", "").split(",")[0])
+    # NCPM_LANES overrides the default executor width (see
+    # pram::default_lanes); unset means hardware concurrency.
+    threads = int(os.environ.get("NCPM_LANES", ""))
 except ValueError:
     threads = 0
 ctx["threads"] = threads or os.cpu_count()

@@ -36,7 +36,7 @@
 #include "gen/io.hpp"
 #include "gen/io_binary.hpp"
 #include "gen/stable_generators.hpp"
-#include "pram/parallel.hpp"
+#include "pram/executor.hpp"
 #include "stable/rotations.hpp"
 
 namespace {
@@ -171,10 +171,10 @@ int run_engine_mode(ncpm::engine::Mode mode, const Options& opts) {
   } else {
     request = ncpm::engine::Request::popular(mode, ncpm::io::read_instance(slurp_input(opts)));
   }
-  // One request, one worker: --threads sets the solve's own OpenMP team,
-  // defaulting to the ambient team size (all cores) as the pre-engine CLI did.
-  const int solver_threads = opts.threads > 0 ? opts.threads : ncpm::pram::num_threads();
-  ncpm::engine::Engine engine({/*num_workers=*/1, solver_threads});
+  // One request: the whole --threads budget goes to intra-solve lanes
+  // (ThreadBudget::single), defaulting to every hardware thread.
+  const int total = opts.threads > 0 ? opts.threads : ncpm::pram::default_lanes();
+  ncpm::engine::Engine engine(ncpm::engine::ThreadBudget::single(total));
   return print_result(engine.submit(std::move(request)).get());
 }
 
@@ -206,9 +206,12 @@ int run_batch(const Options& opts) {
     return 2;
   }
 
-  // Batch throughput scales across workers, one OpenMP thread each.
-  ncpm::engine::Engine engine(
-      {/*num_workers=*/opts.threads > 0 ? opts.threads : 1, /*solver_threads=*/1});
+  // Batch: split the --threads budget between worker concurrency and lanes
+  // per worker — a queue at least as deep as the budget favours workers
+  // (N x 1), a shallow one gives the spare threads to each solve.
+  const auto budget = ncpm::engine::ThreadBudget::split(opts.threads > 0 ? opts.threads : 1,
+                                                        instances.size());
+  ncpm::engine::Engine engine(budget);
   std::vector<ncpm::engine::Request> requests;
   requests.reserve(instances.size());
   for (auto& inst : instances) {
@@ -253,8 +256,10 @@ int run_batch(const Options& opts) {
   std::fprintf(stderr,
                "batch: %zu instances, %zu solved, %zu without popular matching, %zu failed\n",
                futures.size(), solved, no_solution, failed);
-  std::fprintf(stderr, "engine: %d worker(s), %.0f instances/sec, mean queue latency %.1f us\n",
-               engine.num_workers(),
+  std::fprintf(stderr,
+               "engine: %d worker(s) x %d lane(s), %.0f instances/sec, "
+               "mean queue latency %.1f us\n",
+               engine.num_workers(), stats.lanes_per_worker,
                static_cast<double>(futures.size()) / (elapsed.count() > 0 ? elapsed.count() : 1),
                stats.completed == 0 ? 0.0
                                     : static_cast<double>(stats.queue_ns_total) / 1e3 /

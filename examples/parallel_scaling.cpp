@@ -1,5 +1,8 @@
-// Thread-scaling demo: the NC pipeline on a large instance across worker
-// counts, against the sequential baseline, with the Lemma 2 round counter.
+// Executor-scaling demo: the NC pipeline on a large instance across
+// executor lane counts, against the sequential baseline, with the Lemma 2
+// round counter. Each width is its own pram::Executor bound through a
+// pram::Workspace — no process-global thread state is touched, so several
+// sweeps could even run concurrently.
 
 #include <chrono>
 #include <cstdio>
@@ -8,8 +11,9 @@
 #include "core/abraham_baseline.hpp"
 #include "core/popular_matching.hpp"
 #include "gen/generators.hpp"
+#include "pram/executor.hpp"
 #include "pram/list_ranking.hpp"
-#include "pram/parallel.hpp"
+#include "pram/workspace.hpp"
 
 namespace {
 
@@ -38,22 +42,22 @@ int main() {
       time_ms([&] { auto m = ncpm::core::find_popular_matching_sequential(inst); });
   std::printf("sequential baseline: %8.1f ms\n", seq_ms);
 
-  const int max_threads = ncpm::pram::num_threads();
+  const int max_lanes = ncpm::pram::default_lanes();
   double t1 = 0.0;
-  for (int threads = 1; threads <= max_threads; threads *= 2) {
-    ncpm::pram::set_num_threads(threads);
+  for (int lanes = 1; lanes <= max_lanes; lanes *= 2) {
+    ncpm::pram::Executor ex(lanes);
+    ncpm::pram::Workspace ws(ex);
     ncpm::core::PopularRunStats stats;
     const double ms = time_ms([&] {
-      auto m = ncpm::core::find_popular_matching(inst, nullptr, &stats);
+      auto m = ncpm::core::find_popular_matching(inst, ws, nullptr, &stats);
     });
-    if (threads == 1) t1 = ms;
+    if (lanes == 1) t1 = ms;
     const auto n = static_cast<std::uint64_t>(inst.num_applicants() + inst.total_posts());
     std::printf(
-        "NC pipeline, %2d threads: %8.1f ms  speedup vs 1T: %4.2fx  "
+        "NC pipeline, %2d lanes: %8.1f ms  speedup vs 1 lane: %4.2fx  "
         "while-loop rounds %llu (Lemma 2 bound %u)\n",
-        threads, ms, t1 / ms, static_cast<unsigned long long>(stats.while_rounds),
+        lanes, ms, t1 / ms, static_cast<unsigned long long>(stats.while_rounds),
         ncpm::pram::ceil_log2(n) + 1);
   }
-  ncpm::pram::set_num_threads(max_threads);
   return 0;
 }

@@ -6,7 +6,6 @@
 
 #include "graph/path_decomposition.hpp"
 #include "matching/two_regular.hpp"
-#include "pram/parallel.hpp"
 #include "pram/scan.hpp"
 
 namespace ncpm::core {
@@ -23,6 +22,7 @@ ApplicantCompleteResult applicant_complete_matching(const Instance& inst, const 
   const auto n_a = static_cast<std::size_t>(inst.num_applicants());
   const auto n_vertices = n_a + static_cast<std::size_t>(inst.total_posts());
 
+  pram::Executor& ex = ws.exec();
   ApplicantCompleteResult result;
   result.post_of.assign(n_a, kNone);
   if (n_a == 0) {
@@ -55,7 +55,7 @@ ApplicantCompleteResult applicant_complete_matching(const Instance& inst, const 
   std::span<std::int32_t> eu_next = eu_b.span();
   std::span<std::int32_t> ev_next = ev_b.span();
 
-  pram::parallel_for(n_a, [&](std::size_t a) {
+  ex.parallel_for(n_a, [&](std::size_t a) {
     const auto av = static_cast<std::int32_t>(a);
     const auto pv = [&](std::int32_t p) { return static_cast<std::int32_t>(n_a) + p; };
     edge_id[2 * a] = static_cast<std::int32_t>(2 * a);
@@ -77,7 +77,7 @@ ApplicantCompleteResult applicant_complete_matching(const Instance& inst, const 
     // Any alive post of degree 1? Every such post is the `ev` endpoint of
     // some surviving edge, so scanning the compacted edges is a complete
     // check — no per-post frontier re-scan.
-    const bool have_degree_one = pram::parallel_any(
+    const bool have_degree_one = ex.parallel_any(
         ma, [&](std::size_t e) { return paths.degree(ev[e]) == 1; });
     if (!have_degree_one) break;
     ++result.while_rounds;
@@ -92,7 +92,7 @@ ApplicantCompleteResult applicant_complete_matching(const Instance& inst, const 
     const auto head = paths.head();
     const auto rank = paths.rank();
     const auto reaches = paths.reaches_terminal();
-    pram::parallel_for(nh, [&](std::size_t hs) {
+    ex.parallel_for(nh, [&](std::size_t hs) {
       const auto h = static_cast<std::int32_t>(hs);
       const auto e = static_cast<std::size_t>(h >> 1);
       if (reaches[hs] == 0) return;  // on an all-degree-2 cycle
@@ -118,7 +118,7 @@ ApplicantCompleteResult applicant_complete_matching(const Instance& inst, const 
     // Delete matched vertices. Newly matched vertices are endpoints of
     // surviving edges, so the edge array is the frontier to scan.
     std::uint8_t progressed = 0;
-    pram::parallel_for(ma, [&](std::size_t e) {
+    ex.parallel_for(ma, [&](std::size_t e) {
       for (const std::int32_t v : {eu[e], ev[e]}) {
         const auto vi = static_cast<std::size_t>(v);
         if (matched_vertex[vi] != 0 &&
@@ -135,7 +135,7 @@ ApplicantCompleteResult applicant_complete_matching(const Instance& inst, const 
     }
 
     // Compact the survivors (both endpoints still alive) for the next round.
-    pram::parallel_for(ma, [&](std::size_t e) {
+    ex.parallel_for(ma, [&](std::size_t e) {
       keep[e] = (vertex_alive[static_cast<std::size_t>(eu[e])] != 0 &&
                  vertex_alive[static_cast<std::size_t>(ev[e])] != 0)
                     ? 1u
@@ -144,7 +144,7 @@ ApplicantCompleteResult applicant_complete_matching(const Instance& inst, const 
     pram::add_round(counters, ma);
     const std::uint32_t ma_next = pram::exclusive_scan<std::uint32_t>(
         keep.span().first(ma), kpos.span().first(ma), ws, counters);
-    pram::parallel_for(ma, [&](std::size_t e) {
+    ex.parallel_for(ma, [&](std::size_t e) {
       if (keep[e] == 0) return;
       const auto p = static_cast<std::size_t>(kpos[e]);
       edge_id_next[p] = edge_id[e];
@@ -169,7 +169,7 @@ ApplicantCompleteResult applicant_complete_matching(const Instance& inst, const 
   // The in-loop degrees are only valid at endpoints of surviving edges, so
   // recompute them cleanly (one full pass, outside the round loop).
   auto final_deg = ws.take<std::int32_t>(n_vertices, std::int32_t{0});
-  pram::parallel_for(ma, [&](std::size_t e) {
+  ex.parallel_for(ma, [&](std::size_t e) {
     std::atomic_ref<std::int32_t>(final_deg[static_cast<std::size_t>(eu[e])])
         .fetch_add(1, std::memory_order_relaxed);
     std::atomic_ref<std::int32_t>(final_deg[static_cast<std::size_t>(ev[e])])
@@ -177,8 +177,8 @@ ApplicantCompleteResult applicant_complete_matching(const Instance& inst, const 
   });
   pram::add_round(counters, ma);
   const std::size_t applicants_left =
-      pram::parallel_count(n_a, [&](std::size_t a) { return vertex_alive[a] != 0; });
-  const std::size_t posts_left = pram::parallel_count(n_vertices - n_a, [&](std::size_t i) {
+      ex.parallel_count(n_a, [&](std::size_t a) { return vertex_alive[a] != 0; });
+  const std::size_t posts_left = ex.parallel_count(n_vertices - n_a, [&](std::size_t i) {
     const auto v = n_a + i;
     return vertex_alive[v] != 0 && final_deg[v] >= 1;
   });
@@ -203,7 +203,7 @@ ApplicantCompleteResult applicant_complete_matching(const Instance& inst, const 
 
   // Applicant-complete iff every applicant got a post.
   const bool missing =
-      pram::parallel_any(n_a, [&](std::size_t a) { return result.post_of[a] == kNone; });
+      ex.parallel_any(n_a, [&](std::size_t a) { return result.post_of[a] == kNone; });
   if (missing) {
     throw std::logic_error("applicant_complete_matching: unmatched applicant after cycle phase");
   }

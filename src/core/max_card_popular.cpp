@@ -3,20 +3,20 @@
 #include "core/popular_matching.hpp"
 #include "core/reduced_graph.hpp"
 #include "core/switching_graph.hpp"
-#include "pram/parallel.hpp"
 
 namespace ncpm::core {
 
 matching::Matching maximize_cardinality(const Instance& inst, const matching::Matching& popular,
                                         pram::Workspace& ws, pram::NcCounters* counters) {
-  const ReducedGraph rg = build_reduced_graph(inst, counters);
-  const SwitchingEngine engine(inst, rg, popular, counters);
+  pram::Executor& ex = ws.exec();
+  const ReducedGraph rg = build_reduced_graph(inst, counters, ex);
+  const SwitchingEngine engine(inst, rg, popular, counters, ex);
 
   // Definition 4: a post is worth 1 unless it is a last resort.
   const auto n_ext = static_cast<std::size_t>(inst.total_posts());
   auto value = ws.take<std::int64_t>(n_ext);
   std::int64_t* const value_data = value.data();
-  pram::parallel_for(n_ext, [&](std::size_t p) {
+  ex.parallel_for(n_ext, [&](std::size_t p) {
     value_data[p] = inst.is_last_resort(static_cast<std::int32_t>(p)) ? 0 : 1;
   });
   pram::add_round(counters, n_ext);

@@ -5,7 +5,6 @@
 #include "core/popular_matching.hpp"
 #include "core/reduced_graph.hpp"
 #include "core/switching_graph.hpp"
-#include "pram/parallel.hpp"
 
 namespace ncpm::core {
 
@@ -24,8 +23,8 @@ std::size_t bucket_of(const Instance& inst, std::int32_t a, std::int32_t p, std:
 matching::Matching optimize_weight(const Instance& inst, const matching::Matching& popular,
                                    const WeightFn& weight, bool maximize, pram::Workspace& ws,
                                    pram::NcCounters* counters) {
-  const ReducedGraph rg = build_reduced_graph(inst, counters);
-  const SwitchingEngine engine(inst, rg, popular, counters);
+  const ReducedGraph rg = build_reduced_graph(inst, counters, ws.exec());
+  const SwitchingEngine engine(inst, rg, popular, counters, ws.exec());
   const std::size_t n_ext = engine.pseudoforest().size();
 
   // Per-vertex delta: gain for the out-edge applicant when it switches.
@@ -89,8 +88,9 @@ namespace {
 matching::Matching optimize_profile(const Instance& inst, const matching::Matching& popular,
                                     const std::function<bool(const Profile&, const Profile&)>& better,
                                     pram::Workspace& ws, pram::NcCounters* counters) {
-  const ReducedGraph rg = build_reduced_graph(inst, counters);
-  const SwitchingEngine engine(inst, rg, popular, counters);
+  pram::Executor& ex = ws.exec();
+  const ReducedGraph rg = build_reduced_graph(inst, counters, ex);
+  const SwitchingEngine engine(inst, rg, popular, counters, ex);
   const std::size_t n_ext = engine.pseudoforest().size();
   const auto dim = static_cast<std::size_t>(inst.max_ranks()) + 1;
   const auto out = engine.out_applicant();
@@ -104,7 +104,7 @@ matching::Matching optimize_profile(const Instance& inst, const matching::Matchi
   std::vector<SwitchingEngine::MarginReport> reports;
   reports.reserve(dim);
   for (std::size_t k = 0; k < dim; ++k) {
-    pram::parallel_for(n_ext, [&](std::size_t v) {
+    ex.parallel_for(n_ext, [&](std::size_t v) {
       const std::int32_t a = out[v];
       std::int64_t d = 0;
       if (a != kNone) {

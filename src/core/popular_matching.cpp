@@ -2,7 +2,6 @@
 
 #include "core/applicant_complete.hpp"
 #include "core/reduced_graph.hpp"
-#include "pram/parallel.hpp"
 
 namespace ncpm::core {
 
@@ -17,7 +16,8 @@ std::optional<matching::Matching> find_popular_matching(const Instance& inst,
                                                         pram::Workspace& ws,
                                                         pram::NcCounters* counters,
                                                         PopularRunStats* stats) {
-  const ReducedGraph rg = build_reduced_graph(inst, counters);
+  pram::Executor& ex = ws.exec();
+  const ReducedGraph rg = build_reduced_graph(inst, counters, ex);
   ApplicantCompleteResult ac = applicant_complete_matching(inst, rg, ws, counters);
   if (stats != nullptr) {
     stats->while_rounds = ac.while_rounds;
@@ -31,14 +31,14 @@ std::optional<matching::Matching> find_popular_matching(const Instance& inst,
 
   // Which extended posts are matched?
   auto post_matched = ws.take<std::uint8_t>(n_ext, std::uint8_t{0});
-  pram::parallel_for(n_a, [&](std::size_t a) {
+  ex.parallel_for(n_a, [&](std::size_t a) {
     post_matched[static_cast<std::size_t>(ac.post_of[a])] = 1;  // injective writes
   });
   pram::add_round(counters, n_a);
 
   // Promote one applicant per unmatched f-post (line 5-7 of Algorithm 1).
   // f^-1 sets are disjoint, so the parallel writes touch distinct applicants.
-  pram::parallel_for(n_ext, [&](std::size_t p) {
+  ex.parallel_for(n_ext, [&](std::size_t p) {
     if (rg.is_f_post[p] == 0 || post_matched[p] != 0) return;
     const auto candidates = rg.f_inverse(static_cast<std::int32_t>(p));
     const std::int32_t a = candidates[0];  // deterministic: smallest applicant id
@@ -47,7 +47,7 @@ std::optional<matching::Matching> find_popular_matching(const Instance& inst,
   pram::add_round(counters, n_ext);
 
   matching::Matching m(inst.num_applicants(), inst.total_posts());
-  pram::parallel_for(n_a, [&](std::size_t a) {
+  ex.parallel_for(n_a, [&](std::size_t a) {
     m.set_pair_unchecked(static_cast<std::int32_t>(a), ac.post_of[a]);
   });
   pram::add_round(counters, n_a);

@@ -3,12 +3,12 @@
 #include <atomic>
 #include <stdexcept>
 
-#include "pram/parallel.hpp"
 #include "pram/scan.hpp"
 
 namespace ncpm::core {
 
-ReducedGraph build_reduced_graph(const Instance& inst, pram::NcCounters* counters) {
+ReducedGraph build_reduced_graph(const Instance& inst, pram::NcCounters* counters,
+                                 pram::Executor& ex) {
   if (!inst.strict_prefs()) {
     throw std::invalid_argument("build_reduced_graph: instance has ties (see core/ties.hpp)");
   }
@@ -25,7 +25,7 @@ ReducedGraph build_reduced_graph(const Instance& inst, pram::NcCounters* counter
   rg.is_f_post.assign(n_ext, 0);
 
   // Mark f-posts: posts with some rank-1 incident edge (CRCW common write).
-  pram::parallel_for(n_a, [&](std::size_t a) {
+  ex.parallel_for(n_a, [&](std::size_t a) {
     const auto posts = inst.posts_of(static_cast<std::int32_t>(a));
     rg.f_post[a] = posts[0];
     std::atomic_ref<std::uint8_t>(rg.is_f_post[static_cast<std::size_t>(posts[0])])
@@ -37,7 +37,7 @@ ReducedGraph build_reduced_graph(const Instance& inst, pram::NcCounters* counter
   // f-posts. The per-applicant scan is O(list length) work, matching the
   // paper's "for each applicant, find the highest ranked incident edge not
   // in E1" step.
-  pram::parallel_for(n_a, [&](std::size_t a) {
+  ex.parallel_for(n_a, [&](std::size_t a) {
     const auto ai = static_cast<std::int32_t>(a);
     const auto posts = inst.posts_of(ai);
     const auto ranks = inst.ranks_of(ai);
@@ -61,15 +61,15 @@ ReducedGraph build_reduced_graph(const Instance& inst, pram::NcCounters* counter
 
   // f^-1 as CSR by counting sort over f_post.
   std::vector<std::int64_t> count(n_ext, 0);
-  pram::parallel_for(n_a, [&](std::size_t a) {
+  ex.parallel_for(n_a, [&](std::size_t a) {
     std::atomic_ref<std::int64_t>(count[static_cast<std::size_t>(rg.f_post[a])])
         .fetch_add(1, std::memory_order_relaxed);
   });
   pram::add_round(counters, n_a);
   std::vector<std::int64_t> off64(n_ext);
-  const std::int64_t total = pram::exclusive_scan<std::int64_t>(count, off64, counters);
+  const std::int64_t total = pram::exclusive_scan<std::int64_t>(count, off64, counters, ex);
   rg.f_inv_offset.resize(n_ext + 1);
-  pram::parallel_for(n_ext, [&](std::size_t p) {
+  ex.parallel_for(n_ext, [&](std::size_t p) {
     rg.f_inv_offset[p] = static_cast<std::size_t>(off64[p]);
   });
   rg.f_inv_offset[n_ext] = static_cast<std::size_t>(total);

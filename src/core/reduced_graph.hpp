@@ -16,6 +16,7 @@
 
 #include "core/instance.hpp"
 #include "pram/counters.hpp"
+#include "pram/executor.hpp"
 
 namespace ncpm::core {
 
@@ -39,6 +40,7 @@ struct ReducedGraph {
 
 /// Build G' from a strict-preferences instance with last resorts.
 /// Throws std::invalid_argument for ties or missing last resorts.
-ReducedGraph build_reduced_graph(const Instance& inst, pram::NcCounters* counters = nullptr);
+ReducedGraph build_reduced_graph(const Instance& inst, pram::NcCounters* counters = nullptr,
+                                 pram::Executor& ex = pram::default_executor());
 
 }  // namespace ncpm::core

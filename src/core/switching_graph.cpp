@@ -8,7 +8,7 @@
 #include <optional>
 #include <stdexcept>
 
-#include "pram/parallel.hpp"
+#include "pram/executor.hpp"
 
 namespace ncpm::core {
 
@@ -35,7 +35,9 @@ inline void atomic_min32(std::int32_t& slot, std::int32_t value) {
 }  // namespace
 
 SwitchingEngine::SwitchingEngine(const Instance& inst, const ReducedGraph& rg,
-                                 const matching::Matching& m, pram::NcCounters* counters) {
+                                 const matching::Matching& m, pram::NcCounters* counters,
+                                 pram::Executor& ex)
+    : ex_(&ex) {
   const auto n_a = static_cast<std::size_t>(inst.num_applicants());
   const auto n_ext = static_cast<std::size_t>(inst.total_posts());
   post_of_.resize(n_a);
@@ -44,8 +46,8 @@ SwitchingEngine::SwitchingEngine(const Instance& inst, const ReducedGraph& rg,
   is_s_post_.assign(n_ext, 0);
 
   // M must live inside the reduced graph (Theorem 1 condition (ii)).
-  // Validate outside the parallel region: throwing across OpenMP is UB.
-  const bool invalid = pram::parallel_any(n_a, [&](std::size_t a) {
+  // Validate outside the parallel region: a body must not throw.
+  const bool invalid = ex.parallel_any(n_a, [&](std::size_t a) {
     const std::int32_t mp = m.right_of(static_cast<std::int32_t>(a));
     return mp != rg.f_post[a] && mp != rg.s_post[a];
   });
@@ -54,7 +56,7 @@ SwitchingEngine::SwitchingEngine(const Instance& inst, const ReducedGraph& rg,
   }
 
   // Edges: M(a) -> O_M(a), labelled a.
-  pram::parallel_for(n_a, [&](std::size_t a) {
+  ex.parallel_for(n_a, [&](std::size_t a) {
     const auto ai = static_cast<std::int32_t>(a);
     const std::int32_t mp = m.right_of(ai);
     post_of_[a] = mp;
@@ -67,10 +69,10 @@ SwitchingEngine::SwitchingEngine(const Instance& inst, const ReducedGraph& rg,
   });
   pram::add_round(counters, n_a);
 
-  cycles_ = graph::analyze_cycles(pf_, graph::CycleMethod::PointerDoubling, counters);
+  cycles_ = graph::analyze_cycles(pf_, graph::CycleMethod::PointerDoubling, counters, ex);
 
   has_cycle_.assign(n_ext, 0);
-  pram::parallel_for(n_ext, [&](std::size_t v) {
+  ex.parallel_for(n_ext, [&](std::size_t v) {
     if (cycles_.on_cycle[v] != 0) {
       atomic_store_flag(has_cycle_[static_cast<std::size_t>(cycles_.component[v])]);
     }
@@ -79,21 +81,21 @@ SwitchingEngine::SwitchingEngine(const Instance& inst, const ReducedGraph& rg,
 
   // Broken successors: terminals at sinks and at cycle roots.
   broken_succ_.resize(n_ext);
-  pram::parallel_for(n_ext, [&](std::size_t v) {
+  ex.parallel_for(n_ext, [&](std::size_t v) {
     const bool terminal =
         pf_.is_sink(v) ||
         (cycles_.on_cycle[v] != 0 && cycles_.cycle_root[v] == static_cast<std::int32_t>(v));
     broken_succ_[v] = terminal ? static_cast<std::int32_t>(v) : pf_.next[v];
   });
   pram::add_round(counters, n_ext);
-  steps_ = pram::list_rank(broken_succ_, counters);
+  steps_ = pram::list_rank(broken_succ_, counters, ex);
 
   // Binary-lifting tables for path marking: lift_[k][v] = broken_succ_^(2^k)(v).
   const std::uint32_t levels = pram::ceil_log2(n_ext == 0 ? 1 : n_ext) + 1;
   lift_.resize(levels);
   lift_[0] = broken_succ_;
   for (std::uint32_t k = 1; k < levels; ++k) {
-    lift_[k] = pram::compose(lift_[k - 1], lift_[k - 1], counters);
+    lift_[k] = pram::compose(lift_[k - 1], lift_[k - 1], counters, ex);
   }
 }
 
@@ -105,7 +107,7 @@ SwitchingEngine::MarginReport SwitchingEngine::margins(std::span<const std::int6
   }
   // Vertex delta = the change contributed by the applicant on v's out-edge.
   std::vector<std::int64_t> delta(n_ext, 0);
-  pram::parallel_for(n_ext, [&](std::size_t v) {
+  ex_->parallel_for(n_ext, [&](std::size_t v) {
     if (out_applicant_[v] != kNone) {
       delta[v] = post_value[static_cast<std::size_t>(pf_.next[v])] - post_value[v];
     }
@@ -121,12 +123,12 @@ SwitchingEngine::MarginReport SwitchingEngine::margins_from_deltas(
     throw std::invalid_argument("SwitchingEngine::margins_from_deltas: size mismatch");
   }
   std::vector<std::int64_t> weight(vertex_delta.begin(), vertex_delta.end());
-  const auto ranking = pram::weighted_list_rank(broken_succ_, weight, counters);
+  const auto ranking = pram::weighted_list_rank(broken_succ_, weight, counters, *ex_);
 
   MarginReport report;
   report.path_margin = ranking.rank;
   report.cycle_margin.assign(n_ext, 0);
-  pram::parallel_for(n_ext, [&](std::size_t v) {
+  ex_->parallel_for(n_ext, [&](std::size_t v) {
     if (cycles_.on_cycle[v] != 0 && cycles_.cycle_root[v] == static_cast<std::int32_t>(v)) {
       // The root is the ranking terminal, so its own weight is re-added.
       const auto succ = static_cast<std::size_t>(pf_.next[v]);
@@ -144,7 +146,7 @@ std::vector<SwitchingEngine::Choice> SwitchingEngine::best_choices(
 
   // Cycle components: apply the unique switching cycle iff its margin > 0.
   std::vector<std::uint8_t> cycle_chosen(n_ext, 0);
-  pram::parallel_for(n_ext, [&](std::size_t v) {
+  ex_->parallel_for(n_ext, [&](std::size_t v) {
     if (cycles_.on_cycle[v] != 0 && cycles_.cycle_root[v] == static_cast<std::int32_t>(v) &&
         report.cycle_margin[v] > 0) {
       cycle_chosen[v] = 1;
@@ -154,7 +156,7 @@ std::vector<SwitchingEngine::Choice> SwitchingEngine::best_choices(
 
   // Tree components: the best-margin s-post start, ties to the smallest id.
   std::vector<std::int64_t> best_margin(n_ext, std::numeric_limits<std::int64_t>::min());
-  pram::parallel_for(n_ext, [&](std::size_t q) {
+  ex_->parallel_for(n_ext, [&](std::size_t q) {
     if (is_s_post_[q] == 0 || out_applicant_[q] == kNone) return;
     const auto comp = static_cast<std::size_t>(cycles_.component[q]);
     if (has_cycle_[comp] != 0) return;
@@ -162,7 +164,7 @@ std::vector<SwitchingEngine::Choice> SwitchingEngine::best_choices(
   });
   pram::add_round(counters, n_ext);
   std::vector<std::int32_t> best_start(n_ext, std::numeric_limits<std::int32_t>::max());
-  pram::parallel_for(n_ext, [&](std::size_t q) {
+  ex_->parallel_for(n_ext, [&](std::size_t q) {
     if (is_s_post_[q] == 0 || out_applicant_[q] == kNone) return;
     const auto comp = static_cast<std::size_t>(cycles_.component[q]);
     if (has_cycle_[comp] != 0) return;
@@ -217,7 +219,7 @@ matching::Matching SwitchingEngine::apply(std::span<const Choice> choices,
   // steps(v) <= steps(q*) and broken_succ^(steps(q*) - steps(v))(q*) == v,
   // evaluated with the binary-lifting tables in O(log n) each.
   std::vector<std::uint8_t> switches(n_ext, 0);
-  pram::parallel_for(n_ext, [&](std::size_t v) {
+  ex_->parallel_for(n_ext, [&](std::size_t v) {
     if (out_applicant_[v] == kNone) return;  // sinks and isolated posts never move
     if (cycles_.on_cycle[v] != 0) {
       if (cycle_root_chosen[static_cast<std::size_t>(cycles_.cycle_root[v])] != 0) switches[v] = 1;
@@ -238,11 +240,11 @@ matching::Matching SwitchingEngine::apply(std::span<const Choice> choices,
   pram::add_round(counters, n_ext);
 
   matching::Matching out(static_cast<std::int32_t>(n_a), static_cast<std::int32_t>(n_ext));
-  pram::parallel_for(n_a, [&](std::size_t a) {
+  ex_->parallel_for(n_a, [&](std::size_t a) {
     out.set_pair_unchecked(static_cast<std::int32_t>(a), post_of_[a]);
   });
   pram::add_round(counters, n_a);
-  pram::parallel_for(n_ext, [&](std::size_t v) {
+  ex_->parallel_for(n_ext, [&](std::size_t v) {
     if (switches[v] != 0) {
       out.set_pair_unchecked(out_applicant_[v], pf_.next[v]);
     }
@@ -294,13 +296,13 @@ std::optional<std::uint64_t> count_popular_matchings(const Instance& inst, pram:
                                                      pram::NcCounters* counters) {
   const auto seed = find_popular_matching(inst, ws, counters);
   if (!seed.has_value()) return std::nullopt;
-  return count_popular_matchings(inst, *seed, counters);
+  return count_popular_matchings(inst, *seed, counters, ws.exec());
 }
 
 std::uint64_t count_popular_matchings(const Instance& inst, const matching::Matching& popular,
-                                      pram::NcCounters* counters) {
-  const ReducedGraph rg = build_reduced_graph(inst, counters);
-  const SwitchingEngine engine(inst, rg, popular, counters);
+                                      pram::NcCounters* counters, pram::Executor& ex) {
+  const ReducedGraph rg = build_reduced_graph(inst, counters, ex);
+  const SwitchingEngine engine(inst, rg, popular, counters, ex);
   std::uint64_t count = 1;
   const auto saturating_mul = [&count](std::uint64_t factor) {
     if (factor != 0 && count > std::numeric_limits<std::uint64_t>::max() / factor) {

@@ -40,9 +40,12 @@ namespace ncpm::core {
 
 class SwitchingEngine {
  public:
-  /// Build G_M for a popular matching m of the (strict) instance.
+  /// Build G_M for a popular matching m of the (strict) instance. The
+  /// engine keeps a reference to `ex` and runs every parallel round of its
+  /// construction and queries on it.
   SwitchingEngine(const Instance& inst, const ReducedGraph& rg, const matching::Matching& m,
-                  pram::NcCounters* counters = nullptr);
+                  pram::NcCounters* counters = nullptr,
+                  pram::Executor& ex = pram::default_executor());
 
   const graph::DirectedPseudoforest& pseudoforest() const noexcept { return pf_; }
   const graph::CycleAnalysis& analysis() const noexcept { return cycles_; }
@@ -106,6 +109,7 @@ class SwitchingEngine {
   std::vector<std::int32_t> nontrivial_components() const;
 
  private:
+  pram::Executor* ex_;                 // rounds run here; outlives the engine
   std::vector<std::int32_t> post_of_;  // M as a post vector (per applicant)
   graph::DirectedPseudoforest pf_;
   graph::CycleAnalysis cycles_;
@@ -140,6 +144,7 @@ std::optional<std::uint64_t> count_popular_matchings(const Instance& inst, pram:
 /// that already hold one — the engine's check mode — pay one pipeline run,
 /// not two).
 std::uint64_t count_popular_matchings(const Instance& inst, const matching::Matching& popular,
-                                      pram::NcCounters* counters = nullptr);
+                                      pram::NcCounters* counters = nullptr,
+                                      pram::Executor& ex = pram::default_executor());
 
 }  // namespace ncpm::core

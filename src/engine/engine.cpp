@@ -8,7 +8,7 @@
 #include "core/switching_graph.hpp"
 #include "core/ties.hpp"
 #include "core/verify.hpp"
-#include "pram/parallel.hpp"
+#include "pram/executor.hpp"
 #include "pram/workspace.hpp"
 #include "stable/gale_shapley.hpp"
 
@@ -50,7 +50,7 @@ void execute(const Request& req, pram::Workspace& ws, Result& out) {
     }
     const auto& inst = *req.stable_instance;
     const auto m0 = stable::man_optimal(inst);
-    out.next_stable = stable::next_stable_matchings(inst, m0);
+    out.next_stable = stable::next_stable_matchings(inst, m0, nullptr, ws.exec());
     out.status = Status::kOk;
     return;
   }
@@ -112,8 +112,9 @@ void execute(const Request& req, pram::Workspace& ws, Result& out) {
       report.admits_popular = m.has_value();
       if (m.has_value()) {
         report.size = core::matching_size(inst, *m);
-        // Count from the matching already in hand — one pipeline run, not two.
-        if (strict) report.count = core::count_popular_matchings(inst, *m);
+        // Count from the matching already in hand — one pipeline run, not
+        // two — on this worker's own executor, never the shared default.
+        if (strict) report.count = core::count_popular_matchings(inst, *m, nullptr, ws.exec());
       }
       out.check = report;
       out.status = report.admits_popular ? Status::kOk : Status::kNoSolution;
@@ -153,8 +154,9 @@ std::string_view status_name(Status status) {
 
 Engine::Engine(EngineConfig config) : config_(config), start_(std::chrono::steady_clock::now()) {
   if (config_.num_workers < 1) config_.num_workers = 1;
-  if (config_.solver_threads < 1) config_.solver_threads = 1;
+  if (config_.lanes_per_worker < 1) config_.lanes_per_worker = 1;
   stats_.num_workers = config_.num_workers;
+  stats_.lanes_per_worker = config_.lanes_per_worker;
   workers_.reserve(static_cast<std::size_t>(config_.num_workers));
   for (int i = 0; i < config_.num_workers; ++i) {
     workers_.push_back(std::make_unique<Worker>());
@@ -244,10 +246,11 @@ void Engine::record(const Result& result) {
 }
 
 void Engine::worker_main(int worker_id) {
-  // Per-thread OpenMP ICV: this worker's solves use their own small team
-  // without touching the team size of any other thread.
-  pram::set_num_threads(config_.solver_threads);
-  pram::Workspace ws;
+  // Each worker owns a private executor of lanes_per_worker lanes and a
+  // long-lived workspace bound to it: intra-solve parallelism composes with
+  // worker concurrency without any shared thread state.
+  pram::Executor exec(config_.lanes_per_worker);
+  pram::Workspace ws(exec);
   Worker& self = *workers_[static_cast<std::size_t>(worker_id)];
   for (;;) {
     Task task;
@@ -273,12 +276,15 @@ void Engine::worker_main(int worker_id) {
     } else if (task.request.deadline.has_value() && dequeued > *task.request.deadline) {
       result.status = Status::kDeadlineExpired;
     } else {
+      // Honour the request's own lane cap, if any, for just this solve.
+      exec.set_active_lanes(task.request.lanes.value_or(config_.lanes_per_worker));
       try {
         execute(task.request, ws, result);
       } catch (const std::exception& e) {
         result.status = Status::kError;
         result.error = e.what();
       }
+      exec.set_active_lanes(config_.lanes_per_worker);
     }
     result.solve_time = std::chrono::steady_clock::now() - dequeued;
 

@@ -19,11 +19,14 @@
 // timing (queue latency, solve time) plus the Algorithm 2 round/allocation
 // stats; `stats()` aggregates everything into an EngineStats snapshot.
 //
-// Each worker pins its own OpenMP team to `solver_threads` (an OpenMP ICV
-// is per-thread, so workers do not fight over a global setting). The
-// default of 1 makes worker count the only parallelism knob: batch
-// throughput scales with workers instead of oversubscribing cores with
-// nested parallel-for teams.
+// Parallelism composes along two axes under one hardware budget: worker
+// count (batch concurrency) x executor lanes per worker (intra-solve
+// parallelism). Each worker owns a private pram::Executor of
+// `lanes_per_worker` lanes — no process-global thread state anywhere — so
+// a ThreadBudget of {2 workers, 4 lanes} really uses 8 threads, and a lone
+// large instance can take every core while a deep queue favours workers.
+// Requests may additionally cap their own lanes (Request::with_lanes), and
+// results are bit-identical across every workers x lanes combination.
 
 #include <array>
 #include <atomic>
@@ -43,6 +46,7 @@
 #include "core/instance.hpp"
 #include "core/popular_matching.hpp"
 #include "matching/matching.hpp"
+#include "pram/executor.hpp"
 #include "stable/instance.hpp"
 #include "stable/next_stable.hpp"
 
@@ -93,6 +97,11 @@ struct Request {
   std::optional<stable::StableInstance> stable_instance;
   std::optional<std::chrono::steady_clock::time_point> deadline;
   std::optional<CancelToken> cancel;
+  /// Per-request cap on intra-solve parallelism: the worker runs this
+  /// request on min(lanes, lanes_per_worker) executor lanes. Results are
+  /// identical either way; this only trades latency for smoothness when a
+  /// cheap request shares a budget with expensive ones.
+  std::optional<int> lanes;
 
   static Request popular(Mode mode, core::Instance inst) {
     Request r;
@@ -112,6 +121,10 @@ struct Request {
   }
   Request&& with_cancel(CancelToken token) && {
     cancel = std::move(token);
+    return std::move(*this);
+  }
+  Request&& with_lanes(int n) && {
+    lanes = n;
     return std::move(*this);
   }
 };
@@ -146,9 +159,46 @@ struct Result {
   int worker_id = -1;
 };
 
+/// One hardware budget split between batch concurrency and intra-solve
+/// parallelism: `workers` x `lanes` threads in total.
+struct ThreadBudget {
+  int workers = 1;  ///< concurrent solves
+  int lanes = 1;    ///< executor width inside each solve
+  int total() const noexcept { return workers * lanes; }
+
+  /// All of the budget into one internally-parallel solve (1 x total).
+  static ThreadBudget single(int total_threads) {
+    return {1, total_threads < 1 ? 1 : total_threads};
+  }
+  /// All of the budget into worker concurrency (total x 1).
+  static ThreadBudget wide(int total_threads) {
+    return {total_threads < 1 ? 1 : total_threads, 1};
+  }
+  /// Split `total_threads` for an expected number of in-flight requests:
+  /// start from workers = min(total, expected), give each worker
+  /// total / workers lanes, then fold any remainder back into extra
+  /// workers so the budget is used as fully as a uniform workers x lanes
+  /// grid allows (at most lanes - 1 threads go unused, only when lanes
+  /// does not divide total). A deep queue degenerates to `wide`, a single
+  /// request to `single`.
+  static ThreadBudget split(int total_threads, std::size_t expected_in_flight) {
+    const int total = total_threads < 1 ? 1 : total_threads;
+    const auto want = expected_in_flight < 1 ? std::size_t{1} : expected_in_flight;
+    const int workers =
+        want < static_cast<std::size_t>(total) ? static_cast<int>(want) : total;
+    const int lanes = total / workers;
+    return {total / lanes, lanes};
+  }
+};
+
 struct EngineConfig {
-  int num_workers = 1;    ///< clamped to >= 1
-  int solver_threads = 1; ///< OpenMP team size inside each worker's solves
+  int num_workers = 1;      ///< clamped to >= 1
+  int lanes_per_worker = 1; ///< width of each worker's private Executor (clamped to >= 1)
+
+  EngineConfig() = default;
+  EngineConfig(int workers, int lanes) : num_workers(workers), lanes_per_worker(lanes) {}
+  EngineConfig(ThreadBudget budget)  // NOLINT(google-explicit-constructor)
+      : num_workers(budget.workers), lanes_per_worker(budget.lanes) {}
 };
 
 struct ModeStats {
@@ -166,6 +216,7 @@ struct ModeStats {
 
 struct EngineStats {
   int num_workers = 0;
+  int lanes_per_worker = 0;  ///< executor width inside each worker
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t queue_ns_total = 0;

@@ -3,7 +3,7 @@
 #include <atomic>
 #include <stdexcept>
 
-#include "pram/parallel.hpp"
+#include "pram/executor.hpp"
 
 namespace ncpm::graph {
 
@@ -26,8 +26,8 @@ inline void atomic_fetch_min(std::int32_t& slot, std::int32_t value) {
 ComponentLabels connected_components(std::size_t n, std::span<const std::int32_t> eu,
                                      std::span<const std::int32_t> ev,
                                      std::span<const std::uint8_t> edge_alive,
-                                     pram::NcCounters* counters) {
-  pram::Workspace ws;
+                                     pram::NcCounters* counters, pram::Executor& ex) {
+  pram::Workspace ws(ex);
   return connected_components(n, eu, ev, edge_alive, ws, counters);
 }
 
@@ -42,9 +42,10 @@ ComponentLabels connected_components(std::size_t n, std::span<const std::int32_t
     throw std::invalid_argument("connected_components: edge_alive size mismatch");
   }
   const std::size_t m = eu.size();
+  pram::Executor& ex = ws.exec();
   ComponentLabels out;
   out.label.resize(n);
-  pram::parallel_for_grain(
+  ex.parallel_for_grain(
       n, kGrain, [&](std::size_t v) { out.label[v] = static_cast<std::int32_t>(v); });
   pram::add_round(counters, n);
 
@@ -55,10 +56,15 @@ ComponentLabels connected_components(std::size_t n, std::span<const std::int32_t
   while (changed != 0) {
     changed = 0;
     // Hook: pull each endpoint's current root toward the smaller root.
-    pram::parallel_for(m, [&](std::size_t j) {
+    // Reads are relaxed atomic loads: other lanes CAS the same slots
+    // concurrently (CRCW min), and any torn-in-time value only delays
+    // convergence by a round, never corrupts it.
+    ex.parallel_for(m, [&](std::size_t j) {
       if (!edge_alive.empty() && edge_alive[j] == 0) return;
-      const auto pu = parent[static_cast<std::size_t>(eu[j])];
-      const auto pv = parent[static_cast<std::size_t>(ev[j])];
+      const auto pu = std::atomic_ref<std::int32_t>(parent[static_cast<std::size_t>(eu[j])])
+                          .load(std::memory_order_relaxed);
+      const auto pv = std::atomic_ref<std::int32_t>(parent[static_cast<std::size_t>(ev[j])])
+                          .load(std::memory_order_relaxed);
       if (pu == pv) return;
       const std::int32_t lo = pu < pv ? pu : pv;
       const std::int32_t hi = pu < pv ? pv : pu;
@@ -70,11 +76,11 @@ ComponentLabels connected_components(std::size_t n, std::span<const std::int32_t
     // Shortcut: full pointer jumping until every vertex points at a root.
     bool shortcutting = true;
     while (shortcutting) {
-      pram::parallel_for_grain(n, kGrain, [&](std::size_t v) {
+      ex.parallel_for_grain(n, kGrain, [&](std::size_t v) {
         next_parent[v] = parent[static_cast<std::size_t>(parent[v])];
       });
       shortcutting =
-          pram::parallel_any(n, [&](std::size_t v) { return next_parent[v] != parent[v]; });
+          ex.parallel_any(n, [&](std::size_t v) { return next_parent[v] != parent[v]; });
       std::swap(parent, next_parent);
       pram::add_round(counters, n);
     }
@@ -82,10 +88,10 @@ ComponentLabels connected_components(std::size_t n, std::span<const std::int32_t
   }
 
   if (parent.data() != out.label.data()) {
-    pram::parallel_for_grain(n, kGrain, [&](std::size_t v) { out.label[v] = parent[v]; });
+    ex.parallel_for_grain(n, kGrain, [&](std::size_t v) { out.label[v] = parent[v]; });
     pram::add_round(counters, n);
   }
-  out.count = static_cast<std::int32_t>(pram::parallel_count(
+  out.count = static_cast<std::int32_t>(ex.parallel_count(
       n, [&](std::size_t v) { return parent[v] == static_cast<std::int32_t>(v); }));
   return out;
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "pram/counters.hpp"
+#include "pram/executor.hpp"
 #include "pram/workspace.hpp"
 
 namespace ncpm::graph {
@@ -27,14 +28,16 @@ struct ComponentLabels {
 
 /// Connected components of the undirected (multi)graph on `n` vertices with
 /// edges (eu[j], ev[j]); `edge_alive` (optional) masks edges out. Self-loops
-/// are permitted and ignored.
+/// are permitted and ignored. Rounds run on `ex`.
 ComponentLabels connected_components(std::size_t n, std::span<const std::int32_t> eu,
                                      std::span<const std::int32_t> ev,
                                      std::span<const std::uint8_t> edge_alive = {},
-                                     pram::NcCounters* counters = nullptr);
+                                     pram::NcCounters* counters = nullptr,
+                                     pram::Executor& ex = pram::default_executor());
 
 /// Workspace-backed variant: the pointer-jumping scratch is leased from
-/// `ws`, so repeated calls reuse one warm buffer set.
+/// `ws`, so repeated calls reuse one warm buffer set; rounds run on `ws`'s
+/// executor.
 ComponentLabels connected_components(std::size_t n, std::span<const std::int32_t> eu,
                                      std::span<const std::int32_t> ev,
                                      std::span<const std::uint8_t> edge_alive,

@@ -3,7 +3,6 @@
 #include <atomic>
 #include <stdexcept>
 
-#include "pram/parallel.hpp"
 #include "pram/scan.hpp"
 
 namespace ncpm::graph {
@@ -28,7 +27,8 @@ void HalfEdgeStructure::rebuild(std::size_t n_vertices, std::span<const std::int
   if (ev_.size() != m || alive_.size() != m) {
     throw std::invalid_argument("HalfEdgeStructure: edge array size mismatch");
   }
-  const bool bad = pram::parallel_any(m, [&](std::size_t e) {
+  pram::Executor& ex = ws.exec();
+  const bool bad = ex.parallel_any(m, [&](std::size_t e) {
     if (alive_[e] == 0) return false;
     return eu_[e] < 0 || ev_[e] < 0 || static_cast<std::size_t>(eu_[e]) >= n_ ||
            static_cast<std::size_t>(ev_[e]) >= n_ || eu_[e] == ev_[e];
@@ -37,7 +37,7 @@ void HalfEdgeStructure::rebuild(std::size_t n_vertices, std::span<const std::int
 
   // Alive degrees via CRCW-sum (atomic adds), then CSR offsets via scan.
   degree_.assign(n_, 0);
-  pram::parallel_for(m, [&](std::size_t e) {
+  ex.parallel_for(m, [&](std::size_t e) {
     if (alive_[e] == 0) return;
     std::atomic_ref<std::int64_t>(degree_[static_cast<std::size_t>(eu_[e])])
         .fetch_add(1, std::memory_order_relaxed);
@@ -50,15 +50,15 @@ void HalfEdgeStructure::rebuild(std::size_t n_vertices, std::span<const std::int
   const std::int64_t total =
       pram::exclusive_scan<std::int64_t>(degree_, off64.span(), ws, counters);
   offset_.resize(n_ + 1);
-  pram::parallel_for(n_, [&](std::size_t v) { offset_[v] = static_cast<std::size_t>(off64[v]); });
+  ex.parallel_for(n_, [&](std::size_t v) { offset_[v] = static_cast<std::size_t>(off64[v]); });
   offset_[n_] = static_cast<std::size_t>(total);
   pram::add_round(counters, n_);
 
   incident_.resize(static_cast<std::size_t>(total));
   auto cursor = ws.take<std::int64_t>(n_);
-  pram::parallel_for(n_, [&](std::size_t v) { cursor[v] = off64[v]; });
+  ex.parallel_for(n_, [&](std::size_t v) { cursor[v] = off64[v]; });
   pram::add_round(counters, n_);
-  pram::parallel_for(m, [&](std::size_t e) {
+  ex.parallel_for(m, [&](std::size_t e) {
     if (alive_[e] == 0) return;
     const auto pu = std::atomic_ref<std::int64_t>(cursor[static_cast<std::size_t>(eu_[e])])
                         .fetch_add(1, std::memory_order_relaxed);
@@ -71,7 +71,7 @@ void HalfEdgeStructure::rebuild(std::size_t n_vertices, std::span<const std::int
 
   // Successors: continue through degree-2 targets, stop elsewhere.
   succ_.resize(2 * m);
-  pram::parallel_for(2 * m, [&](std::size_t hs) {
+  ex.parallel_for(2 * m, [&](std::size_t hs) {
     const auto h = static_cast<std::int32_t>(hs);
     const auto e = static_cast<std::size_t>(h >> 1);
     if (alive_[e] == 0) {
@@ -99,7 +99,8 @@ void HalfEdgeStructure::rebuild(std::size_t n_vertices, std::span<const std::int
 
 AliveEdgePaths::AliveEdgePaths(std::size_t n_vertices, std::size_t max_edges,
                                pram::Workspace& ws)
-    : deg_(ws.take<std::int32_t>(n_vertices)),
+    : ex_(&ws.exec()),
+      deg_(ws.take<std::int32_t>(n_vertices)),
       inc_(ws.take<std::int32_t>(2 * n_vertices)),
       succ_(ws.take<std::int32_t>(2 * max_edges)),
       head_(ws.take<std::int32_t>(2 * max_edges)),
@@ -125,13 +126,17 @@ void AliveEdgePaths::rebuild_links(std::span<const std::int32_t> eu,
   // Reset exactly the touched vertices (benign CRCW common writes), then
   // count degrees and register the first two incident edges per vertex —
   // all the degree-2 continuation ever needs.
-  pram::parallel_for(m, [&](std::size_t e) {
+  ex_->parallel_for(m, [&](std::size_t e) {
     if (!alive(e)) return;
-    deg[static_cast<std::size_t>(eu[e])] = 0;
-    deg[static_cast<std::size_t>(ev[e])] = 0;
+    // CRCW common-value writes (endpoints shared between edges): relaxed
+    // atomics, as everywhere else in the library.
+    std::atomic_ref<std::int32_t>(deg[static_cast<std::size_t>(eu[e])])
+        .store(0, std::memory_order_relaxed);
+    std::atomic_ref<std::int32_t>(deg[static_cast<std::size_t>(ev[e])])
+        .store(0, std::memory_order_relaxed);
   });
   pram::add_round(counters, m);
-  pram::parallel_for(m, [&](std::size_t e) {
+  ex_->parallel_for(m, [&](std::size_t e) {
     if (!alive(e)) return;
     for (const std::int32_t v : {eu[e], ev[e]}) {
       const std::int32_t slot = std::atomic_ref<std::int32_t>(deg[static_cast<std::size_t>(v)])
@@ -142,7 +147,7 @@ void AliveEdgePaths::rebuild_links(std::span<const std::int32_t> eu,
   pram::add_round(counters, m);
 
   std::int32_t* const succ = succ_.data();
-  pram::parallel_for(2 * m, [&](std::size_t hs) {
+  ex_->parallel_for(2 * m, [&](std::size_t hs) {
     const auto e = hs >> 1;
     if (!alive(e)) {
       succ[hs] = static_cast<std::int32_t>(hs);

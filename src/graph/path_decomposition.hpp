@@ -163,6 +163,7 @@ class AliveEdgePaths {
 
  private:
   std::size_t m_ = 0;
+  pram::Executor* ex_;  // the owning workspace's executor
   std::span<const std::int32_t> eu_, ev_;  // the caller's compacted arrays
   pram::WsBuffer<std::int32_t> deg_;       // per vertex; reset only where touched
   pram::WsBuffer<std::int32_t> inc_;       // two incident-edge slots per vertex

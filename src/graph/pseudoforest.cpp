@@ -7,15 +7,15 @@
 #include "graph/connected_components.hpp"
 #include "graph/transitive_closure.hpp"
 #include "linalg/incidence.hpp"
-#include "pram/parallel.hpp"
+#include "pram/executor.hpp"
 
 namespace ncpm::graph {
 
 namespace {
 
-void validate(const DirectedPseudoforest& pf) {
+void validate(const DirectedPseudoforest& pf, pram::Executor& ex) {
   const std::size_t n = pf.size();
-  const bool bad = pram::parallel_any(n, [&](std::size_t v) {
+  const bool bad = ex.parallel_any(n, [&](std::size_t v) {
     const auto nx = pf.next[v];
     return nx != pram::kNone && (nx < 0 || static_cast<std::size_t>(nx) >= n);
   });
@@ -23,9 +23,9 @@ void validate(const DirectedPseudoforest& pf) {
 }
 
 /// Successor map with sinks turned into self-loops (fixed points).
-std::vector<std::int32_t> closed_successors(const DirectedPseudoforest& pf) {
+std::vector<std::int32_t> closed_successors(const DirectedPseudoforest& pf, pram::Executor& ex) {
   std::vector<std::int32_t> f(pf.size());
-  pram::parallel_for(pf.size(), [&](std::size_t v) {
+  ex.parallel_for(pf.size(), [&](std::size_t v) {
     f[v] = pf.is_sink(v) ? static_cast<std::int32_t>(v) : pf.next[v];
   });
   return f;
@@ -47,22 +47,23 @@ void undirected_edges(const DirectedPseudoforest& pf, std::vector<std::int32_t>&
 }
 
 std::vector<std::uint8_t> members_pointer_doubling(const DirectedPseudoforest& pf,
-                                                   pram::NcCounters* counters) {
+                                                   pram::NcCounters* counters,
+                                                   pram::Executor& ex) {
   const std::size_t n = pf.size();
-  const auto f = closed_successors(pf);
+  const auto f = closed_successors(pf, ex);
   // For K >= n the image of f^K is exactly {cycle vertices} ∪ {sinks}: any
   // tree vertex is at distance < n from every start, so nothing maps onto it
   // after n steps, while f^K restricted to a cycle is a bijection of the cycle.
   const std::uint64_t k = std::uint64_t{1} << pram::ceil_log2(n == 0 ? 1 : n);
-  const auto fk = pram::kth_power(f, k, counters);
+  const auto fk = pram::kth_power(f, k, counters, ex);
   std::vector<std::uint8_t> mark(n, 0);
-  pram::parallel_for(n, [&](std::size_t v) {
+  ex.parallel_for(n, [&](std::size_t v) {
     // CRCW common-value write, realised with relaxed atomics.
     std::atomic_ref<std::uint8_t>(mark[static_cast<std::size_t>(fk[v])])
         .store(1, std::memory_order_relaxed);
   });
   pram::add_round(counters, n);
-  pram::parallel_for(n, [&](std::size_t v) {
+  ex.parallel_for(n, [&](std::size_t v) {
     if (pf.is_sink(v)) mark[v] = 0;
   });
   pram::add_round(counters, n);
@@ -70,7 +71,8 @@ std::vector<std::uint8_t> members_pointer_doubling(const DirectedPseudoforest& p
 }
 
 std::vector<std::uint8_t> members_transitive_closure(const DirectedPseudoforest& pf,
-                                                     pram::NcCounters* counters) {
+                                                     pram::NcCounters* counters,
+                                                     pram::Executor& ex) {
   const std::size_t n = pf.size();
   std::vector<std::int32_t> tail, head;
   for (std::size_t v = 0; v < n; ++v) {
@@ -79,8 +81,8 @@ std::vector<std::uint8_t> members_transitive_closure(const DirectedPseudoforest&
       head.push_back(pf.next[v]);
     }
   }
-  const auto closure = transitive_closure(adjacency_matrix(n, tail, head), counters);
-  return closure.diagonal();  // v on a directed cycle iff v reaches itself
+  const auto closure = transitive_closure(adjacency_matrix(n, tail, head), counters, ex);
+  return closure.diagonal(ex);  // v on a directed cycle iff v reaches itself
 }
 
 /// Shared for the Gf2Rank / EdgeRemovalCC methods: mark endpoints of every
@@ -116,40 +118,40 @@ std::vector<std::uint8_t> members_by_edge_removal(const DirectedPseudoforest& pf
 }  // namespace
 
 std::vector<std::uint8_t> cycle_members(const DirectedPseudoforest& pf, CycleMethod method,
-                                        pram::NcCounters* counters) {
-  validate(pf);
+                                        pram::NcCounters* counters, pram::Executor& ex) {
+  validate(pf, ex);
   switch (method) {
     case CycleMethod::PointerDoubling:
-      return members_pointer_doubling(pf, counters);
+      return members_pointer_doubling(pf, counters, ex);
     case CycleMethod::TransitiveClosure:
-      return members_transitive_closure(pf, counters);
+      return members_transitive_closure(pf, counters, ex);
     case CycleMethod::Gf2Rank:
       return members_by_edge_removal(pf, [&](auto& eu, auto& ev, auto& alive) {
-        return linalg::component_count_by_rank(pf.size(), eu, ev, alive, counters);
+        return linalg::component_count_by_rank(pf.size(), eu, ev, alive, counters, ex);
       });
     case CycleMethod::EdgeRemovalCC:
       return members_by_edge_removal(pf, [&](auto& eu, auto& ev, auto& alive) {
         return static_cast<std::size_t>(
-            connected_components(pf.size(), eu, ev, alive, counters).count);
+            connected_components(pf.size(), eu, ev, alive, counters, ex).count);
       });
   }
   throw std::invalid_argument("cycle_members: unknown method");
 }
 
 std::vector<std::int32_t> weak_components(const DirectedPseudoforest& pf,
-                                          pram::NcCounters* counters) {
-  validate(pf);
+                                          pram::NcCounters* counters, pram::Executor& ex) {
+  validate(pf, ex);
   std::vector<std::int32_t> eu, ev, tail;
   undirected_edges(pf, eu, ev, tail);
-  return connected_components(pf.size(), eu, ev, {}, counters).label;
+  return connected_components(pf.size(), eu, ev, {}, counters, ex).label;
 }
 
 CycleAnalysis analyze_cycles(const DirectedPseudoforest& pf, CycleMethod method,
-                             pram::NcCounters* counters) {
+                             pram::NcCounters* counters, pram::Executor& ex) {
   const std::size_t n = pf.size();
   CycleAnalysis out;
-  out.on_cycle = cycle_members(pf, method, counters);
-  out.component = weak_components(pf, counters);
+  out.on_cycle = cycle_members(pf, method, counters, ex);
+  out.component = weak_components(pf, counters, ex);
   out.cycle_root.assign(n, pram::kNone);
   out.dist_to_root.assign(n, 0);
   out.cycle_length.assign(n, 0);
@@ -157,12 +159,12 @@ CycleAnalysis analyze_cycles(const DirectedPseudoforest& pf, CycleMethod method,
 
   // Root election: windowed min over vertex ids along the cycle. Off-cycle
   // vertices participate harmlessly (their window min is never read).
-  const auto f = closed_successors(pf);
+  const auto f = closed_successors(pf, ex);
   std::vector<std::int64_t> key(n);
-  pram::parallel_for(n, [&](std::size_t v) { key[v] = static_cast<std::int64_t>(v); });
+  ex.parallel_for(n, [&](std::size_t v) { key[v] = static_cast<std::int64_t>(v); });
   pram::add_round(counters, n);
-  const auto wmin = pram::window_min(f, key, n, counters);
-  pram::parallel_for(n, [&](std::size_t v) {
+  const auto wmin = pram::window_min(f, key, n, counters, ex);
+  ex.parallel_for(n, [&](std::size_t v) {
     if (out.on_cycle[v] != 0) out.cycle_root[v] = static_cast<std::int32_t>(wmin[v]);
   });
   pram::add_round(counters, n);
@@ -170,13 +172,13 @@ CycleAnalysis analyze_cycles(const DirectedPseudoforest& pf, CycleMethod method,
   // Distance to root: break every cycle at its root (root becomes a terminal)
   // and list-rank. rank[v] is then the distance v -> root along the cycle.
   std::vector<std::int32_t> broken(n);
-  pram::parallel_for(n, [&](std::size_t v) {
+  ex.parallel_for(n, [&](std::size_t v) {
     const bool is_root = out.on_cycle[v] != 0 && out.cycle_root[v] == static_cast<std::int32_t>(v);
     broken[v] = is_root ? static_cast<std::int32_t>(v) : f[v];
   });
   pram::add_round(counters, n);
-  const auto ranking = pram::list_rank(broken, counters);
-  pram::parallel_for(n, [&](std::size_t v) {
+  const auto ranking = pram::list_rank(broken, counters, ex);
+  ex.parallel_for(n, [&](std::size_t v) {
     if (out.on_cycle[v] != 0) out.dist_to_root[v] = ranking.rank[v];
   });
   pram::add_round(counters, n);
@@ -184,14 +186,14 @@ CycleAnalysis analyze_cycles(const DirectedPseudoforest& pf, CycleMethod method,
   // Cycle length: the root's predecessor on the cycle sits at distance len-1.
   // Equivalently len = dist(next(root)) + 1; publish via the root then fan out.
   std::vector<std::int64_t> len_at_root(n, 0);
-  pram::parallel_for(n, [&](std::size_t v) {
+  ex.parallel_for(n, [&](std::size_t v) {
     if (out.on_cycle[v] != 0 && out.cycle_root[v] == static_cast<std::int32_t>(v)) {
       const auto succ = static_cast<std::size_t>(f[v]);
       len_at_root[v] = ranking.rank[succ] + 1;
     }
   });
   pram::add_round(counters, n);
-  pram::parallel_for(n, [&](std::size_t v) {
+  ex.parallel_for(n, [&](std::size_t v) {
     if (out.on_cycle[v] != 0) {
       out.cycle_length[v] = len_at_root[static_cast<std::size_t>(out.cycle_root[v])];
     }

@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "pram/parallel.hpp"
+#include "pram/executor.hpp"
 
 namespace ncpm::linalg {
 
@@ -15,30 +15,30 @@ BitMatrix BitMatrix::identity(std::size_t n) {
   return m;
 }
 
-void BitMatrix::or_assign(const BitMatrix& other) {
+void BitMatrix::or_assign(const BitMatrix& other, pram::Executor& ex) {
   if (rows_ != other.rows_ || cols_ != other.cols_) {
     throw std::invalid_argument("BitMatrix::or_assign: shape mismatch");
   }
-  pram::parallel_for(words_.size(), [&](std::size_t i) { words_[i] |= other.words_[i]; });
+  ex.parallel_for(words_.size(), [&](std::size_t i) { words_[i] |= other.words_[i]; });
 }
 
 bool BitMatrix::operator==(const BitMatrix& other) const {
   return rows_ == other.rows_ && cols_ == other.cols_ && words_ == other.words_;
 }
 
-bool BitMatrix::any_diagonal() const {
+bool BitMatrix::any_diagonal(pram::Executor& ex) const {
   const std::size_t n = rows_ < cols_ ? rows_ : cols_;
-  return pram::parallel_any(n, [&](std::size_t i) { return get(i, i); });
+  return ex.parallel_any(n, [&](std::size_t i) { return get(i, i); });
 }
 
-std::vector<std::uint8_t> BitMatrix::diagonal() const {
+std::vector<std::uint8_t> BitMatrix::diagonal(pram::Executor& ex) const {
   const std::size_t n = rows_ < cols_ ? rows_ : cols_;
   std::vector<std::uint8_t> d(n);
-  pram::parallel_for(n, [&](std::size_t i) { d[i] = get(i, i) ? 1 : 0; });
+  ex.parallel_for(n, [&](std::size_t i) { d[i] = get(i, i) ? 1 : 0; });
   return d;
 }
 
-std::size_t BitMatrix::gf2_rank(pram::NcCounters* counters) const {
+std::size_t BitMatrix::gf2_rank(pram::NcCounters* counters, pram::Executor& ex) const {
   BitMatrix work = *this;
   const std::size_t wpr = work.words_per_row_;
   std::size_t pivot_row = 0;
@@ -59,7 +59,7 @@ std::size_t BitMatrix::gf2_rank(pram::NcCounters* counters) const {
     }
     // Eliminate the column from every other row in one parallel round.
     const std::size_t pr = pivot_row;
-    pram::parallel_for(rows_, [&](std::size_t r) {
+    ex.parallel_for(rows_, [&](std::size_t r) {
       if (r != pr && work.get(r, col)) {
         auto dst = work.row(r);
         auto src = work.row(pr);
@@ -75,13 +75,14 @@ std::size_t BitMatrix::gf2_rank(pram::NcCounters* counters) const {
 namespace {
 
 template <bool Xor>
-BitMatrix product_impl(const BitMatrix& a, const BitMatrix& b, pram::NcCounters* counters) {
+BitMatrix product_impl(const BitMatrix& a, const BitMatrix& b, pram::NcCounters* counters,
+                       pram::Executor& ex) {
   if (a.cols() != b.rows()) {
     throw std::invalid_argument("BitMatrix product: inner dimension mismatch");
   }
   BitMatrix c(a.rows(), b.cols());
   const std::size_t wpr = c.words_per_row();
-  pram::parallel_for(a.rows(), [&](std::size_t i) {
+  ex.parallel_for(a.rows(), [&](std::size_t i) {
     auto out = c.row(i);
     for (std::size_t k = 0; k < a.cols(); ++k) {
       if (!a.get(i, k)) continue;
@@ -99,12 +100,14 @@ BitMatrix product_impl(const BitMatrix& a, const BitMatrix& b, pram::NcCounters*
 
 }  // namespace
 
-BitMatrix bool_product(const BitMatrix& a, const BitMatrix& b, pram::NcCounters* counters) {
-  return product_impl<false>(a, b, counters);
+BitMatrix bool_product(const BitMatrix& a, const BitMatrix& b, pram::NcCounters* counters,
+                       pram::Executor& ex) {
+  return product_impl<false>(a, b, counters, ex);
 }
 
-BitMatrix gf2_product(const BitMatrix& a, const BitMatrix& b, pram::NcCounters* counters) {
-  return product_impl<true>(a, b, counters);
+BitMatrix gf2_product(const BitMatrix& a, const BitMatrix& b, pram::NcCounters* counters,
+                      pram::Executor& ex) {
+  return product_impl<true>(a, b, counters, ex);
 }
 
 }  // namespace ncpm::linalg

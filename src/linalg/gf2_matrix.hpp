@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "pram/counters.hpp"
+#include "pram/executor.hpp"
 
 namespace ncpm::linalg {
 
@@ -55,19 +56,20 @@ class BitMatrix {
   }
   std::size_t words_per_row() const noexcept { return words_per_row_; }
 
-  /// this |= other (elementwise OR); shapes must match.
-  void or_assign(const BitMatrix& other);
+  /// this |= other (elementwise OR); shapes must match. Rounds run on `ex`.
+  void or_assign(const BitMatrix& other, pram::Executor& ex = pram::default_executor());
 
   bool operator==(const BitMatrix& other) const;
 
   /// True iff any diagonal entry is set (square matrices).
-  bool any_diagonal() const;
+  bool any_diagonal(pram::Executor& ex = pram::default_executor()) const;
   /// diagonal()[i] = entry (i, i) as 0/1 (square matrices).
-  std::vector<std::uint8_t> diagonal() const;
+  std::vector<std::uint8_t> diagonal(pram::Executor& ex = pram::default_executor()) const;
 
   /// Rank over GF(2) (Gaussian elimination; one parallel elimination round
   /// per pivot column, counted on `counters`).
-  std::size_t gf2_rank(pram::NcCounters* counters = nullptr) const;
+  std::size_t gf2_rank(pram::NcCounters* counters = nullptr,
+                       pram::Executor& ex = pram::default_executor()) const;
 
  private:
   std::uint64_t row_word(std::size_t r, std::size_t w) const {
@@ -82,10 +84,12 @@ class BitMatrix {
 
 /// Boolean (OR-AND) matrix product: C[i][j] = OR_k (A[i][k] AND B[k][j]).
 BitMatrix bool_product(const BitMatrix& a, const BitMatrix& b,
-                       pram::NcCounters* counters = nullptr);
+                       pram::NcCounters* counters = nullptr,
+                       pram::Executor& ex = pram::default_executor());
 
 /// GF(2) (XOR-AND) matrix product.
 BitMatrix gf2_product(const BitMatrix& a, const BitMatrix& b,
-                      pram::NcCounters* counters = nullptr);
+                      pram::NcCounters* counters = nullptr,
+                      pram::Executor& ex = pram::default_executor());
 
 }  // namespace ncpm::linalg

@@ -30,9 +30,9 @@ BitMatrix incidence_matrix(std::size_t n_vertices, std::span<const std::int32_t>
 std::size_t component_count_by_rank(std::size_t n_vertices, std::span<const std::int32_t> eu,
                                     std::span<const std::int32_t> ev,
                                     std::span<const std::uint8_t> edge_alive,
-                                    pram::NcCounters* counters) {
+                                    pram::NcCounters* counters, pram::Executor& ex) {
   const BitMatrix m = incidence_matrix(n_vertices, eu, ev, edge_alive);
-  return n_vertices - m.gf2_rank(counters);
+  return n_vertices - m.gf2_rank(counters, ex);
 }
 
 }  // namespace ncpm::linalg

@@ -31,6 +31,7 @@ BitMatrix incidence_matrix(std::size_t n_vertices, std::span<const std::int32_t>
 std::size_t component_count_by_rank(std::size_t n_vertices, std::span<const std::int32_t> eu,
                                     std::span<const std::int32_t> ev,
                                     std::span<const std::uint8_t> edge_alive = {},
-                                    pram::NcCounters* counters = nullptr);
+                                    pram::NcCounters* counters = nullptr,
+                                    pram::Executor& ex = pram::default_executor());
 
 }  // namespace ncpm::linalg

@@ -4,7 +4,6 @@
 #include <stdexcept>
 
 #include "pram/list_ranking.hpp"
-#include "pram/parallel.hpp"
 #include "pram/scan.hpp"
 #include "pram/workspace.hpp"
 
@@ -27,10 +26,11 @@ void euler_halve(const graph::BipartiteGraph& g, std::span<std::uint8_t> alive,
   const std::size_t n =
       static_cast<std::size_t>(g.n_left()) + static_cast<std::size_t>(g.n_right());
   const std::size_t nh = 2 * m;
+  pram::Executor& ex = ws.exec();
 
   // Alive incidence lists per unified vertex.
   auto degree = ws.take<std::int64_t>(n, std::int64_t{0});
-  pram::parallel_for(m, [&](std::size_t e) {
+  ex.parallel_for(m, [&](std::size_t e) {
     if (alive[e] == 0) return;
     const auto u = static_cast<std::size_t>(g.edge_left(e));
     const auto v =
@@ -46,9 +46,9 @@ void euler_halve(const graph::BipartiteGraph& g, std::span<std::uint8_t> alive,
   auto incident = ws.take<std::int32_t>(static_cast<std::size_t>(total));
   auto slot_of_half = ws.take<std::int64_t>(nh, std::int64_t{-1});
   auto cursor = ws.take<std::int64_t>(n);
-  pram::parallel_for_grain(n, kGrain, [&](std::size_t v) { cursor[v] = offset[v]; });
+  ex.parallel_for_grain(n, kGrain, [&](std::size_t v) { cursor[v] = offset[v]; });
   pram::add_round(counters, n);
-  pram::parallel_for(m, [&](std::size_t e) {
+  ex.parallel_for(m, [&](std::size_t e) {
     if (alive[e] == 0) return;
     const auto u = static_cast<std::size_t>(g.edge_left(e));
     const auto v =
@@ -69,7 +69,7 @@ void euler_halve(const graph::BipartiteGraph& g, std::span<std::uint8_t> alive,
   // slot 2i leaves via slot 2i+1 and vice versa. This makes `succ` a
   // permutation of alive half-edges whose orbits are closed trails.
   auto succ = ws.take<std::int32_t>(nh);
-  pram::parallel_for_grain(nh, kGrain, [&](std::size_t h) {
+  ex.parallel_for_grain(nh, kGrain, [&](std::size_t h) {
     if (alive[h >> 1] == 0) {
       succ[h] = static_cast<std::int32_t>(h);
       return;
@@ -89,7 +89,7 @@ void euler_halve(const graph::BipartiteGraph& g, std::span<std::uint8_t> alive,
   // Label each directed trail, break at the label, rank, and keep the even
   // parity class. Trails in bipartite graphs have even length.
   auto key = ws.take<std::int64_t>(nh);
-  pram::parallel_for_grain(nh, kGrain, [&](std::size_t h) {
+  ex.parallel_for_grain(nh, kGrain, [&](std::size_t h) {
     key[h] = alive[h >> 1] != 0 ? static_cast<std::int64_t>(h) : static_cast<std::int64_t>(nh);
   });
   pram::add_round(counters, nh);
@@ -97,7 +97,7 @@ void euler_halve(const graph::BipartiteGraph& g, std::span<std::uint8_t> alive,
   pram::window_min_into(succ.span(), key.span(), nh, label.span(), ws, counters);
 
   auto broken = ws.take<std::int32_t>(nh);
-  pram::parallel_for_grain(nh, kGrain, [&](std::size_t h) {
+  ex.parallel_for_grain(nh, kGrain, [&](std::size_t h) {
     broken[h] = label[h] == static_cast<std::int64_t>(h) ? static_cast<std::int32_t>(h) : succ[h];
   });
   pram::add_round(counters, nh);
@@ -107,7 +107,7 @@ void euler_halve(const graph::BipartiteGraph& g, std::span<std::uint8_t> alive,
   pram::list_rank_into(broken.span(), {head.span(), rank.span(), reaches.span()}, ws, counters);
 
   auto len_at = ws.take<std::int64_t>(nh, std::int64_t{0});
-  pram::parallel_for_grain(nh, kGrain, [&](std::size_t h) {
+  ex.parallel_for_grain(nh, kGrain, [&](std::size_t h) {
     if (alive[h >> 1] != 0 && label[h] == static_cast<std::int64_t>(h)) {
       len_at[h] = rank[static_cast<std::size_t>(succ[h])] + 1;
     }
@@ -118,7 +118,7 @@ void euler_halve(const graph::BipartiteGraph& g, std::span<std::uint8_t> alive,
   // distance from the root. Deciding from one traversal only keeps the
   // per-vertex counts exact (paired edges sit at adjacent trail positions).
   auto keep = ws.take<std::uint8_t>(m, std::uint8_t{0});
-  pram::parallel_for_grain(nh, kGrain, [&](std::size_t h) {
+  ex.parallel_for_grain(nh, kGrain, [&](std::size_t h) {
     if (alive[h >> 1] == 0) return;
     const auto mine = label[h];
     const auto other = label[h ^ 1];
@@ -129,7 +129,7 @@ void euler_halve(const graph::BipartiteGraph& g, std::span<std::uint8_t> alive,
   });
   pram::add_round(counters, nh);
 
-  pram::parallel_for_grain(m, kGrain, [&](std::size_t e) {
+  ex.parallel_for_grain(m, kGrain, [&](std::size_t e) {
     if (alive[e] != 0) alive[e] = keep[e];
   });
   pram::add_round(counters, m);

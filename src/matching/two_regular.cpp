@@ -4,7 +4,6 @@
 
 #include "graph/path_decomposition.hpp"
 #include "pram/list_ranking.hpp"
-#include "pram/parallel.hpp"
 
 namespace ncpm::matching {
 
@@ -23,7 +22,8 @@ std::optional<std::vector<std::int32_t>> two_regular_perfect_matching(
     throw std::invalid_argument("two_regular_perfect_matching: edge array size mismatch");
   }
   const auto alive = [&](std::size_t e) { return edge_alive.empty() || edge_alive[e] != 0; };
-  const bool bad = pram::parallel_any(m, [&](std::size_t e) {
+  pram::Executor& ex = ws.exec();
+  const bool bad = ex.parallel_any(m, [&](std::size_t e) {
     if (!alive(e)) return false;
     return eu[e] < 0 || ev[e] < 0 || static_cast<std::size_t>(eu[e]) >= n_vertices ||
            static_cast<std::size_t>(ev[e]) >= n_vertices || eu[e] == ev[e];
@@ -42,7 +42,7 @@ std::optional<std::vector<std::int32_t>> two_regular_perfect_matching(
 
   // Dead or blocked half-edges are terminal. In a 2-regular graph no alive
   // traversal may terminate, which stands in for the degree check.
-  const bool terminal = pram::parallel_any(nh, [&](std::size_t h) {
+  const bool terminal = ex.parallel_any(nh, [&](std::size_t h) {
     return alive(h >> 1) && succ[h] == static_cast<std::int32_t>(h);
   });
   if (terminal) {
@@ -51,7 +51,7 @@ std::optional<std::vector<std::int32_t>> two_regular_perfect_matching(
 
   // Label every *directed* cycle with its minimum alive half-edge id.
   auto key = ws.take<std::int64_t>(nh);
-  pram::parallel_for(nh, [&](std::size_t h) {
+  ex.parallel_for(nh, [&](std::size_t h) {
     key[h] = alive(h >> 1) ? static_cast<std::int64_t>(h)
                            : static_cast<std::int64_t>(nh);  // dead: +inf
   });
@@ -61,7 +61,7 @@ std::optional<std::vector<std::int32_t>> two_regular_perfect_matching(
 
   // Break each directed cycle at its label and rank: rank[h] = dist(h -> root).
   auto broken = ws.take<std::int32_t>(nh);
-  pram::parallel_for(nh, [&](std::size_t h) {
+  ex.parallel_for(nh, [&](std::size_t h) {
     const bool is_root = label[h] == static_cast<std::int64_t>(h);
     broken[h] = is_root ? static_cast<std::int32_t>(h) : succ[h];
   });
@@ -73,14 +73,14 @@ std::optional<std::vector<std::int32_t>> two_regular_perfect_matching(
 
   // Cycle lengths, published at each root.
   auto len_at = ws.take<std::int64_t>(nh, std::int64_t{0});
-  pram::parallel_for(nh, [&](std::size_t h) {
+  ex.parallel_for(nh, [&](std::size_t h) {
     if (alive(h >> 1) && label[h] == static_cast<std::int64_t>(h)) {
       len_at[h] = rank[static_cast<std::size_t>(succ[h])] + 1;
     }
   });
   pram::add_round(counters, nh);
 
-  const bool odd = pram::parallel_any(nh, [&](std::size_t h) {
+  const bool odd = ex.parallel_any(nh, [&](std::size_t h) {
     return alive(h >> 1) && label[h] == static_cast<std::int64_t>(h) && (len_at[h] & 1) != 0;
   });
   if (odd) return std::nullopt;
@@ -88,7 +88,7 @@ std::optional<std::vector<std::int32_t>> two_regular_perfect_matching(
   // Of the two traversals of an undirected cycle only the one carrying the
   // smaller label selects edges; it picks those at even distance from the root.
   auto selected = ws.take<std::uint8_t>(m, std::uint8_t{0});
-  pram::parallel_for(nh, [&](std::size_t h) {
+  ex.parallel_for(nh, [&](std::size_t h) {
     if (!alive(h >> 1)) return;
     const auto mine = label[h];
     const auto other = label[h ^ 1];

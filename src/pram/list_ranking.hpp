@@ -17,6 +17,10 @@
 //
 // All functions tolerate cycles: ranking values are only meaningful for
 // vertices whose `head` is a terminal; `reaches_terminal` distinguishes them.
+//
+// Rounds run on the trailing Executor argument (the shared default when
+// omitted); the `_into` variants run on the executor bound to the Workspace
+// their scratch is leased from.
 
 #include <cstddef>
 #include <cstdint>
@@ -26,7 +30,7 @@
 #include <vector>
 
 #include "pram/counters.hpp"
-#include "pram/parallel.hpp"
+#include "pram/executor.hpp"
 #include "pram/workspace.hpp"
 
 namespace ncpm::pram {
@@ -60,21 +64,20 @@ namespace detail {
 
 template <typename WeightAt>
 ListRanking list_rank_impl(std::span<const std::int32_t> next, WeightAt&& weight_at,
-                           NcCounters* counters) {
+                           Executor& ex, NcCounters* counters) {
   const std::size_t n = next.size();
   ListRanking r;
   r.head.resize(n);
   r.rank.resize(n);
   r.reaches_terminal.assign(n, 0);
 
-  // Validate outside the parallel region: throwing across an OpenMP boundary
-  // is undefined behaviour.
-  const bool bad = parallel_any(n, [&](std::size_t v) {
+  // Validate outside the parallel region: a body must not throw.
+  const bool bad = ex.parallel_any(n, [&](std::size_t v) {
     return next[v] < 0 || static_cast<std::size_t>(next[v]) >= n;
   });
   if (bad) throw std::out_of_range("list_rank: successor out of range");
 
-  parallel_for(n, [&](std::size_t v) {
+  ex.parallel_for(n, [&](std::size_t v) {
     const std::int32_t nx = next[v];
     r.head[v] = nx;
     r.rank[v] = (static_cast<std::size_t>(nx) == v) ? 0 : weight_at(v);
@@ -85,7 +88,7 @@ ListRanking list_rank_impl(std::span<const std::int32_t> next, WeightAt&& weight
   std::vector<std::int64_t> nrank(n);
   const std::uint32_t rounds = ceil_log2(n) + 1;
   for (std::uint32_t k = 0; k < rounds; ++k) {
-    parallel_for(n, [&](std::size_t v) {
+    ex.parallel_for(n, [&](std::size_t v) {
       const auto h = static_cast<std::size_t>(r.head[v]);
       nrank[v] = r.rank[v] + r.rank[h];
       nhead[v] = r.head[h];
@@ -95,7 +98,7 @@ ListRanking list_rank_impl(std::span<const std::int32_t> next, WeightAt&& weight
     add_round(counters, n);
   }
 
-  parallel_for(n, [&](std::size_t v) {
+  ex.parallel_for(n, [&](std::size_t v) {
     const auto h = static_cast<std::size_t>(r.head[v]);
     r.reaches_terminal[v] = (static_cast<std::size_t>(next[h]) == h) ? 1 : 0;
   });
@@ -108,8 +111,9 @@ ListRanking list_rank_impl(std::span<const std::int32_t> next, WeightAt&& weight
 /// Wyllie pointer-jumping list ranking: rank[v] = #steps from v to its
 /// terminal, head[v] = that terminal. Vertices on (or leading into) cycles get
 /// reaches_terminal[v] == 0 and unspecified rank.
-inline ListRanking list_rank(std::span<const std::int32_t> next, NcCounters* counters = nullptr) {
-  return detail::list_rank_impl(next, [](std::size_t) { return std::int64_t{1}; }, counters);
+inline ListRanking list_rank(std::span<const std::int32_t> next, NcCounters* counters = nullptr,
+                             Executor& ex = default_executor()) {
+  return detail::list_rank_impl(next, [](std::size_t) { return std::int64_t{1}; }, ex, counters);
 }
 
 /// Caller-provided destination arrays for the allocation-free ranking.
@@ -120,14 +124,16 @@ struct ListRankingSpans {
 };
 
 /// Wyllie ranking into caller-provided arrays; doubling scratch is leased
-/// from `ws`, so a warm workspace makes the whole pass allocation-free.
+/// from `ws` and rounds run on `ws`'s executor, so a warm workspace makes
+/// the whole pass allocation-free.
 inline void list_rank_into(std::span<const std::int32_t> next, const ListRankingSpans& out,
                            Workspace& ws, NcCounters* counters = nullptr) {
   const std::size_t n = next.size();
   if (out.head.size() != n || out.rank.size() != n || out.reaches_terminal.size() != n) {
     throw std::invalid_argument("list_rank_into: output span size mismatch");
   }
-  const bool bad = parallel_any(n, [&](std::size_t v) {
+  Executor& ex = ws.exec();
+  const bool bad = ex.parallel_any(n, [&](std::size_t v) {
     return next[v] < 0 || static_cast<std::size_t>(next[v]) >= n;
   });
   if (bad) throw std::out_of_range("list_rank_into: successor out of range");
@@ -139,7 +145,7 @@ inline void list_rank_into(std::span<const std::int32_t> next, const ListRanking
   std::span<std::int64_t> rank_cur = out.rank;
   std::span<std::int64_t> rank_nxt = tmp_rank.span();
 
-  parallel_for(n, [&](std::size_t v) {
+  ex.parallel_for(n, [&](std::size_t v) {
     const std::int32_t nx = next[v];
     head_cur[v] = nx;
     rank_cur[v] = (static_cast<std::size_t>(nx) == v) ? 0 : 1;
@@ -148,7 +154,7 @@ inline void list_rank_into(std::span<const std::int32_t> next, const ListRanking
 
   const std::uint32_t rounds = ceil_log2(n) + 1;
   for (std::uint32_t k = 0; k < rounds; ++k) {
-    parallel_for(n, [&](std::size_t v) {
+    ex.parallel_for(n, [&](std::size_t v) {
       const auto h = static_cast<std::size_t>(head_cur[v]);
       rank_nxt[v] = rank_cur[v] + rank_cur[h];
       head_nxt[v] = head_cur[h];
@@ -158,14 +164,14 @@ inline void list_rank_into(std::span<const std::int32_t> next, const ListRanking
     add_round(counters, n);
   }
   if (head_cur.data() != out.head.data()) {
-    parallel_for(n, [&](std::size_t v) {
+    ex.parallel_for(n, [&](std::size_t v) {
       out.head[v] = head_cur[v];
       out.rank[v] = rank_cur[v];
     });
     add_round(counters, n);
   }
 
-  parallel_for(n, [&](std::size_t v) {
+  ex.parallel_for(n, [&](std::size_t v) {
     const auto h = static_cast<std::size_t>(out.head[v]);
     out.reaches_terminal[v] = (static_cast<std::size_t>(next[h]) == h) ? 1 : 0;
   });
@@ -176,22 +182,24 @@ inline void list_rank_into(std::span<const std::int32_t> next, const ListRanking
 /// the path from v (inclusive) to its terminal (exclusive).
 inline ListRanking weighted_list_rank(std::span<const std::int32_t> next,
                                       std::span<const std::int64_t> weight,
-                                      NcCounters* counters = nullptr) {
+                                      NcCounters* counters = nullptr,
+                                      Executor& ex = default_executor()) {
   if (weight.size() != next.size()) {
     throw std::invalid_argument("weighted_list_rank: weight/next size mismatch");
   }
   return detail::list_rank_impl(
-      next, [&](std::size_t v) { return weight[v]; }, counters);
+      next, [&](std::size_t v) { return weight[v]; }, ex, counters);
 }
 
 /// Compose two successor maps: result(v) = g[f[v]] ("apply f, then g").
 inline std::vector<std::int32_t> compose(std::span<const std::int32_t> g,
                                          std::span<const std::int32_t> f,
-                                         NcCounters* counters = nullptr) {
+                                         NcCounters* counters = nullptr,
+                                         Executor& ex = default_executor()) {
   const std::size_t n = f.size();
   if (g.size() != n) throw std::invalid_argument("compose: size mismatch");
   std::vector<std::int32_t> out(n);
-  parallel_for(n, [&](std::size_t v) { out[v] = g[static_cast<std::size_t>(f[v])]; });
+  ex.parallel_for(n, [&](std::size_t v) { out[v] = g[static_cast<std::size_t>(f[v])]; });
   add_round(counters, n);
   return out;
 }
@@ -199,16 +207,17 @@ inline std::vector<std::int32_t> compose(std::span<const std::int32_t> g,
 /// The map f^K (K >= 1 applications of `next`) via binary exponentiation of
 /// the composition; O(log K) composition rounds.
 inline std::vector<std::int32_t> kth_power(std::span<const std::int32_t> next, std::uint64_t k,
-                                           NcCounters* counters = nullptr) {
+                                           NcCounters* counters = nullptr,
+                                           Executor& ex = default_executor()) {
   const std::size_t n = next.size();
   std::vector<std::int32_t> result(n);
-  parallel_for(n, [&](std::size_t v) { result[v] = static_cast<std::int32_t>(v); });
+  ex.parallel_for(n, [&](std::size_t v) { result[v] = static_cast<std::int32_t>(v); });
   add_round(counters, n);
   std::vector<std::int32_t> base(next.begin(), next.end());
   while (k > 0) {
-    if ((k & 1U) != 0) result = compose(base, result, counters);
+    if ((k & 1U) != 0) result = compose(base, result, counters, ex);
     k >>= 1U;
-    if (k > 0) base = compose(base, base, counters);
+    if (k > 0) base = compose(base, base, counters, ex);
   }
   return result;
 }
@@ -219,7 +228,8 @@ inline std::vector<std::int32_t> kth_power(std::span<const std::int32_t> next, s
 inline std::vector<std::int64_t> window_min(std::span<const std::int32_t> next,
                                             std::span<const std::int64_t> key,
                                             std::uint64_t window,
-                                            NcCounters* counters = nullptr) {
+                                            NcCounters* counters = nullptr,
+                                            Executor& ex = default_executor()) {
   const std::size_t n = next.size();
   if (key.size() != n) throw std::invalid_argument("window_min: size mismatch");
   std::vector<std::int64_t> val(key.begin(), key.end());
@@ -228,7 +238,7 @@ inline std::vector<std::int64_t> window_min(std::span<const std::int32_t> next,
   std::vector<std::int32_t> njump(n);
   const std::uint32_t rounds = ceil_log2(window == 0 ? 1 : window);
   for (std::uint32_t k = 0; k < rounds; ++k) {
-    parallel_for(n, [&](std::size_t v) {
+    ex.parallel_for(n, [&](std::size_t v) {
       const auto j = static_cast<std::size_t>(jump[v]);
       nval[v] = val[v] < val[j] ? val[v] : val[j];
       njump[v] = jump[j];
@@ -240,7 +250,8 @@ inline std::vector<std::int64_t> window_min(std::span<const std::int32_t> next,
   return val;
 }
 
-/// window_min into a caller-provided array, doubling scratch from `ws`.
+/// window_min into a caller-provided array, doubling scratch from `ws` and
+/// rounds on `ws`'s executor.
 inline void window_min_into(std::span<const std::int32_t> next, std::span<const std::int64_t> key,
                             std::uint64_t window, std::span<std::int64_t> out, Workspace& ws,
                             NcCounters* counters = nullptr) {
@@ -248,6 +259,7 @@ inline void window_min_into(std::span<const std::int32_t> next, std::span<const 
   if (key.size() != n || out.size() != n) {
     throw std::invalid_argument("window_min_into: size mismatch");
   }
+  Executor& ex = ws.exec();
   auto tmp_val = ws.take<std::int64_t>(n);
   auto jump_a = ws.take<std::int32_t>(n);
   auto jump_b = ws.take<std::int32_t>(n);
@@ -255,14 +267,14 @@ inline void window_min_into(std::span<const std::int32_t> next, std::span<const 
   std::span<std::int64_t> val_nxt = tmp_val.span();
   std::span<std::int32_t> jump_cur = jump_a.span();
   std::span<std::int32_t> jump_nxt = jump_b.span();
-  parallel_for(n, [&](std::size_t v) {
+  ex.parallel_for(n, [&](std::size_t v) {
     val_cur[v] = key[v];
     jump_cur[v] = next[v];
   });
   add_round(counters, n);
   const std::uint32_t rounds = ceil_log2(window == 0 ? 1 : window);
   for (std::uint32_t k = 0; k < rounds; ++k) {
-    parallel_for(n, [&](std::size_t v) {
+    ex.parallel_for(n, [&](std::size_t v) {
       const auto j = static_cast<std::size_t>(jump_cur[v]);
       val_nxt[v] = val_cur[v] < val_cur[j] ? val_cur[v] : val_cur[j];
       jump_nxt[v] = jump_cur[j];
@@ -272,7 +284,7 @@ inline void window_min_into(std::span<const std::int32_t> next, std::span<const 
     add_round(counters, n);
   }
   if (val_cur.data() != out.data()) {
-    parallel_for(n, [&](std::size_t v) { out[v] = val_cur[v]; });
+    ex.parallel_for(n, [&](std::size_t v) { out[v] = val_cur[v]; });
     add_round(counters, n);
   }
 }

@@ -1,7 +1,7 @@
 #include "pram/parallel.hpp"
 
-// parallel.hpp is header-only; this translation unit exists so the substrate
-// has a stable object file to anchor the library target and any future
-// non-template runtime configuration.
+// parallel.hpp is header-only (thin forwarding onto the default Executor);
+// this translation unit exists so the substrate keeps a stable object file
+// anchoring the library target.
 
 namespace ncpm::pram {}

@@ -1,84 +1,70 @@
 #pragma once
-// Round-synchronous PRAM substrate on top of OpenMP.
+// Convenience round-synchronous primitives on the shared default executor.
 //
-// The paper's algorithms are stated for CREW/CRCW PRAMs with a polynomial
-// number of processors. We simulate that model with a fixed pool of hardware
-// threads: one `parallel_for` call is one *synchronous parallel round* (all
-// iterations independent, implicit barrier at the end). NC depth claims are
-// validated by counting rounds of the algorithms' outer loops (see
-// counters.hpp), not by wall-clock alone.
+// The substrate itself lives in executor.hpp: an Executor is a persistent
+// lane pool whose methods run synchronous parallel rounds, and parallelism
+// is a per-call property threaded through the pipeline (usually inside a
+// pram::Workspace). The free functions here simply forward to the shared
+// `default_executor()` — they keep simple callers (tests, examples,
+// one-shot utilities) simple, and carry the old OpenMP-era names.
+//
+// There is deliberately NO process-global thread count any more:
+// `set_num_threads` survives only as a deprecated shim that resizes the
+// default executor. Code that needs an explicit width should build its own
+// `Executor` (or `SerialExecutor`) and pass it along — see executor.hpp.
 
 #include <cstddef>
-#include <cstdint>
 #include <utility>
 
-#include <omp.h>
+#include "pram/executor.hpp"
 
 namespace ncpm::pram {
 
-/// Number of worker threads used for parallel rounds.
-inline int num_threads() noexcept { return omp_get_max_threads(); }
+/// Deprecated shim for the retired process-global setter: resizes the
+/// shared default executor. Executors already handed to Workspaces keep
+/// working (the resize is in place), but per-call parallelism should come
+/// from an explicit Executor instead. Unlike the old per-thread OpenMP
+/// ICV this touches shared state: call it only from single-threaded setup
+/// code — never concurrently, and never while any thread runs rounds on
+/// the default executor.
+[[deprecated(
+    "process-global thread state is gone; construct a pram::Executor and carry it "
+    "per call (e.g. via pram::Workspace); if you must call this shim, do so only "
+    "during single-threaded setup")]]
+inline void set_num_threads(int t) {
+  set_default_lanes(t);
+}
 
-/// Set the worker-thread count for subsequent rounds (clamped to >= 1).
-inline void set_num_threads(int t) noexcept { omp_set_num_threads(t < 1 ? 1 : t); }
-
-/// One synchronous parallel round: apply `f(i)` for every i in [0, n).
-/// Iterations must be independent (EREW/CREW discipline; concurrent writes
-/// only through atomics, mirroring CRCW where an algorithm needs it).
+/// One synchronous parallel round on the default executor.
 template <typename F>
 void parallel_for(std::size_t n, F&& f) {
-  const auto limit = static_cast<std::int64_t>(n);
-#pragma omp parallel for schedule(static)
-  for (std::int64_t i = 0; i < limit; ++i) {
-    f(static_cast<std::size_t>(i));
-  }
+  default_executor().parallel_for(n, std::forward<F>(f));
 }
 
-/// Parallel round with a grain hint for very cheap bodies.
+/// Parallel round with a grain hint, on the default executor.
 template <typename F>
 void parallel_for_grain(std::size_t n, std::size_t grain, F&& f) {
-  const auto limit = static_cast<std::int64_t>(n);
-  const auto g = static_cast<std::int64_t>(grain == 0 ? 1 : grain);
-#pragma omp parallel for schedule(static, g)
-  for (std::int64_t i = 0; i < limit; ++i) {
-    f(static_cast<std::size_t>(i));
-  }
+  default_executor().parallel_for_grain(n, grain, std::forward<F>(f));
 }
 
-/// Parallel reduction: combine `map(i)` for i in [0, n) with `combine`,
-/// starting from `identity`. `combine` must be associative and commutative.
+/// Parallel reduction on the default executor. `combine` must be
+/// associative and commutative (see Executor::parallel_reduce).
 template <typename T, typename Map, typename Combine>
 T parallel_reduce(std::size_t n, T identity, Map&& map, Combine&& combine) {
-  T result = identity;
-  const auto limit = static_cast<std::int64_t>(n);
-#pragma omp parallel
-  {
-    T local = identity;
-#pragma omp for schedule(static) nowait
-    for (std::int64_t i = 0; i < limit; ++i) {
-      local = combine(std::move(local), map(static_cast<std::size_t>(i)));
-    }
-#pragma omp critical(ncpm_pram_reduce)
-    result = combine(std::move(result), std::move(local));
-  }
-  return result;
+  return default_executor().parallel_reduce(n, std::move(identity), std::forward<Map>(map),
+                                            std::forward<Combine>(combine));
 }
 
 /// Parallel logical-OR reduction over a predicate (common early-exit test).
 template <typename Pred>
 bool parallel_any(std::size_t n, Pred&& pred) {
-  return parallel_reduce(
-      n, false, [&](std::size_t i) { return static_cast<bool>(pred(i)); },
-      [](bool a, bool b) { return a || b; });
+  return default_executor().parallel_any(n, std::forward<Pred>(pred));
 }
 
 /// Parallel count of indices satisfying a predicate.
 template <typename Pred>
 std::size_t parallel_count(std::size_t n, Pred&& pred) {
-  return parallel_reduce(
-      n, std::size_t{0},
-      [&](std::size_t i) { return pred(i) ? std::size_t{1} : std::size_t{0}; },
-      [](std::size_t a, std::size_t b) { return a + b; });
+  return default_executor().parallel_count(n, std::forward<Pred>(pred));
 }
 
 }  // namespace ncpm::pram

@@ -7,6 +7,13 @@
 // the standard blocked two-pass scan: per-block partial sums, a scan over the
 // block sums, then a fix-up pass. Depth is O(log n) in the PRAM abstraction
 // (three barrier-synchronised rounds on p processors here).
+//
+// Every entry point runs its rounds on an Executor, following the pram
+// layer's shared convention: a trailing `Executor& ex = default_executor()`
+// parameter after the counters, or a Workspace overload that leases
+// scratch from `ws` and runs on `ws`'s bound executor. Integer addition is
+// exact, so results are bit-identical for every executor width even though
+// the internal blocking follows the lane count.
 
 #include <cstddef>
 #include <cstdint>
@@ -14,7 +21,7 @@
 #include <vector>
 
 #include "pram/counters.hpp"
-#include "pram/parallel.hpp"
+#include "pram/executor.hpp"
 #include "pram/workspace.hpp"
 
 namespace ncpm::pram {
@@ -22,16 +29,16 @@ namespace ncpm::pram {
 namespace detail {
 
 /// Blocked two-pass exclusive scan over caller-provided block sums
-/// (`block_sum` must hold at least num_threads() elements).
+/// (`block_sum` must hold at least ex.lanes() elements).
 template <typename T>
 T exclusive_scan_blocked(std::span<const T> in, std::span<T> out, std::span<T> block_sum,
-                         NcCounters* counters) {
+                         Executor& ex, NcCounters* counters) {
   const std::size_t n = in.size();
-  const std::size_t nthreads = static_cast<std::size_t>(num_threads());
-  const std::size_t block = (n + nthreads - 1) / nthreads;
+  const auto nlanes = static_cast<std::size_t>(ex.lanes());
+  const std::size_t block = (n + nlanes - 1) / nlanes;
   const std::size_t nblocks = (n + block - 1) / block;
 
-  parallel_for(nblocks, [&](std::size_t b) {
+  ex.parallel_for(nblocks, [&](std::size_t b) {
     const std::size_t lo = b * block;
     const std::size_t hi = lo + block < n ? lo + block : n;
     T acc{};
@@ -48,7 +55,7 @@ T exclusive_scan_blocked(std::span<const T> in, std::span<T> out, std::span<T> b
   }
   add_round(counters, nblocks);
 
-  parallel_for(nblocks, [&](std::size_t b) {
+  ex.parallel_for(nblocks, [&](std::size_t b) {
     const std::size_t lo = b * block;
     const std::size_t hi = lo + block < n ? lo + block : n;
     T acc = block_sum[b];
@@ -64,47 +71,51 @@ T exclusive_scan_blocked(std::span<const T> in, std::span<T> out, std::span<T> b
 
 }  // namespace detail
 
-/// Exclusive prefix sum of `in` into `out` (same length). Returns the total.
-/// `out[i] = in[0] + ... + in[i-1]`, `out[0] = 0`.
+/// Exclusive prefix sum of `in` into `out` (same length) on `ex`. Returns
+/// the total. `out[i] = in[0] + ... + in[i-1]`, `out[0] = 0`.
 template <typename T>
-T exclusive_scan(std::span<const T> in, std::span<T> out, NcCounters* counters = nullptr) {
+T exclusive_scan(std::span<const T> in, std::span<T> out, NcCounters* counters = nullptr,
+                 Executor& ex = default_executor()) {
   if (in.empty()) return T{};
-  std::vector<T> block_sum(static_cast<std::size_t>(num_threads()), T{});
-  return detail::exclusive_scan_blocked(in, out, std::span<T>(block_sum), counters);
+  std::vector<T> block_sum(static_cast<std::size_t>(ex.lanes()), T{});
+  return detail::exclusive_scan_blocked(in, out, std::span<T>(block_sum), ex, counters);
 }
 
-/// Exclusive scan with the per-block partial sums leased from `ws`:
-/// allocation-free once the workspace is warm.
+/// Exclusive scan on `ws`'s executor with the per-block partial sums leased
+/// from `ws`: allocation-free once the workspace is warm.
 template <typename T>
 T exclusive_scan(std::span<const T> in, std::span<T> out, Workspace& ws,
                  NcCounters* counters = nullptr) {
   if (in.empty()) return T{};
-  auto block_sum = ws.take<T>(static_cast<std::size_t>(num_threads()));
-  return detail::exclusive_scan_blocked(in, out, block_sum.span(), counters);
+  Executor& ex = ws.exec();
+  auto block_sum = ws.take<T>(static_cast<std::size_t>(ex.lanes()));
+  return detail::exclusive_scan_blocked(in, out, block_sum.span(), ex, counters);
 }
 
-/// Inclusive prefix sum: `out[i] = in[0] + ... + in[i]`. Returns the total.
+/// Inclusive prefix sum on `ex`: `out[i] = in[0] + ... + in[i]`. Returns the total.
 template <typename T>
-T inclusive_scan(std::span<const T> in, std::span<T> out, NcCounters* counters = nullptr) {
+T inclusive_scan(std::span<const T> in, std::span<T> out, NcCounters* counters = nullptr,
+                 Executor& ex = default_executor()) {
   const std::size_t n = in.size();
   if (n == 0) return T{};
-  const T total = exclusive_scan(in, out, counters);
-  parallel_for(n, [&](std::size_t i) { out[i] = out[i] + in[i]; });
+  const T total = exclusive_scan<T>(in, out, counters, ex);
+  ex.parallel_for(n, [&](std::size_t i) { out[i] = out[i] + in[i]; });
   add_round(counters, n);
   return total;
 }
 
 /// Indices i in [0, n) with keep[i] != 0, in increasing order (stream compaction).
 inline std::vector<std::uint32_t> compact_indices(std::span<const std::uint8_t> keep,
-                                                  NcCounters* counters = nullptr) {
+                                                  NcCounters* counters = nullptr,
+                                                  Executor& ex = default_executor()) {
   const std::size_t n = keep.size();
   std::vector<std::uint32_t> flags(n), pos(n);
-  parallel_for(n, [&](std::size_t i) { flags[i] = keep[i] != 0 ? 1u : 0u; });
+  ex.parallel_for(n, [&](std::size_t i) { flags[i] = keep[i] != 0 ? 1u : 0u; });
   add_round(counters, n);
   const std::uint32_t total =
-      exclusive_scan<std::uint32_t>(flags, std::span<std::uint32_t>(pos), counters);
+      exclusive_scan<std::uint32_t>(flags, std::span<std::uint32_t>(pos), counters, ex);
   std::vector<std::uint32_t> out(total);
-  parallel_for(n, [&](std::size_t i) {
+  ex.parallel_for(n, [&](std::size_t i) {
     if (keep[i] != 0) out[pos[i]] = static_cast<std::uint32_t>(i);
   });
   add_round(counters, n);
@@ -114,10 +125,10 @@ inline std::vector<std::uint32_t> compact_indices(std::span<const std::uint8_t> 
 /// Compact the elements of `values` whose flag is set, preserving order.
 template <typename T>
 std::vector<T> compact(std::span<const T> values, std::span<const std::uint8_t> keep,
-                       NcCounters* counters = nullptr) {
-  const auto idx = compact_indices(keep, counters);
+                       NcCounters* counters = nullptr, Executor& ex = default_executor()) {
+  const auto idx = compact_indices(keep, counters, ex);
   std::vector<T> out(idx.size());
-  parallel_for(idx.size(), [&](std::size_t i) { out[i] = values[idx[i]]; });
+  ex.parallel_for(idx.size(), [&](std::size_t i) { out[i] = values[idx[i]]; });
   add_round(counters, idx.size());
   return out;
 }

@@ -16,6 +16,12 @@
 // Leases must not outlive the workspace they came from. Buffer contents
 // start unspecified (stale data from an earlier lease) unless the fill
 // overload is used.
+//
+// A Workspace also carries the pram::Executor its algorithms run their
+// parallel rounds on: the pipeline threads one `Workspace&` end to end, so
+// binding the executor here makes intra-solve parallelism a per-call
+// property with no extra plumbing. The default constructor binds the
+// shared default executor; engines and tests bind their own.
 
 #include <cstddef>
 #include <cstdint>
@@ -24,7 +30,7 @@
 #include <utility>
 #include <vector>
 
-#include "pram/parallel.hpp"
+#include "pram/executor.hpp"
 
 namespace ncpm::pram {
 
@@ -77,9 +83,16 @@ class WsBuffer {
 
 class Workspace {
  public:
-  Workspace() = default;
+  /// Bound to the shared default executor.
+  Workspace() : Workspace(default_executor()) {}
+  /// Bound to `ex`: every algorithm threading this workspace runs its
+  /// parallel rounds on `ex`. The executor must outlive the workspace.
+  explicit Workspace(Executor& ex) : ex_(&ex) {}
   Workspace(const Workspace&) = delete;
   Workspace& operator=(const Workspace&) = delete;
+
+  /// The executor this workspace's algorithms run on.
+  Executor& exec() const noexcept { return *ex_; }
 
   /// Lease a buffer of `n` elements with unspecified contents. Prefers the
   /// smallest pooled buffer whose capacity already fits; allocates (and
@@ -116,7 +129,7 @@ class Workspace {
   WsBuffer<T> take(std::size_t n, T fill) {
     WsBuffer<T> out = take<T>(n);
     T* const data = out.data();
-    parallel_for(n, [&](std::size_t i) { data[i] = fill; });
+    ex_->parallel_for(n, [&](std::size_t i) { data[i] = fill; });
     return out;
   }
 
@@ -141,6 +154,7 @@ class Workspace {
     p.push_back(std::move(buf));
   }
 
+  Executor* ex_ = nullptr;
   std::uint64_t allocs_ = 0;
   std::tuple<std::vector<std::vector<std::int32_t>>, std::vector<std::vector<std::int64_t>>,
              std::vector<std::vector<std::uint8_t>>, std::vector<std::vector<std::uint32_t>>,

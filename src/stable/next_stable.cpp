@@ -3,13 +3,12 @@
 #include <stdexcept>
 
 #include "graph/pseudoforest.hpp"
-#include "pram/parallel.hpp"
 #include "pram/scan.hpp"
 
 namespace ncpm::stable {
 
 NextStableResult next_stable_matchings(const StableInstance& inst, const MarriageMatching& m,
-                                       pram::NcCounters* counters) {
+                                       pram::NcCounters* counters, pram::Executor& ex) {
   const auto n = static_cast<std::size_t>(inst.size());
   NextStableResult result;
   if (n == 0) {
@@ -20,7 +19,7 @@ NextStableResult next_stable_matchings(const StableInstance& inst, const Marriag
   // 1. Soft-delete, in parallel over all n^2 entries of mp: keep (m', w) iff
   // w weakly prefers m' to her partner.
   std::vector<std::int64_t> keep(n * n);
-  pram::parallel_for(n * n, [&](std::size_t i) {
+  ex.parallel_for(n * n, [&](std::size_t i) {
     const auto man = static_cast<std::int32_t>(i / n);
     const auto slot = static_cast<std::int32_t>(i % n);
     const std::int32_t w = inst.man_pref(man, slot);
@@ -33,10 +32,10 @@ NextStableResult next_stable_matchings(const StableInstance& inst, const Marriag
   // Compress with one global prefix sum: an entry's position inside its
   // man's reduced list is its global scan value minus the row-start value.
   std::vector<std::int64_t> pos(n * n);
-  pram::exclusive_scan<std::int64_t>(keep, pos, counters);
+  pram::exclusive_scan<std::int64_t>(keep, pos, counters, ex);
   std::vector<std::int32_t> reduced(n * n, kNone);
   std::vector<std::int64_t> reduced_len(n);
-  pram::parallel_for(n * n, [&](std::size_t i) {
+  ex.parallel_for(n * n, [&](std::size_t i) {
     if (keep[i] == 0) return;
     const std::size_t man = i / n;
     const auto within = static_cast<std::size_t>(pos[i] - pos[man * n]);
@@ -44,7 +43,7 @@ NextStableResult next_stable_matchings(const StableInstance& inst, const Marriag
                                               static_cast<std::int32_t>(i % n));
   });
   pram::add_round(counters, n * n);
-  pram::parallel_for(n, [&](std::size_t man) {
+  ex.parallel_for(n, [&](std::size_t man) {
     const std::size_t row_end_exclusive = (man + 1) * n - 1;
     reduced_len[man] = pos[row_end_exclusive] - pos[man * n] + keep[row_end_exclusive];
   });
@@ -52,7 +51,7 @@ NextStableResult next_stable_matchings(const StableInstance& inst, const Marriag
 
   // Sanity: for a stable M the first reduced entry of every man is p_M(m)
   // (anything above his partner that kept him would be a blocking pair).
-  const bool unstable = pram::parallel_any(n, [&](std::size_t man) {
+  const bool unstable = ex.parallel_any(n, [&](std::size_t man) {
     return reduced_len[man] < 1 || reduced[man * n] != m.wife_of[man];
   });
   if (unstable) {
@@ -62,7 +61,7 @@ NextStableResult next_stable_matchings(const StableInstance& inst, const Marriag
   // 2. H_M: s_M(m) is the second reduced entry; next(m) = p_M(s_M(m)).
   graph::DirectedPseudoforest hm;
   hm.next.assign(n, pram::kNone);
-  pram::parallel_for(n, [&](std::size_t man) {
+  ex.parallel_for(n, [&](std::size_t man) {
     if (reduced_len[man] >= 2) {
       const std::int32_t s = reduced[man * n + 1];
       hm.next[man] = m.husband_of[static_cast<std::size_t>(s)];
@@ -84,7 +83,8 @@ NextStableResult next_stable_matchings(const StableInstance& inst, const Marriag
   // cycle), and the Section IV-A toolkit handles sinks natively.
 
   // 3. The cycles of H_M are the exposed rotations.
-  const auto analysis = graph::analyze_cycles(hm, graph::CycleMethod::PointerDoubling, counters);
+  const auto analysis =
+      graph::analyze_cycles(hm, graph::CycleMethod::PointerDoubling, counters, ex);
   for (const auto& cycle : analysis.cycles) {
     if (cycle.size() < 2) {
       throw std::logic_error("next_stable_matchings: H_M contains a self-loop");

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "pram/counters.hpp"
+#include "pram/executor.hpp"
 #include "stable/instance.hpp"
 #include "stable/rotations.hpp"
 
@@ -36,8 +37,9 @@ struct NextStableResult {
 };
 
 /// M must be stable (throws std::invalid_argument otherwise — detected when
-/// some reduced list does not start with p_M(m)).
+/// some reduced list does not start with p_M(m)). Rounds run on `ex`.
 NextStableResult next_stable_matchings(const StableInstance& inst, const MarriageMatching& m,
-                                       pram::NcCounters* counters = nullptr);
+                                       pram::NcCounters* counters = nullptr,
+                                       pram::Executor& ex = pram::default_executor());
 
 }  // namespace ncpm::stable

@@ -148,20 +148,19 @@ TEST_P(SolvableFamilies, PlantedInstancesAlwaysYieldPopularMatchings) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SolvableFamilies, ::testing::Values(1, 2, 3, 4, 5));
 
-TEST(PopularMatching, ThreadCountDoesNotChangeExistence) {
+TEST(PopularMatching, ExecutorWidthDoesNotChangeExistence) {
   gen::StrictConfig cfg;
   cfg.num_applicants = 120;
   cfg.num_posts = 90;
   cfg.seed = 99;
   const auto inst = gen::random_strict_instance(cfg);
-  const int original = pram::num_threads();
   const auto ref = find_popular_matching(inst);
-  for (const int t : {1, 2, 5}) {
-    pram::set_num_threads(t);
-    const auto m = find_popular_matching(inst);
+  for (const int lanes : {1, 2, 5}) {
+    pram::Executor ex(lanes);
+    pram::Workspace ws(ex);
+    const auto m = find_popular_matching(inst, ws);
     EXPECT_EQ(m.has_value(), ref.has_value());
   }
-  pram::set_num_threads(original);
 }
 
 }  // namespace

@@ -307,6 +307,25 @@ TEST(Engine, DestructorDrainsQueuedRequests) {
   }
 }
 
+TEST(ThreadBudget, SplitUsesTheBudget) {
+  // Remainder folds back into extra workers when lanes floor to 1.
+  EXPECT_EQ(ThreadBudget::split(8, 5).workers, 8);
+  EXPECT_EQ(ThreadBudget::split(8, 5).lanes, 1);
+  // Shallow queue: spare threads become lanes.
+  EXPECT_EQ(ThreadBudget::split(8, 2).workers, 2);
+  EXPECT_EQ(ThreadBudget::split(8, 2).lanes, 4);
+  // Uniform grid bound: at most lanes - 1 threads unused.
+  EXPECT_EQ(ThreadBudget::split(7, 2).total(), 6);
+  EXPECT_EQ(ThreadBudget::single(6).workers, 1);
+  EXPECT_EQ(ThreadBudget::single(6).lanes, 6);
+  EXPECT_EQ(ThreadBudget::wide(6).workers, 6);
+  EXPECT_EQ(ThreadBudget::wide(6).lanes, 1);
+  // Degenerate inputs clamp to one worker / one lane.
+  EXPECT_EQ(ThreadBudget::split(4, 0).workers, 1);
+  EXPECT_EQ(ThreadBudget::split(4, 0).lanes, 4);
+  EXPECT_EQ(ThreadBudget::split(0, 3).total(), 1);
+}
+
 TEST(Engine, ModeNamesRoundTrip) {
   for (std::size_t i = 0; i < kNumModes; ++i) {
     const auto mode = static_cast<Mode>(i);

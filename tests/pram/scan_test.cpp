@@ -1,5 +1,5 @@
 // Parallel prefix sums and compaction: correctness against serial scans,
-// degenerate sizes, and thread-count independence.
+// degenerate sizes, and executor-width independence.
 
 #include "pram/scan.hpp"
 
@@ -9,6 +9,7 @@
 #include <random>
 
 #include "pram/counters.hpp"
+#include "pram/executor.hpp"
 #include "pram/parallel.hpp"
 
 namespace ncpm::pram {
@@ -60,21 +61,19 @@ TEST(Scan, LargeRandomAgreesWithStdPartialSum) {
   EXPECT_EQ(out, expected);
 }
 
-TEST(Scan, ResultIndependentOfThreadCount) {
+TEST(Scan, ResultIndependentOfExecutorWidth) {
   std::mt19937_64 rng(11);
   std::vector<std::int64_t> in(5000);
   for (auto& v : in) v = static_cast<std::int64_t>(rng() % 1000);
   std::vector<std::int64_t> ref(in.size());
-  const int original = num_threads();
-  set_num_threads(1);
-  exclusive_scan<std::int64_t>(in, ref);
-  for (const int t : {2, 3, 8}) {
-    set_num_threads(t);
+  SerialExecutor serial;
+  exclusive_scan<std::int64_t>(in, ref, nullptr, serial);
+  for (const int lanes : {2, 3, 8}) {
+    Executor ex(lanes);
     std::vector<std::int64_t> out(in.size());
-    exclusive_scan<std::int64_t>(in, out);
-    EXPECT_EQ(out, ref) << "threads=" << t;
+    exclusive_scan<std::int64_t>(in, out, nullptr, ex);
+    EXPECT_EQ(out, ref) << "lanes=" << lanes;
   }
-  set_num_threads(original);
 }
 
 TEST(Scan, CountersRecordRounds) {

@@ -101,5 +101,16 @@ TEST(Workspace, GrowthIsCountedExactly) {
   EXPECT_GT(ws.heap_allocations(), warm);
 }
 
+TEST(Workspace, CarriesItsExecutor) {
+  EXPECT_EQ(&Workspace().exec(), &default_executor());
+  Executor ex(2);
+  Workspace ws(ex);
+  EXPECT_EQ(&ws.exec(), &ex);
+  // The fill overload runs its round on the bound executor (smoke: the
+  // result is simply correct whatever the width).
+  auto buf = ws.take<std::int32_t>(10'000, std::int32_t{7});
+  for (std::size_t i = 0; i < buf.size(); ++i) ASSERT_EQ(buf[i], 7);
+}
+
 }  // namespace
 }  // namespace ncpm::pram
