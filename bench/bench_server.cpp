@@ -1,0 +1,159 @@
+// Serving over real sockets: requests/sec and round-trip latency
+// percentiles against connection count, loopback TCP, one ncpm-rpc v1
+// server with a fixed 4-worker engine behind it.
+//
+// BM_ServerLoopback        — per-connection sequential calls; reports
+//                            req/s plus p50/p90/p99 round-trip micros
+//                            (the interactive-client view).
+// BM_ServerLoopbackPipelined — call_batch with the client's default
+//                            16-deep window; reports req/s (the
+//                            throughput-client view).
+//
+// The solve itself is small (the same instance shapes across both), so
+// the numbers are dominated by what this PR added: framing, dispatch,
+// out-of-order write-back, and per-connection serialisation.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+
+namespace {
+
+const std::vector<ncpm::core::Instance>& instance_mix() {
+  static const std::vector<ncpm::core::Instance> mix = [] {
+    std::vector<ncpm::core::Instance> instances;
+    for (int i = 0; i < 4; ++i) {
+      ncpm::gen::SolvableConfig cfg;
+      cfg.num_applicants = 150 + 50 * i;
+      cfg.num_posts = cfg.num_applicants * 3;
+      cfg.contention = 2.0;
+      cfg.all_f_fraction = 0.2;
+      cfg.seed = 4242 + static_cast<std::uint64_t>(i);
+      instances.push_back(ncpm::gen::solvable_strict_instance(cfg));
+    }
+    return instances;
+  }();
+  return mix;
+}
+
+constexpr ncpm::engine::Mode kModeCycle[] = {
+    ncpm::engine::Mode::kSolve, ncpm::engine::Mode::kMaxCard, ncpm::engine::Mode::kCount,
+    ncpm::engine::Mode::kCheck};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+void BM_ServerLoopback(benchmark::State& state) {
+  const int connections = static_cast<int>(state.range(0));
+  constexpr std::size_t kCallsPerConnection = 32;
+
+  ncpm::net::ServerConfig cfg;
+  cfg.engine = ncpm::engine::EngineConfig{4, 1};
+  ncpm::net::Server server(cfg);
+  server.start();
+
+  // Connections persist across iterations — the serving steady state.
+  std::vector<ncpm::net::Client> clients;
+  for (int c = 0; c < connections; ++c) {
+    clients.push_back(ncpm::net::Client::connect("127.0.0.1", server.port()));
+  }
+
+  const auto& instances = instance_mix();
+  std::mutex lat_mu;
+  std::vector<double> latencies_us;
+  std::size_t total_requests = 0;
+
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(connections));
+    for (int c = 0; c < connections; ++c) {
+      threads.emplace_back([&, c] {
+        std::vector<double> local;
+        local.reserve(kCallsPerConnection);
+        for (std::size_t i = 0; i < kCallsPerConnection; ++i) {
+          const auto& inst = instances[(i + static_cast<std::size_t>(c)) % instances.size()];
+          const auto mode = kModeCycle[i % std::size(kModeCycle)];
+          const auto t0 = std::chrono::steady_clock::now();
+          auto resp = clients[static_cast<std::size_t>(c)].call(mode, inst);
+          benchmark::DoNotOptimize(resp);
+          const auto t1 = std::chrono::steady_clock::now();
+          local.push_back(std::chrono::duration<double, std::micro>(t1 - t0).count());
+        }
+        std::lock_guard<std::mutex> lock(lat_mu);
+        latencies_us.insert(latencies_us.end(), local.begin(), local.end());
+      });
+    }
+    for (auto& t : threads) t.join();
+    total_requests += static_cast<std::size_t>(connections) * kCallsPerConnection;
+  }
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  state.counters["req/s"] =
+      benchmark::Counter(static_cast<double>(total_requests), benchmark::Counter::kIsRate);
+  state.counters["p50_us"] = percentile(latencies_us, 0.50);
+  state.counters["p90_us"] = percentile(latencies_us, 0.90);
+  state.counters["p99_us"] = percentile(latencies_us, 0.99);
+
+  for (auto& client : clients) client.close();
+  server.stop();
+}
+BENCHMARK(BM_ServerLoopback)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ServerLoopbackPipelined(benchmark::State& state) {
+  const int connections = static_cast<int>(state.range(0));
+  constexpr std::size_t kBatchPerConnection = 64;
+
+  ncpm::net::ServerConfig cfg;
+  cfg.engine = ncpm::engine::EngineConfig{4, 1};
+  ncpm::net::Server server(cfg);
+  server.start();
+
+  std::vector<ncpm::net::Client> clients;
+  for (int c = 0; c < connections; ++c) {
+    clients.push_back(ncpm::net::Client::connect("127.0.0.1", server.port()));
+  }
+
+  const auto& instances = instance_mix();
+  std::vector<ncpm::net::RpcCall> calls;
+  calls.reserve(kBatchPerConnection);
+  for (std::size_t i = 0; i < kBatchPerConnection; ++i) {
+    calls.push_back(
+        {kModeCycle[i % std::size(kModeCycle)], instances[i % instances.size()], 0});
+  }
+
+  std::size_t total_requests = 0;
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(connections));
+    for (int c = 0; c < connections; ++c) {
+      threads.emplace_back([&, c] {
+        auto responses = clients[static_cast<std::size_t>(c)].call_batch(calls);
+        benchmark::DoNotOptimize(responses);
+      });
+    }
+    for (auto& t : threads) t.join();
+    total_requests += static_cast<std::size_t>(connections) * kBatchPerConnection;
+  }
+  state.counters["req/s"] =
+      benchmark::Counter(static_cast<double>(total_requests), benchmark::Counter::kIsRate);
+
+  for (auto& client : clients) client.close();
+  server.stop();
+}
+BENCHMARK(BM_ServerLoopbackPipelined)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,5 +1,5 @@
-// ncpm_cli — command-line front end over the engine subsystem and the
-// text/binary formats of gen/io.hpp and gen/io_binary.hpp.
+// ncpm_cli — command-line front end over the engine and net subsystems and
+// the text/binary formats of gen/io.hpp and gen/io_binary.hpp.
 //
 //   ncpm_cli solve [file] [--threads N]       popular matching (Algorithm 1)
 //   ncpm_cli max-card [file]                  largest popular matching (Alg. 3)
@@ -14,14 +14,24 @@
 //   ncpm_cli gen-popular N P SEED             emit a random strict instance
 //   ncpm_cli gen-stable N SEED                emit a random stable instance
 //   ncpm_cli gen-batch COUNT N P SEED OUT.bin random solvable binary batch
+//   ncpm_cli serve [--port P] [--bind A] [--workers W] [--threads L]
+//                                             ncpm-rpc v1 server until SIGINT
+//   ncpm_cli rpc HOST:PORT MODE [file] [--deadline-ms N]
+//                                             one request over the wire
 //
 // Instances are read from the optional input file (stdin when omitted);
 // matchings / instances are written to stdout in the formats documented in
 // gen/io.hpp. Every solving mode dispatches one engine::Request through an
 // engine::Engine — the same per-mode code path the batch subcommand fans
-// out across worker threads.
+// out across worker threads and `serve` exposes over TCP.
+//
+// Exit codes: 0 success, 1 "no popular matching", 2 usage or runtime
+// error. Every subcommand prints a one-line `usage: ...` message to stderr
+// and exits 2 on bad arguments (covered by tests/cli/usage_test.sh).
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -29,6 +39,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/engine.hpp"
@@ -36,39 +47,87 @@
 #include "gen/io.hpp"
 #include "gen/io_binary.hpp"
 #include "gen/stable_generators.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "pram/executor.hpp"
 #include "stable/rotations.hpp"
 
 namespace {
 
-int usage() {
-  std::fprintf(
-      stderr,
-      "usage: ncpm_cli solve|max-card|fair|rank-maximal|count|check [file] [--threads N]\n"
-      "       ncpm_cli next-stable|rotations [file]\n"
-      "       ncpm_cli batch FILE [--threads N] [--mode M]\n"
-      "       ncpm_cli pack OUT.bin IN.txt [IN2.txt ...]\n"
-      "       ncpm_cli gen-popular N P SEED | gen-stable N SEED\n"
-      "       ncpm_cli gen-batch COUNT N P SEED OUT.bin\n");
+constexpr const char* kTopUsage =
+    "<solve|max-card|fair|rank-maximal|count|check|next-stable|rotations|batch|pack|"
+    "gen-popular|gen-stable|gen-batch|serve|rpc|help> ...";
+
+/// One-line usage for the (sub)command at hand; always exits 2.
+int usage(const char* line = kTopUsage) {
+  std::fprintf(stderr, "usage: ncpm_cli %s\n", line);
   return 2;
+}
+
+constexpr const char* kSolveUsage =
+    "solve|max-card|fair|rank-maximal|count|check|next-stable [file] [--threads N]";
+constexpr const char* kRotationsUsage = "rotations [file]";
+constexpr const char* kBatchUsage = "batch FILE [--threads N] [--mode M]";
+constexpr const char* kPackUsage = "pack OUT.bin IN.txt [IN2.txt ...]";
+constexpr const char* kGenPopularUsage = "gen-popular N_APPLICANTS N_POSTS SEED";
+constexpr const char* kGenStableUsage = "gen-stable N SEED";
+constexpr const char* kGenBatchUsage = "gen-batch COUNT N_APPLICANTS N_POSTS SEED OUT.bin";
+constexpr const char* kServeUsage =
+    "serve [--port P] [--bind ADDR] [--workers W] [--threads LANES] [--max-in-flight K]";
+constexpr const char* kRpcUsage = "rpc HOST:PORT MODE [file] [--deadline-ms N]";
+
+int help() {
+  std::printf(
+      "ncpm_cli — NC popular matching toolkit\n"
+      "  ncpm_cli %s\n  ncpm_cli %s\n  ncpm_cli %s\n  ncpm_cli %s\n  ncpm_cli %s\n"
+      "  ncpm_cli %s\n  ncpm_cli %s\n  ncpm_cli %s\n  ncpm_cli %s\n"
+      "Instances are read from [file] or stdin; formats are documented in\n"
+      "src/gen/io.hpp (text), src/gen/io_binary.hpp (ncpm-binary v1) and\n"
+      "docs/ncpm-rpc-v1.md (the serve/rpc wire protocol).\n",
+      kSolveUsage, kRotationsUsage, kBatchUsage, kPackUsage, kGenPopularUsage,
+      kGenStableUsage, kGenBatchUsage, kServeUsage, kRpcUsage);
+  return 0;
 }
 
 struct Options {
   std::vector<std::string> positional;
   int threads = 0;             // 0 = unset (mode-dependent default)
   std::string mode = "solve";  // batch submode
+  int port = 0;                // serve: 0 = ephemeral
+  std::string bind = "127.0.0.1";
+  int workers = 0;             // serve: 0 = hardware default
+  int max_in_flight = 64;
+  int deadline_ms = 0;  // rpc: 0 = none
 };
+
+/// Parse one nonnegative integer flag value; returns false on junk.
+bool parse_int(const char* text, int min_value, int& out) {
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || v < min_value || v > 1'000'000'000L) return false;
+  out = static_cast<int>(v);
+  return true;
+}
 
 bool parse_flags(int argc, char** argv, Options& opts) {
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--threads") {
-      if (++i >= argc) return false;
-      opts.threads = std::atoi(argv[i]);
-      if (opts.threads < 1) return false;
+      if (++i >= argc || !parse_int(argv[i], 1, opts.threads)) return false;
     } else if (arg == "--mode") {
       if (++i >= argc) return false;
       opts.mode = argv[i];
+    } else if (arg == "--port") {
+      if (++i >= argc || !parse_int(argv[i], 0, opts.port) || opts.port > 65535) return false;
+    } else if (arg == "--bind") {
+      if (++i >= argc) return false;
+      opts.bind = argv[i];
+    } else if (arg == "--workers") {
+      if (++i >= argc || !parse_int(argv[i], 1, opts.workers)) return false;
+    } else if (arg == "--max-in-flight") {
+      if (++i >= argc || !parse_int(argv[i], 1, opts.max_in_flight)) return false;
+    } else if (arg == "--deadline-ms") {
+      if (++i >= argc || !parse_int(argv[i], 1, opts.deadline_ms)) return false;
     } else if (arg.rfind("--", 0) == 0) {
       return false;
     } else {
@@ -114,6 +173,7 @@ int print_result(const ncpm::engine::Result& res) {
       return 2;
     case Status::kDeadlineExpired:
     case Status::kCancelled:
+    case Status::kRejected:
       std::fprintf(stderr, "error: request %s\n",
                    std::string(ncpm::engine::status_name(res.status)).c_str());
       return 2;
@@ -187,7 +247,7 @@ int run_rotations(const Options& opts) {
 }
 
 int run_batch(const Options& opts) {
-  if (opts.positional.size() != 1) return usage();
+  if (opts.positional.size() != 1) return usage(kBatchUsage);
   const auto mode = ncpm::engine::parse_mode(opts.mode);
   if (!mode.has_value() || *mode == ncpm::engine::Mode::kNextStable) {
     std::fprintf(stderr, "error: batch mode '%s' is not a popular-matching mode\n",
@@ -273,7 +333,7 @@ int run_batch(const Options& opts) {
 }
 
 int run_pack(const Options& opts) {
-  if (opts.positional.size() < 2) return usage();
+  if (opts.positional.size() < 2) return usage(kPackUsage);
   // Read and parse every input before opening (and truncating) the output,
   // so a mistyped input file cannot destroy an existing batch file.
   std::vector<ncpm::core::Instance> instances;
@@ -298,14 +358,19 @@ int run_pack(const Options& opts) {
 }
 
 int run_gen_batch(int argc, char** argv) {
-  if (argc != 7) return usage();
-  const int count = std::atoi(argv[2]);
-  ncpm::gen::SolvableConfig cfg;
-  cfg.num_applicants = std::atoi(argv[3]);
-  cfg.num_posts = std::atoi(argv[4]);
-  const auto seed = static_cast<std::uint64_t>(std::atoll(argv[5]));
+  if (argc != 7) return usage(kGenBatchUsage);
+  int count = 0;
+  int applicants = 0;
+  int posts = 0;
   // Validate the arguments before opening (and truncating) the output file.
-  if (count < 1 || cfg.num_applicants < 1 || cfg.num_posts < 1) return usage();
+  if (!parse_int(argv[2], 1, count) || !parse_int(argv[3], 1, applicants) ||
+      !parse_int(argv[4], 1, posts)) {
+    return usage(kGenBatchUsage);
+  }
+  ncpm::gen::SolvableConfig cfg;
+  cfg.num_applicants = applicants;
+  cfg.num_posts = posts;
+  const auto seed = static_cast<std::uint64_t>(std::atoll(argv[5]));
   std::ofstream out(argv[6], std::ios::binary);
   if (!out) {
     std::fprintf(stderr, "error: cannot open output file '%s'\n", argv[6]);
@@ -319,6 +384,116 @@ int run_gen_batch(int argc, char** argv) {
   return 0;
 }
 
+/// Render one rpc ResponseFrame the way the local modes print, so `rpc`
+/// output is byte-identical to running the same mode against a local file.
+int print_response(const ncpm::net::ResponseFrame& resp) {
+  using ncpm::engine::Mode;
+  using ncpm::net::RpcStatus;
+  switch (resp.status) {
+    case RpcStatus::kNoSolution:
+      if (resp.mode() == Mode::kCheck && resp.check.has_value()) break;  // printed below
+      std::printf("no popular matching exists\n");
+      return 1;
+    case RpcStatus::kOk:
+      break;
+    default:
+      std::fprintf(stderr, "error: %s%s%s\n",
+                   std::string(ncpm::net::rpc_status_name(resp.status)).c_str(),
+                   resp.error.empty() ? "" : ": ", resp.error.c_str());
+      return 2;
+  }
+  std::fprintf(stderr, "rpc: queue %.1f us solve %.3f ms\n",
+               static_cast<double>(resp.queue_ns) / 1e3,
+               static_cast<double>(resp.solve_ns) / 1e6);
+  if (resp.matching.has_value()) {
+    std::fprintf(stderr, "size %llu of %u applicants\n",
+                 static_cast<unsigned long long>(resp.matching_size), resp.applicants);
+    std::fputs(ncpm::io::write_matching(*resp.matching).c_str(), stdout);
+    return 0;
+  }
+  if (resp.count.has_value()) {
+    std::printf("%llu\n", static_cast<unsigned long long>(*resp.count));
+    return 0;
+  }
+  if (resp.check.has_value()) {
+    const auto& report = *resp.check;
+    std::printf("applicants %d posts %d %s\n", report.applicants, report.posts,
+                report.strict ? "strict" : "ties");
+    if (!report.admits_popular) {
+      std::printf("admits_popular no\n");
+    } else {
+      std::printf("admits_popular yes\nsize %zu\n", report.size);
+      if (report.count.has_value()) {
+        std::printf("popular_matchings %llu\n", static_cast<unsigned long long>(*report.count));
+      }
+    }
+    // Like the local path, check reports statistics and exits 0 either way.
+    return 0;
+  }
+  return 0;
+}
+
+int run_rpc(const Options& opts) {
+  if (opts.positional.size() < 2 || opts.positional.size() > 3) return usage(kRpcUsage);
+  const auto& hostport = opts.positional[0];
+  const auto colon = hostport.rfind(':');
+  int port = 0;
+  if (colon == std::string::npos || colon == 0 ||
+      !parse_int(hostport.c_str() + colon + 1, 1, port) || port > 65535) {
+    return usage(kRpcUsage);
+  }
+  const auto mode = ncpm::engine::parse_mode(opts.positional[1]);
+  if (!mode.has_value() || *mode == ncpm::engine::Mode::kNextStable) return usage(kRpcUsage);
+
+  Options input;  // slurp_input reads positional.front() (or stdin when empty)
+  if (opts.positional.size() == 3) input.positional.push_back(opts.positional[2]);
+  const auto inst = ncpm::io::read_instance(slurp_input(input));
+
+  auto client =
+      ncpm::net::Client::connect(hostport.substr(0, colon), static_cast<std::uint16_t>(port));
+  const auto deadline_ns = static_cast<std::uint64_t>(opts.deadline_ms) * 1'000'000ULL;
+  return print_response(client.call(*mode, inst, deadline_ns));
+}
+
+std::atomic<int> g_signal{0};
+void on_signal(int sig) { g_signal.store(sig); }
+
+int run_serve(const Options& opts) {
+  if (!opts.positional.empty()) return usage(kServeUsage);
+  ncpm::net::ServerConfig cfg;
+  cfg.bind_address = opts.bind;
+  cfg.port = static_cast<std::uint16_t>(opts.port);
+  cfg.max_in_flight_per_connection = static_cast<std::size_t>(opts.max_in_flight);
+  cfg.engine.num_workers = opts.workers > 0 ? opts.workers : ncpm::pram::default_lanes();
+  cfg.engine.lanes_per_worker = opts.threads > 0 ? opts.threads : 1;
+
+  ncpm::net::Server server(cfg);
+  server.start();
+  // One parseable line on stdout so scripts (and the loopback bench) can
+  // pick up an ephemeral port.
+  std::printf("ncpm-rpc v1 listening on %s:%u (%d worker(s) x %d lane(s))\n",
+              cfg.bind_address.c_str(), server.port(), cfg.engine.num_workers,
+              cfg.engine.lanes_per_worker);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (g_signal.load() == 0 && server.running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::fprintf(stderr, "ncpm_cli serve: draining\n");
+  server.stop();
+  const auto stats = server.stats();
+  std::fprintf(stderr,
+               "ncpm_cli serve: %llu connection(s), %llu frame(s), %llu response(s), "
+               "%llu malformed\n",
+               static_cast<unsigned long long>(stats.connections_accepted),
+               static_cast<unsigned long long>(stats.frames_received),
+               static_cast<unsigned long long>(stats.responses_sent),
+               static_cast<unsigned long long>(stats.malformed_frames));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -326,35 +501,52 @@ int main(int argc, char** argv) {
   const std::string mode = argv[1];
   Options opts;
   try {
+    if (mode == "help" || mode == "--help" || mode == "-h") return help();
     if (mode == "gen-popular") {
-      if (argc != 5) return usage();
+      if (argc != 5) return usage(kGenPopularUsage);
       ncpm::gen::StrictConfig cfg;
-      cfg.num_applicants = std::atoi(argv[2]);
-      cfg.num_posts = std::atoi(argv[3]);
+      int applicants = 0;
+      int posts = 0;
+      if (!parse_int(argv[2], 1, applicants) || !parse_int(argv[3], 1, posts)) {
+        return usage(kGenPopularUsage);
+      }
+      cfg.num_applicants = applicants;
+      cfg.num_posts = posts;
       cfg.seed = static_cast<std::uint64_t>(std::atoll(argv[4]));
       std::fputs(ncpm::io::write_instance(ncpm::gen::random_strict_instance(cfg)).c_str(),
                  stdout);
       return 0;
     }
     if (mode == "gen-stable") {
-      if (argc != 4) return usage();
+      if (argc != 4) return usage(kGenStableUsage);
+      int n = 0;
+      if (!parse_int(argv[2], 1, n)) return usage(kGenStableUsage);
       std::fputs(ncpm::io::write_stable_instance(ncpm::gen::random_stable_instance(
-                     std::atoi(argv[2]), static_cast<std::uint64_t>(std::atoll(argv[3]))))
+                     n, static_cast<std::uint64_t>(std::atoll(argv[3]))))
                      .c_str(),
                  stdout);
       return 0;
     }
     if (mode == "gen-batch") return run_gen_batch(argc, argv);
-    if (!parse_flags(argc, argv, opts)) return usage();
+    if (!parse_flags(argc, argv, opts)) {
+      if (mode == "batch") return usage(kBatchUsage);
+      if (mode == "pack") return usage(kPackUsage);
+      if (mode == "serve") return usage(kServeUsage);
+      if (mode == "rpc") return usage(kRpcUsage);
+      if (mode == "rotations") return usage(kRotationsUsage);
+      return usage(ncpm::engine::parse_mode(mode).has_value() ? kSolveUsage : kTopUsage);
+    }
     if (mode == "batch") return run_batch(opts);
     if (mode == "pack") return run_pack(opts);
+    if (mode == "serve") return run_serve(opts);
+    if (mode == "rpc") return run_rpc(opts);
     if (mode == "rotations") {
-      if (opts.positional.size() > 1) return usage();
+      if (opts.positional.size() > 1) return usage(kRotationsUsage);
       return run_rotations(opts);
     }
-    if (opts.positional.size() > 1) return usage();
     const auto engine_mode = ncpm::engine::parse_mode(mode);
     if (!engine_mode.has_value()) return usage();
+    if (opts.positional.size() > 1) return usage(kSolveUsage);
     return run_engine_mode(*engine_mode, opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -148,6 +148,7 @@ std::string_view status_name(Status status) {
     case Status::kCancelled: return "cancelled";
     case Status::kInvalid: return "invalid";
     case Status::kError: return "error";
+    case Status::kRejected: return "rejected";
   }
   return "unknown";
 }
@@ -168,24 +169,33 @@ Engine::Engine(EngineConfig config) : config_(config), start_(std::chrono::stead
   }
 }
 
-Engine::~Engine() {
+Engine::~Engine() { shutdown(ShutdownMode::kDrain); }
+
+void Engine::shutdown(ShutdownMode mode) {
+  // Serialise concurrent shutdown() calls (including the destructor): only
+  // one caller may abandon the queue and join the worker threads.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  std::deque<Task> abandoned;
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
+    if (mode == ShutdownMode::kAbandon) abandoned.swap(queue_);
   }
   cv_.notify_all();
+  for (auto& task : abandoned) {
+    Result result;
+    result.mode = task.request.mode;
+    result.status = Status::kRejected;
+    result.error = "engine shut down before the request reached a worker";
+    fulfill(task, std::move(result));
+  }
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }
 }
 
-std::future<Result> Engine::enqueue_locked(Request&& request,
-                                           std::chrono::steady_clock::time_point now) {
+void Engine::enqueue_locked(Task&& task) {
   if (stopping_) throw std::runtime_error("engine: submit after shutdown");
-  Task task;
-  task.request = std::move(request);
-  task.enqueued = now;
-  auto future = task.promise.get_future();
   queue_.push_back(std::move(task));
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
@@ -193,17 +203,32 @@ std::future<Result> Engine::enqueue_locked(Request&& request,
     ++stats_.per_mode[static_cast<std::size_t>(queue_.back().request.mode)].submitted;
     if (queue_.size() > stats_.peak_queue_depth) stats_.peak_queue_depth = queue_.size();
   }
-  return future;
 }
 
 std::future<Result> Engine::submit(Request request) {
-  std::future<Result> future;
+  Task task;
+  task.request = std::move(request);
+  task.enqueued = std::chrono::steady_clock::now();
+  task.promise.emplace();
+  auto future = task.promise->get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    future = enqueue_locked(std::move(request), std::chrono::steady_clock::now());
+    enqueue_locked(std::move(task));
   }
   cv_.notify_one();
   return future;
+}
+
+void Engine::submit(Request request, Callback on_complete) {
+  Task task;
+  task.request = std::move(request);
+  task.enqueued = std::chrono::steady_clock::now();
+  task.callback = std::move(on_complete);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    enqueue_locked(std::move(task));
+  }
+  cv_.notify_one();
 }
 
 std::vector<std::future<Result>> Engine::submit_batch(std::vector<Request> requests) {
@@ -212,7 +237,14 @@ std::vector<std::future<Result>> Engine::submit_batch(std::vector<Request> reque
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto now = std::chrono::steady_clock::now();
-    for (auto& req : requests) futures.push_back(enqueue_locked(std::move(req), now));
+    for (auto& req : requests) {
+      Task task;
+      task.request = std::move(req);
+      task.enqueued = now;
+      task.promise.emplace();
+      futures.push_back(task.promise->get_future());
+      enqueue_locked(std::move(task));
+    }
   }
   cv_.notify_all();
   return futures;
@@ -228,6 +260,13 @@ void Engine::record(const Result& result) {
   const auto solve_ns = static_cast<std::uint64_t>(result.solve_time.count());
   std::lock_guard<std::mutex> lock(stats_mu_);
   auto& mode = stats_.per_mode[static_cast<std::size_t>(result.mode)];
+  if (result.status == Status::kRejected) {
+    // Never reached a worker: counts as rejected, not completed, and
+    // contributes no latency.
+    ++stats_.rejected;
+    ++mode.rejected;
+    return;
+  }
   ++stats_.completed;
   ++mode.completed;
   stats_.queue_ns_total += queue_ns;
@@ -242,6 +281,16 @@ void Engine::record(const Result& result) {
     case Status::kCancelled: ++mode.cancelled; break;
     case Status::kInvalid: ++mode.invalid; break;
     case Status::kError: ++mode.errors; break;
+    case Status::kRejected: break;  // handled above
+  }
+}
+
+void Engine::fulfill(Task& task, Result&& result) {
+  record(result);
+  if (task.callback) {
+    task.callback(std::move(result));
+  } else if (task.promise.has_value()) {
+    task.promise->set_value(std::move(result));
   }
 }
 
@@ -289,8 +338,7 @@ void Engine::worker_main(int worker_id) {
     result.solve_time = std::chrono::steady_clock::now() - dequeued;
 
     self.workspace_allocs.store(ws.heap_allocations(), std::memory_order_relaxed);
-    record(result);
-    task.promise.set_value(std::move(result));
+    fulfill(task, std::move(result));
 
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -305,6 +353,11 @@ EngineStats Engine::stats() const {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     snapshot = stats_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.queue_depth = queue_.size();
+    snapshot.active_workers = active_;
   }
   snapshot.uptime_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -

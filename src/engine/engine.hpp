@@ -34,6 +34,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -74,6 +75,7 @@ enum class Status : std::uint8_t {
   kCancelled,        ///< cancel token fired before a worker picked the request up
   kInvalid,          ///< request malformed (missing instance, mode/instance mismatch)
   kError,            ///< solver threw; Result::error carries the message
+  kRejected,         ///< engine shut down (abandon) while the request was queued
 };
 
 std::string_view status_name(Status status);
@@ -210,6 +212,7 @@ struct ModeStats {
   std::uint64_t cancelled = 0;
   std::uint64_t invalid = 0;
   std::uint64_t errors = 0;
+  std::uint64_t rejected = 0;  ///< abandoned at shutdown without reaching a worker
   std::uint64_t queue_ns_total = 0;
   std::uint64_t solve_ns_total = 0;
 };
@@ -219,10 +222,13 @@ struct EngineStats {
   int lanes_per_worker = 0;  ///< executor width inside each worker
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;  ///< abandoned at shutdown, futures fulfilled kRejected
   std::uint64_t queue_ns_total = 0;
   std::uint64_t queue_ns_max = 0;
   std::uint64_t solve_ns_total = 0;
   std::uint64_t peak_queue_depth = 0;
+  std::uint64_t queue_depth = 0;  ///< requests waiting at snapshot time
+  int active_workers = 0;         ///< workers mid-solve at snapshot time
   std::uint64_t uptime_ns = 0;  ///< since engine construction
   std::array<ModeStats, kNumModes> per_mode{};
   /// Workspace buffer growths per worker since engine start. Flat between
@@ -240,14 +246,36 @@ struct EngineStats {
 
 class Engine {
  public:
+  /// What happens to requests still queued when the engine shuts down.
+  enum class ShutdownMode : std::uint8_t {
+    kDrain = 0,  ///< run every queued request to completion before joining
+    kAbandon,    ///< fulfil queued requests with Status::kRejected, join after in-flight
+  };
+
+  /// Completion hook alternative to futures: invoked exactly once per
+  /// request, on the worker thread that solved it (or on the thread calling
+  /// shutdown(kAbandon) for abandoned requests). Keep it cheap — it runs
+  /// inline in the serving path.
+  using Callback = std::function<void(Result)>;
+
   explicit Engine(EngineConfig config = {});
-  /// Drains every queued request (fulfilling all futures), then joins.
+  /// Equivalent to shutdown(ShutdownMode::kDrain).
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   std::future<Result> submit(Request request);
+  /// Callback flavour, for callers that fan results out as they resolve
+  /// (the net::Server write-back path) instead of blocking on futures.
+  void submit(Request request, Callback on_complete);
   std::vector<std::future<Result>> submit_batch(std::vector<Request> requests);
+
+  /// Stop accepting work (further submits throw), dispose of the queue per
+  /// `mode`, and join every worker. A request already on a worker always
+  /// runs to completion — kAbandon only rejects requests still queued.
+  /// Idempotent; the first call's mode wins. Every future/callback is
+  /// fulfilled exactly once either way.
+  void shutdown(ShutdownMode mode = ShutdownMode::kDrain);
 
   /// Block until the queue is empty and every worker is idle.
   void wait_idle();
@@ -258,7 +286,9 @@ class Engine {
  private:
   struct Task {
     Request request;
-    std::promise<Result> promise;
+    /// Exactly one of promise / callback is armed.
+    std::optional<std::promise<Result>> promise;
+    Callback callback;
     std::chrono::steady_clock::time_point enqueued;
   };
   struct Worker {
@@ -270,8 +300,9 @@ class Engine {
 
   void worker_main(int worker_id);
   void record(const Result& result);
-  std::future<Result> enqueue_locked(Request&& request,
-                                     std::chrono::steady_clock::time_point now);
+  /// record() + hand the result to the task's promise or callback.
+  void fulfill(Task& task, Result&& result);
+  void enqueue_locked(Task&& task);
 
   EngineConfig config_;
   std::chrono::steady_clock::time_point start_;
@@ -282,6 +313,8 @@ class Engine {
   std::deque<Task> queue_;
   int active_ = 0;
   bool stopping_ = false;
+
+  std::mutex shutdown_mu_;  ///< serialises concurrent shutdown() calls
 
   mutable std::mutex stats_mu_;
   EngineStats stats_;

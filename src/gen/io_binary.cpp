@@ -49,7 +49,7 @@ void write_record(std::ostream& out, BinaryRecord type, const std::string& paylo
 /// Bounds-checked little-endian cursor over one record payload.
 class Cursor {
  public:
-  explicit Cursor(const std::vector<std::uint8_t>& data) : data_(data) {}
+  Cursor(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
 
   std::uint8_t u8(const char* what) {
     need(1, what);
@@ -67,18 +67,21 @@ class Cursor {
     return v;
   }
   void finish(const char* what) const {
-    if (pos_ != data_.size()) fail(std::string("trailing bytes in ") + what + " record");
+    if (pos_ != size_) fail(std::string("trailing bytes in ") + what + " record");
   }
 
  private:
   void need(std::size_t n, const char* what) const {
-    if (data_.size() - pos_ < n) fail(std::string("truncated ") + what);
+    if (size_ - pos_ < n) fail(std::string("truncated ") + what);
   }
-  const std::vector<std::uint8_t>& data_;
+  const std::uint8_t* data_;
+  std::size_t size_;
   std::size_t pos_ = 0;
 };
 
-std::string encode_instance(const core::Instance& inst) {
+}  // namespace
+
+std::string encode_instance_payload(const core::Instance& inst) {
   std::string payload;
   put_u32(payload, static_cast<std::uint32_t>(inst.num_applicants()));
   put_u32(payload, static_cast<std::uint32_t>(inst.num_posts()));
@@ -101,7 +104,7 @@ std::string encode_instance(const core::Instance& inst) {
   return payload;
 }
 
-std::string encode_matching(const matching::Matching& m) {
+std::string encode_matching_payload(const matching::Matching& m) {
   std::string payload;
   put_u32(payload, static_cast<std::uint32_t>(m.n_left()));
   put_u32(payload, static_cast<std::uint32_t>(m.n_right()));
@@ -114,27 +117,27 @@ std::string encode_matching(const matching::Matching& m) {
   return payload;
 }
 
-core::Instance decode_instance(const std::vector<std::uint8_t>& payload) {
-  Cursor cur(payload);
+core::Instance decode_instance_payload(const std::uint8_t* data, std::size_t size) {
+  Cursor cur(data, size);
   const auto n_a = cur.count("applicant count");
   const auto n_p = cur.count("post count");
   const bool last_resorts = (cur.u8("flags") & 1) != 0;
   // Every applicant occupies at least its u32 group count, so a header
   // whose applicant count cannot fit in the declared payload is rejected
   // before the count drives any allocation.
-  if ((payload.size() - 9) / 4 < n_a) fail("truncated instance");
+  if ((size - 9) / 4 < n_a) fail("truncated instance");
   std::vector<std::vector<std::vector<std::int32_t>>> groups(n_a);
   for (std::uint32_t a = 0; a < n_a; ++a) {
     const auto n_groups = cur.u32("group count");
     auto& list = groups[a];
     // Every group holds >= 1 post (>= 4 payload bytes), so a lying group
     // count runs out of payload long before it runs out of memory.
-    list.reserve(std::min<std::size_t>(n_groups, payload.size() / 4));
+    list.reserve(std::min<std::size_t>(n_groups, size / 4));
     for (std::uint32_t g = 0; g < n_groups; ++g) {
       const auto n_posts = cur.u32("tie-group size");
       if (n_posts == 0) fail("empty tie group");
       std::vector<std::int32_t> tier;
-      tier.reserve(std::min<std::size_t>(n_posts, payload.size() / 4));
+      tier.reserve(std::min<std::size_t>(n_posts, size / 4));
       for (std::uint32_t i = 0; i < n_posts; ++i) {
         const auto p = cur.u32("post id");
         if (p >= n_p) fail("post id out of range");
@@ -148,8 +151,8 @@ core::Instance decode_instance(const std::vector<std::uint8_t>& payload) {
                                    last_resorts);
 }
 
-matching::Matching decode_matching(const std::vector<std::uint8_t>& payload) {
-  Cursor cur(payload);
+matching::Matching decode_matching_payload(const std::uint8_t* data, std::size_t size) {
+  Cursor cur(data, size);
   const auto n_left = cur.count("left count");
   const auto n_right = cur.count("right count");
   const auto n_pairs = cur.u32("pair count");
@@ -169,8 +172,6 @@ matching::Matching decode_matching(const std::vector<std::uint8_t>& payload) {
   return m;
 }
 
-}  // namespace
-
 void write_binary_header(std::ostream& out) {
   std::string header(kBinaryMagic, sizeof(kBinaryMagic));
   put_u32(header, kBinaryVersion);
@@ -179,11 +180,11 @@ void write_binary_header(std::ostream& out) {
 }
 
 void write_binary_instance(std::ostream& out, const core::Instance& inst) {
-  write_record(out, BinaryRecord::kInstance, encode_instance(inst));
+  write_record(out, BinaryRecord::kInstance, encode_instance_payload(inst));
 }
 
 void write_binary_matching(std::ostream& out, const matching::Matching& m) {
-  write_record(out, BinaryRecord::kMatching, encode_matching(m));
+  write_record(out, BinaryRecord::kMatching, encode_matching_payload(m));
 }
 
 BinaryReader::BinaryReader(std::istream& in) : in_(in) {
@@ -250,13 +251,13 @@ void BinaryReader::require(BinaryRecord type, const char* what) {
 core::Instance BinaryReader::read_instance() {
   require(BinaryRecord::kInstance, "instance");
   pending_.reset();
-  return decode_instance(payload_);
+  return decode_instance_payload(payload_.data(), payload_.size());
 }
 
 matching::Matching BinaryReader::read_matching() {
   require(BinaryRecord::kMatching, "matching");
   pending_.reset();
-  return decode_matching(payload_);
+  return decode_matching_payload(payload_.data(), payload_.size());
 }
 
 void BinaryReader::skip() {

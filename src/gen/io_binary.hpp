@@ -74,6 +74,18 @@ class BinaryReader {
   std::vector<std::uint8_t> payload_;
 };
 
+/// Single-record payload codecs: the byte layout of one record's payload
+/// with no stream header and no record header around it. This is the unit
+/// ncpm-rpc v1 frames embed (src/net/frame.hpp), so the socket protocol and
+/// the batch-file format share one serialisation and cannot diverge. The
+/// decoders enforce the same bounds, range checks, and trailing-byte
+/// strictness as the stream reader and throw std::runtime_error
+/// ("io-binary: ...") on any malformed input.
+std::string encode_instance_payload(const core::Instance& inst);
+core::Instance decode_instance_payload(const std::uint8_t* data, std::size_t size);
+std::string encode_matching_payload(const matching::Matching& m);
+matching::Matching decode_matching_payload(const std::uint8_t* data, std::size_t size);
+
 /// Whole-stream convenience: header + every record, which must all be
 /// instances (the batch file the CLI's `batch` subcommand consumes).
 std::vector<core::Instance> read_binary_instances(std::istream& in);

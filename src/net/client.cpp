@@ -1,0 +1,73 @@
+#include "net/client.hpp"
+
+#include <unordered_map>
+#include <utility>
+
+namespace ncpm::net {
+
+Client Client::connect(const std::string& host, std::uint16_t port, ClientConfig config) {
+  if (config.pipeline_window < 1) config.pipeline_window = 1;
+  Socket sock = Socket::connect_to(host, port, config.connect_timeout);
+  if (config.recv_timeout.count() > 0) sock.set_recv_timeout(config.recv_timeout);
+  send_hello(sock);
+  if (!expect_hello(sock)) {
+    throw NetError(NetErrc::kClosed, "server closed the connection during hello");
+  }
+  return Client(std::move(sock), config);
+}
+
+ResponseFrame Client::read_response() {
+  if (!read_frame_body(sock_, body_)) {
+    throw NetError(NetErrc::kClosed, "server closed the connection");
+  }
+  return decode_response_frame(body_.data(), body_.size());
+}
+
+ResponseFrame Client::call(engine::Mode mode, const core::Instance& inst,
+                           std::uint64_t deadline_ns) {
+  RequestHead head;
+  head.request_id = next_id_++;
+  head.mode_raw = static_cast<std::uint8_t>(mode);
+  head.deadline_ns = deadline_ns;
+  const auto frame = encode_request_frame(head, inst);
+  sock_.send_all(frame.data(), frame.size());
+  auto resp = read_response();
+  if (resp.request_id != head.request_id) {
+    throw NetError(NetErrc::kProtocol,
+                   "response for unexpected request id " + std::to_string(resp.request_id));
+  }
+  return resp;
+}
+
+std::vector<ResponseFrame> Client::call_batch(const std::vector<RpcCall>& calls) {
+  std::vector<ResponseFrame> results(calls.size());
+  std::unordered_map<std::uint64_t, std::size_t> slot_of;
+  slot_of.reserve(calls.size());
+  std::size_t sent = 0;
+  std::size_t received = 0;
+  while (received < calls.size()) {
+    if (sent < calls.size() && sent - received < config_.pipeline_window) {
+      RequestHead head;
+      head.request_id = next_id_++;
+      head.mode_raw = static_cast<std::uint8_t>(calls[sent].mode);
+      head.deadline_ns = calls[sent].deadline_ns;
+      slot_of.emplace(head.request_id, sent);
+      const auto frame = encode_request_frame(head, calls[sent].instance);
+      sock_.send_all(frame.data(), frame.size());
+      ++sent;
+      continue;
+    }
+    auto resp = read_response();
+    const auto it = slot_of.find(resp.request_id);
+    if (it == slot_of.end()) {
+      throw NetError(NetErrc::kProtocol,
+                     "response for unknown request id " + std::to_string(resp.request_id));
+    }
+    results[it->second] = std::move(resp);
+    slot_of.erase(it);
+    ++received;
+  }
+  return results;
+}
+
+}  // namespace ncpm::net

@@ -1,0 +1,78 @@
+#pragma once
+// Blocking ncpm-rpc v1 client.
+//
+// One Client owns one connection and is single-threaded by design (open
+// one Client per thread; the server multiplexes). `call` is the simple
+// request/response path; `call_batch` pipelines: it keeps a bounded window
+// of requests in flight and matches responses back to their slots by
+// request id, so a batch completes in server-solve order without ever
+// deadlocking against the server's own per-connection backpressure (the
+// client window must stay at or below the server bound, and the default —
+// 16 against the server's 64 — does).
+//
+// Transport-level failures throw NetError with a typed code
+// (connect-failed / timeout / closed / protocol); per-request failures
+// come back as RpcStatus values inside the ResponseFrame, exactly as the
+// server sent them.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "engine/engine.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace ncpm::net {
+
+struct ClientConfig {
+  std::chrono::milliseconds connect_timeout{5000};
+  /// Applied to every response wait; zero blocks indefinitely.
+  std::chrono::milliseconds recv_timeout{0};
+  /// Max requests in flight during call_batch. Keep <= the server's
+  /// max_in_flight_per_connection or a large batch can deadlock on TCP
+  /// buffers (both sides blocked in send).
+  std::size_t pipeline_window = 16;
+};
+
+/// One call of a pipelined batch.
+struct RpcCall {
+  engine::Mode mode = engine::Mode::kSolve;
+  core::Instance instance;
+  std::uint64_t deadline_ns = 0;  ///< relative budget; 0 = none
+};
+
+class Client {
+ public:
+  /// Connect and exchange hellos. Throws NetError on refusal, timeout, or
+  /// a peer that does not speak ncpm-rpc v1.
+  static Client connect(const std::string& host, std::uint16_t port, ClientConfig config = {});
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// One request, one response.
+  ResponseFrame call(engine::Mode mode, const core::Instance& inst,
+                     std::uint64_t deadline_ns = 0);
+
+  /// Pipelined batch; results come back in input order regardless of the
+  /// order the server solved them (matched by request id).
+  std::vector<ResponseFrame> call_batch(const std::vector<RpcCall>& calls);
+
+  void close() noexcept { sock_.close(); }
+  Socket& socket() noexcept { return sock_; }
+
+ private:
+  Client(Socket sock, ClientConfig config) : sock_(std::move(sock)), config_(config) {}
+
+  ResponseFrame read_response();
+
+  Socket sock_;
+  ClientConfig config_;
+  std::uint64_t next_id_ = 1;
+  std::vector<std::uint8_t> body_;  ///< reused frame buffer
+};
+
+}  // namespace ncpm::net

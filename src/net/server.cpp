@@ -1,0 +1,325 @@
+#include "net/server.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <optional>
+#include <utility>
+
+namespace ncpm::net {
+
+// Per-connection state. The socket is shared by the reader (recv) and
+// writer (send) threads — safe because each owns exactly one direction.
+// Lifetime: shared_ptr copies live in the reader/writer closures and in
+// every pending engine callback, so a Connection outlives its last
+// response even if the server's list drops it first.
+struct Server::Connection {
+  explicit Connection(Socket s) : sock(std::move(s)) {}
+
+  Socket sock;
+  std::thread reader;  ///< joined by the server (stop() or the reaper)
+  std::thread writer;  ///< joined by the reader on its way out
+
+  std::mutex mu;
+  std::condition_variable write_cv;      ///< writer wakeup
+  std::condition_variable in_flight_cv;  ///< backpressure + reader drain
+  std::deque<std::string> write_queue;
+  /// Admitted frames whose response has not yet been sent (or discarded on
+  /// a broken connection). Invariant: every queued frame holds one slot,
+  /// released by the writer after send_all — so the bound caps engine work
+  /// *and* encoded-response memory per connection.
+  std::size_t in_flight = 0;
+  bool closing = false;  ///< no further frames will be queued
+  bool broken = false;   ///< write side failed; queued frames are discarded
+
+  std::atomic<bool> done{false};  ///< reader (and therefore writer) exited
+};
+
+Server::Server(ServerConfig config) : config_(std::move(config)), engine_(config_.engine) {
+  if (config_.max_in_flight_per_connection < 1) config_.max_in_flight_per_connection = 1;
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  if (stopping_.load(std::memory_order_acquire)) {
+    // The engine behind a stopped server is drained for good.
+    throw NetError(NetErrc::kConnectFailed, "server is single-use; cannot restart after stop()");
+  }
+  listener_ = Socket::listen_on(config_.bind_address, config_.port, config_.backlog);
+  port_ = listener_.local_port();
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+
+  // 1. No new connections: wake the accept loop and join it.
+  listener_.shutdown_both();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+
+  // 2. Unwind every connection. Shutting down only the read side turns the
+  // reader's next recv into EOF while responses still flush: the reader
+  // then waits for its in-flight requests, hands the writer the last
+  // frames, joins it, and closes the socket.
+  std::vector<std::shared_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections.swap(connections_);
+  }
+  for (auto& conn : connections) {
+    // conn->mu serialises this against the reader's own close() (a client
+    // that disconnected right as stop() began): shutting down an fd the
+    // reader has already closed (and the OS may have recycled) would be a
+    // use-after-close. After close() the fd is -1 and this no-ops.
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->sock.shutdown_read();
+  }
+  for (auto& conn : connections) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+
+  // 3. Nothing can submit anymore; drain whatever the engine still holds.
+  engine_.shutdown(engine::Engine::ShutdownMode::kDrain);
+  running_.store(false, std::memory_order_release);
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.connections_accepted = connections_accepted_.load(std::memory_order_relaxed);
+  s.connections_active = connections_active_.load(std::memory_order_relaxed);
+  s.frames_received = frames_received_.load(std::memory_order_relaxed);
+  s.responses_sent = responses_sent_.load(std::memory_order_relaxed);
+  s.malformed_frames = malformed_frames_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    Socket sock;
+    try {
+      sock = listener_.accept_connection();
+    } catch (const NetError&) {
+      // Listener shut down (stop()) or hard accept failure — either way the
+      // accept loop is over; stop() handles the rest.
+      return;
+    }
+    if (stopping_.load(std::memory_order_acquire)) return;
+    // Connection setup can itself fail (thread exhaustion under a flood,
+    // setsockopt on an fd the peer already reset). That costs this one
+    // connection, never the accept loop or the process.
+    try {
+      if (config_.send_timeout.count() > 0) sock.set_send_timeout(config_.send_timeout);
+      auto conn = std::make_shared<Connection>(std::move(sock));
+      conn->writer = std::thread([this, conn] { writer_loop(conn); });
+      try {
+        conn->reader = std::thread([this, conn] { reader_loop(conn); });
+      } catch (...) {
+        // Writer already runs; unwind it before dropping the connection.
+        {
+          std::lock_guard<std::mutex> lock(conn->mu);
+          conn->closing = true;
+        }
+        conn->write_cv.notify_all();
+        conn->writer.join();
+        throw;
+      }
+      connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+      connections_active_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      reap_finished_locked();
+      connections_.push_back(std::move(conn));
+    } catch (const std::exception&) {
+      // The refused socket closes on scope exit; keep accepting.
+    }
+  }
+}
+
+/// Join and drop connections whose threads have already unwound (clients
+/// that disconnected long before stop()), so a long-lived server does not
+/// accumulate dead Connection records. Caller holds conn_mu_.
+void Server::reap_finished_locked() {
+  auto it = connections_.begin();
+  while (it != connections_.end()) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->reader.joinable()) (*it)->reader.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+/// Queue one response frame (the caller holds an in_flight slot for it).
+/// On a broken connection the frame will never be sent, so the slot is
+/// released here instead of by the writer.
+void Server::enqueue_frame(const std::shared_ptr<Connection>& conn, std::string frame) {
+  bool dropped = false;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->broken) {
+      --conn->in_flight;
+      dropped = true;
+    } else {
+      conn->write_queue.push_back(std::move(frame));
+    }
+  }
+  if (dropped) {
+    conn->in_flight_cv.notify_all();
+  } else {
+    conn->write_cv.notify_one();
+  }
+}
+
+void Server::handle_frame(const std::shared_ptr<Connection>& conn,
+                          const std::vector<std::uint8_t>& body,
+                          std::chrono::steady_clock::time_point receipt) {
+  frames_received_.fetch_add(1, std::memory_order_relaxed);
+
+  // Backpressure: every admitted frame — engine work or protocol error —
+  // takes a slot the writer releases only after its response is sent. At
+  // the bound the reader blocks here, stops pulling frames off the socket,
+  // and TCP pushes back on the client.
+  {
+    std::unique_lock<std::mutex> lock(conn->mu);
+    conn->in_flight_cv.wait(lock, [&] {
+      return conn->in_flight < config_.max_in_flight_per_connection || conn->broken;
+    });
+    if (conn->broken) return;  // client is gone; drop the frame
+    ++conn->in_flight;
+  }
+
+  RequestHead head;
+  try {
+    head = decode_request_head(body.data(), body.size());
+  } catch (const std::exception& e) {
+    malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+    enqueue_frame(conn, encode_response_frame(make_error_response(
+                            0, kModeUnknown, RpcStatus::kMalformedFrame, e.what())));
+    return;
+  }
+
+  if (head.mode_raw >= engine::kNumModes ||
+      static_cast<engine::Mode>(head.mode_raw) == engine::Mode::kNextStable) {
+    malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+    enqueue_frame(conn, encode_response_frame(make_error_response(
+                            head.request_id, head.mode_raw, RpcStatus::kUnsupportedMode,
+                            "mode tag " + std::to_string(head.mode_raw) +
+                                " is not served over ncpm-rpc v1")));
+    return;
+  }
+
+  std::optional<core::Instance> instance;
+  try {
+    instance = decode_request_instance(body.data(), body.size());
+  } catch (const std::exception& e) {
+    // A malformed payload inside a well-delimited frame costs exactly one
+    // error response; the connection (and its other requests) live on.
+    malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+    enqueue_frame(conn, encode_response_frame(make_error_response(
+                            head.request_id, head.mode_raw, RpcStatus::kMalformedFrame,
+                            e.what())));
+    return;
+  }
+
+  auto request = engine::Request::popular(static_cast<engine::Mode>(head.mode_raw),
+                                          std::move(*instance));
+  if (head.deadline_ns > 0) {
+    request.deadline = receipt + std::chrono::nanoseconds(head.deadline_ns);
+  }
+
+  const auto request_id = head.request_id;
+  const auto mode_raw = head.mode_raw;
+  auto on_complete = [this, conn, request_id, mode_raw](engine::Result result) {
+    enqueue_frame(conn,
+                  encode_response_frame(make_response(request_id, mode_raw, std::move(result))));
+  };
+
+  try {
+    engine_.submit(std::move(request), std::move(on_complete));
+  } catch (const std::exception& e) {
+    // Engine already shut down underneath us (external shutdown).
+    enqueue_frame(conn, encode_response_frame(make_error_response(
+                            request_id, mode_raw, RpcStatus::kRejected, e.what())));
+  }
+}
+
+void Server::reader_loop(std::shared_ptr<Connection> conn) {
+  try {
+    if (expect_hello(conn->sock)) {
+      send_hello(conn->sock);
+      std::vector<std::uint8_t> body;
+      while (!stopping_.load(std::memory_order_acquire)) {
+        if (!read_frame_body(conn->sock, body)) break;  // clean EOF
+        handle_frame(conn, body, std::chrono::steady_clock::now());
+      }
+    }
+  } catch (const std::exception&) {
+    // Broken framing or socket failure: the stream cannot be resynced, so
+    // fall through to teardown. Well-framed garbage never lands here.
+  }
+
+  // Drain: every admitted frame's response must be sent (or discarded on a
+  // broken connection) before the writer is told to finish. This wait
+  // terminates: engine callbacks always fire (drain and abandon both
+  // fulfil), and a client that stopped reading trips the send timeout,
+  // which breaks the connection and releases every held slot.
+  {
+    std::unique_lock<std::mutex> lock(conn->mu);
+    conn->in_flight_cv.wait(lock, [&] { return conn->in_flight == 0; });
+    conn->closing = true;
+  }
+  conn->write_cv.notify_all();
+  if (conn->writer.joinable()) conn->writer.join();
+  {
+    // Serialised against stop()'s shutdown_read on this same socket.
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->sock.shutdown_both();
+    conn->sock.close();
+  }
+  connections_active_.fetch_sub(1, std::memory_order_relaxed);
+  conn->done.store(true, std::memory_order_release);
+}
+
+void Server::writer_loop(std::shared_ptr<Connection> conn) {
+  for (;;) {
+    std::string frame;
+    {
+      std::unique_lock<std::mutex> lock(conn->mu);
+      // Once broken, only `closing` ends the loop (the queue stays empty).
+      conn->write_cv.wait(lock, [&] {
+        return conn->closing || (!conn->broken && !conn->write_queue.empty());
+      });
+      if (conn->broken || conn->write_queue.empty()) {
+        if (conn->closing) return;
+        continue;
+      }
+      frame = std::move(conn->write_queue.front());
+      conn->write_queue.pop_front();
+    }
+    try {
+      conn->sock.send_all(frame.data(), frame.size());
+      responses_sent_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(conn->mu);
+        --conn->in_flight;  // response delivered; the slot opens
+      }
+    } catch (const std::exception&) {
+      // Client gone, or it stopped reading past the send timeout. Discard
+      // everything queued — releasing every held slot, current frame
+      // included — and let the reader's waits (and future enqueues)
+      // observe `broken`.
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->broken = true;
+      conn->in_flight -= 1 + conn->write_queue.size();
+      conn->write_queue.clear();
+    }
+    conn->in_flight_cv.notify_all();
+  }
+}
+
+}  // namespace ncpm::net

@@ -1,0 +1,119 @@
+#pragma once
+// Multi-threaded ncpm-rpc v1 TCP server over an engine::Engine.
+//
+// One accept thread hands each connection a reader thread and a writer
+// thread. The reader parses frames and dispatches every request into the
+// shared engine via the callback submit; the callback encodes the response
+// frame and hands it to the connection's writer queue, so responses go
+// back **out of order**, each as its solve resolves, while the writer
+// thread serialises the actual socket writes. Backpressure is per
+// connection: every admitted frame holds a slot until its response is
+// *sent*; at max_in_flight_per_connection held slots the reader stops
+// pulling frames off the socket and TCP pushes back on the client.
+//
+// Failure containment follows the framing: a well-delimited frame whose
+// payload is garbage costs one error response; bytes that break the
+// framing itself (bad hello, oversized length, truncated frame) kill only
+// that connection. stop() is a drain: the listener goes down first, then
+// each connection's read side, then every dispatched request finishes and
+// its response is flushed before the sockets close and the engine drains.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace ncpm::net {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; Server::port() reports the bound port
+  int backlog = 64;
+  /// Reader-side backpressure bound: admitted frames whose response has not
+  /// yet been *sent* (engine work and protocol errors alike). At the bound
+  /// the reader stops pulling frames off the socket, so neither the engine
+  /// queue nor the write queue can grow without limit on one connection.
+  std::size_t max_in_flight_per_connection = 64;
+  /// Cap on how long one response write may block on a client that stopped
+  /// reading; expiry marks the connection broken and discards its queue.
+  /// This also bounds how long such a client can stall stop()'s drain.
+  /// Zero = block indefinitely (drain then waits on the slowest client).
+  std::chrono::milliseconds send_timeout{30000};
+  engine::EngineConfig engine{};
+};
+
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t responses_sent = 0;
+  std::uint64_t malformed_frames = 0;  ///< error responses that never reached the engine
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config = {});
+  /// stop()s if still running.
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind + listen + spawn the accept loop. Throws NetError(kConnectFailed)
+  /// when the address cannot be bound. A Server is single-use: calling
+  /// start() again after stop() throws (the engine is already drained).
+  void start();
+  /// Bound port, valid after start() (resolves config port 0).
+  std::uint16_t port() const noexcept { return port_; }
+  bool running() const noexcept { return running_.load(std::memory_order_acquire); }
+
+  /// Graceful drain, idempotent: stop accepting, unwind every reader, let
+  /// each dispatched request finish and flush its response, close the
+  /// sockets, drain the engine, join every thread.
+  void stop();
+
+  ServerStats stats() const;
+  engine::EngineStats engine_stats() const { return engine_.stats(); }
+  /// The underlying engine (tests compare rpc results against direct
+  /// submits on an identically configured engine, not this one).
+  engine::Engine& engine() noexcept { return engine_; }
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void writer_loop(std::shared_ptr<Connection> conn);
+  void handle_frame(const std::shared_ptr<Connection>& conn,
+                    const std::vector<std::uint8_t>& body,
+                    std::chrono::steady_clock::time_point receipt);
+  void enqueue_frame(const std::shared_ptr<Connection>& conn, std::string frame);
+  void reap_finished_locked();
+
+  ServerConfig config_;
+  engine::Engine engine_;
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mu_;  ///< serialises concurrent stop() calls
+
+  mutable std::mutex conn_mu_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> connections_active_{0};
+  std::atomic<std::uint64_t> frames_received_{0};
+  std::atomic<std::uint64_t> responses_sent_{0};
+  std::atomic<std::uint64_t> malformed_frames_{0};
+};
+
+}  // namespace ncpm::net

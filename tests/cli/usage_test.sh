@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# ncpm_cli exit-code / usage contract: every subcommand exits 2 and prints a
+# one-line "usage: ncpm_cli ..." to stderr on bad arguments; well-formed
+# invocations exit 0 (or 1 for "no popular matching"). Wired into CTest as
+# ncpm_cli_usage; $NCPM_CLI points at the built binary.
+set -u
+
+CLI="${NCPM_CLI:?set NCPM_CLI to the ncpm_cli binary}"
+failures=0
+
+# expect_usage <description> -- <args...>
+# bad arguments: exit 2, exactly one stderr line, starting "usage: ncpm_cli".
+expect_usage() {
+  local desc="$1"; shift; shift  # drop desc and "--"
+  local err rc
+  err=$("$CLI" "$@" </dev/null 2>&1 >/dev/null)
+  rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "FAIL [$desc]: exit $rc, want 2 (args: $*)"; failures=$((failures+1)); return
+  fi
+  if [ "$(printf '%s\n' "$err" | wc -l)" -ne 1 ]; then
+    echo "FAIL [$desc]: stderr not one line: $err"; failures=$((failures+1)); return
+  fi
+  case "$err" in
+    "usage: ncpm_cli "*) ;;
+    *) echo "FAIL [$desc]: stderr is not a usage line: $err"; failures=$((failures+1)); return ;;
+  esac
+  echo "ok   [$desc]"
+}
+
+# expect_exit <want_rc> <description> -- <args...>
+expect_exit() {
+  local want="$1" desc="$2"; shift 3
+  "$CLI" "$@" >/dev/null 2>&1 </dev/null
+  local rc=$?
+  if [ "$rc" -ne "$want" ]; then
+    echo "FAIL [$desc]: exit $rc, want $want (args: $*)"; failures=$((failures+1)); return
+  fi
+  echo "ok   [$desc]"
+}
+
+expect_usage "no arguments"            --
+expect_usage "unknown subcommand"      -- frobnicate
+expect_usage "unknown flag"            -- solve --bogus
+expect_usage "solve two positionals"   -- solve a.txt b.txt
+expect_usage "solve --threads junk"    -- solve --threads banana
+expect_usage "solve --threads 0"       -- solve --threads 0
+expect_usage "solve --threads missing" -- solve --threads
+expect_usage "batch no file"           -- batch
+expect_usage "batch two files"         -- batch a.bin b.bin
+expect_usage "pack no inputs"          -- pack out.bin
+expect_usage "rotations two files"     -- rotations a.txt b.txt
+expect_usage "gen-popular argc"        -- gen-popular 5 5
+expect_usage "gen-popular junk"        -- gen-popular five 5 1
+expect_usage "gen-popular zero"        -- gen-popular 0 5 1
+expect_usage "gen-stable argc"         -- gen-stable
+expect_usage "gen-stable junk"         -- gen-stable five 1
+expect_usage "gen-batch argc"          -- gen-batch 3 5 5 1
+expect_usage "gen-batch junk"          -- gen-batch three 5 5 1 out.bin
+expect_usage "serve positional"        -- serve extra
+expect_usage "serve bad port"          -- serve --port 99999
+expect_usage "serve bad workers"       -- serve --workers 0
+expect_usage "rpc no args"             -- rpc
+expect_usage "rpc missing mode"        -- rpc localhost:7447
+expect_usage "rpc bad hostport"        -- rpc localhost seven solve
+expect_usage "rpc bad port"            -- rpc localhost:0 solve
+expect_usage "rpc bad mode"            -- rpc localhost:7447 frobnicate
+expect_usage "rpc next-stable"         -- rpc localhost:7447 next-stable
+expect_usage "rpc bad deadline"        -- rpc localhost:7447 solve --deadline-ms nope
+
+expect_exit 0 "help exits 0"           -- help
+expect_exit 2 "missing input file"     -- solve /nonexistent/instance.txt
+expect_exit 2 "batch missing file"     -- batch /nonexistent/batch.bin
+expect_exit 2 "rpc connection refused" -- rpc 127.0.0.1:1 solve  # port 1: nothing listens
+
+# End-to-end sanity: generated instance solves with exit 0 through a pipe.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+if ! "$CLI" gen-popular 6 6 1 > "$tmp/inst.txt" 2>/dev/null; then
+  echo "FAIL [gen-popular happy path]"; failures=$((failures+1))
+fi
+expect_exit 0 "solve happy path"       -- solve "$tmp/inst.txt"
+expect_exit 0 "check happy path"       -- check "$tmp/inst.txt"
+
+if [ "$failures" -ne 0 ]; then
+  echo "$failures failure(s)"
+  exit 1
+fi
+echo "all usage checks passed"
