@@ -8,6 +8,11 @@
 // BM_ServerLoopbackPipelined — call_batch with the client's default
 //                            16-deep window; reports req/s (the
 //                            throughput-client view).
+// BM_ServerConnectionSweep — 64/256/1024 persistent connections against
+//                            the epoll core, pipelined tiny requests from
+//                            a bounded client pool; reports req/s (the
+//                            C10K view — connection scaling, not solver
+//                            throughput).
 //
 // The solve itself is small (the same instance shapes across both), so
 // the numbers are dominated by what this PR added: framing, dispatch,
@@ -15,16 +20,22 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sys/resource.h>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "gen/generators.hpp"
 #include "net/client.hpp"
+#include "net/frame.hpp"
 #include "net/server.hpp"
+#include "net/socket.hpp"
 
 namespace {
 
@@ -154,6 +165,108 @@ void BM_ServerLoopbackPipelined(benchmark::State& state) {
   server.stop();
 }
 BENCHMARK(BM_ServerLoopbackPipelined)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Best-effort RLIMIT_NOFILE raise so the 1024-connection point fits.
+bool fd_budget_holds(std::size_t want) {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return false;
+  if (lim.rlim_cur < want) {
+    rlimit raised = lim;
+    raised.rlim_cur = (lim.rlim_max == RLIM_INFINITY)
+                          ? want
+                          : std::min<rlim_t>(lim.rlim_max, static_cast<rlim_t>(want));
+    if (::setrlimit(RLIMIT_NOFILE, &raised) == 0) lim = raised;
+  }
+  return lim.rlim_cur >= want;
+}
+
+void BM_ServerConnectionSweep(benchmark::State& state) {
+  const std::size_t connections = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kPipelineDepth = 8;
+  constexpr std::size_t kClientThreads = 8;
+
+  if (!fd_budget_holds(2 * connections + 64)) {
+    state.SkipWithError("RLIMIT_NOFILE too small for this connection count");
+    return;
+  }
+
+  ncpm::net::ServerConfig cfg;
+  cfg.core = ncpm::net::ServerCoreKind::kEpoll;
+  cfg.backlog = 256;
+  cfg.engine = ncpm::engine::EngineConfig{4, 1};
+  ncpm::net::Server server(cfg);
+  server.start();
+
+  // One tiny instance, pre-encoded: the sweep measures how the reactor
+  // scales with live sockets, so keep frames small and solves trivial.
+  ncpm::gen::SolvableConfig icfg;
+  icfg.num_applicants = 12;
+  icfg.num_posts = 30;
+  icfg.seed = 77;
+  const auto inst = ncpm::gen::solvable_strict_instance(icfg);
+  std::vector<std::string> request_frames;
+  for (std::size_t i = 0; i < kPipelineDepth; ++i) {
+    ncpm::net::RequestHead head;
+    head.request_id = i + 1;
+    head.mode_raw = static_cast<std::uint8_t>(kModeCycle[i % std::size(kModeCycle)]);
+    request_frames.push_back(ncpm::net::encode_request_frame(head, inst));
+  }
+
+  // Persistent raw sockets, handshaken up front (steady serving state).
+  std::vector<ncpm::net::Socket> sockets;
+  sockets.reserve(connections);
+  for (std::size_t c = 0; c < connections; ++c) {
+    sockets.push_back(
+        ncpm::net::Socket::connect_to("127.0.0.1", server.port(), std::chrono::seconds(30)));
+    sockets.back().set_recv_timeout(std::chrono::seconds(120));
+    ncpm::net::send_hello(sockets.back());
+    if (!ncpm::net::expect_hello(sockets.back())) {
+      state.SkipWithError("handshake failed during connection ramp");
+      return;
+    }
+  }
+
+  std::size_t total_requests = 0;
+  for (auto _ : state) {
+    // Bounded client pool: each worker drives its stride of connections —
+    // the point is many sockets, not many client threads.
+    std::vector<std::thread> workers;
+    workers.reserve(kClientThreads);
+    std::atomic<bool> failed{false};
+    for (std::size_t w = 0; w < kClientThreads; ++w) {
+      workers.emplace_back([&, w] {
+        std::vector<std::uint8_t> body;
+        for (std::size_t c = w; c < connections; c += kClientThreads) {
+          auto& sock = sockets[c];
+          for (const auto& frame : request_frames) {
+            sock.send_all(frame.data(), frame.size());
+          }
+          for (std::size_t r = 0; r < kPipelineDepth; ++r) {
+            if (!ncpm::net::read_frame_body(sock, body)) {
+              failed.store(true);
+              return;
+            }
+            benchmark::DoNotOptimize(body.data());
+          }
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+    if (failed.load()) {
+      state.SkipWithError("connection dropped mid-sweep");
+      return;
+    }
+    total_requests += connections * kPipelineDepth;
+  }
+  state.counters["req/s"] =
+      benchmark::Counter(static_cast<double>(total_requests), benchmark::Counter::kIsRate);
+  state.counters["connections"] = static_cast<double>(connections);
+
+  for (auto& sock : sockets) sock.close();
+  server.stop();
+}
+BENCHMARK(BM_ServerConnectionSweep)->Arg(64)->Arg(256)->Arg(1024)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

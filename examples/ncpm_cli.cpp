@@ -73,7 +73,8 @@ constexpr const char* kGenPopularUsage = "gen-popular N_APPLICANTS N_POSTS SEED"
 constexpr const char* kGenStableUsage = "gen-stable N SEED";
 constexpr const char* kGenBatchUsage = "gen-batch COUNT N_APPLICANTS N_POSTS SEED OUT.bin";
 constexpr const char* kServeUsage =
-    "serve [--port P] [--bind ADDR] [--workers W] [--threads LANES] [--max-in-flight K]";
+    "serve [--port P] [--bind ADDR] [--workers W] [--threads LANES] [--max-in-flight K] "
+    "[--core threads|epoll] [--idle-timeout-ms T]";
 constexpr const char* kRpcUsage = "rpc HOST:PORT MODE [file] [--deadline-ms N]";
 
 int help() {
@@ -97,6 +98,8 @@ struct Options {
   std::string bind = "127.0.0.1";
   int workers = 0;             // serve: 0 = hardware default
   int max_in_flight = 64;
+  std::string core = "epoll";  // serve: reactor core (threads|epoll)
+  int idle_timeout_ms = 0;     // serve: 0 = never reap idle connections
   int deadline_ms = 0;  // rpc: 0 = none
 };
 
@@ -126,6 +129,11 @@ bool parse_flags(int argc, char** argv, Options& opts) {
       if (++i >= argc || !parse_int(argv[i], 1, opts.workers)) return false;
     } else if (arg == "--max-in-flight") {
       if (++i >= argc || !parse_int(argv[i], 1, opts.max_in_flight)) return false;
+    } else if (arg == "--core") {
+      if (++i >= argc || !ncpm::net::parse_server_core(argv[i]).has_value()) return false;
+      opts.core = argv[i];
+    } else if (arg == "--idle-timeout-ms") {
+      if (++i >= argc || !parse_int(argv[i], 1, opts.idle_timeout_ms)) return false;
     } else if (arg == "--deadline-ms") {
       if (++i >= argc || !parse_int(argv[i], 1, opts.deadline_ms)) return false;
     } else if (arg.rfind("--", 0) == 0) {
@@ -464,6 +472,8 @@ int run_serve(const Options& opts) {
   cfg.bind_address = opts.bind;
   cfg.port = static_cast<std::uint16_t>(opts.port);
   cfg.max_in_flight_per_connection = static_cast<std::size_t>(opts.max_in_flight);
+  cfg.core = *ncpm::net::parse_server_core(opts.core);  // validated in parse_flags
+  cfg.idle_timeout = std::chrono::milliseconds(opts.idle_timeout_ms);
   cfg.engine.num_workers = opts.workers > 0 ? opts.workers : ncpm::pram::default_lanes();
   cfg.engine.lanes_per_worker = opts.threads > 0 ? opts.threads : 1;
 
@@ -471,9 +481,10 @@ int run_serve(const Options& opts) {
   server.start();
   // One parseable line on stdout so scripts (and the loopback bench) can
   // pick up an ephemeral port.
-  std::printf("ncpm-rpc v1 listening on %s:%u (%d worker(s) x %d lane(s))\n",
-              cfg.bind_address.c_str(), server.port(), cfg.engine.num_workers,
-              cfg.engine.lanes_per_worker);
+  std::printf("ncpm-rpc v1 listening on %s:%u (%s core, %d worker(s) x %d lane(s))\n",
+              cfg.bind_address.c_str(), server.port(),
+              std::string(ncpm::net::server_core_name(cfg.core)).c_str(),
+              cfg.engine.num_workers, cfg.engine.lanes_per_worker);
   std::fflush(stdout);
 
   std::signal(SIGINT, on_signal);

@@ -254,8 +254,12 @@ class Engine {
 
   /// Completion hook alternative to futures: invoked exactly once per
   /// request, on the worker thread that solved it (or on the thread calling
-  /// shutdown(kAbandon) for abandoned requests). Keep it cheap — it runs
-  /// inline in the serving path.
+  /// shutdown(kAbandon) for abandoned requests). Keep it cheap and never
+  /// block — it runs inline in the serving path, and blocking a worker here
+  /// stalls the whole engine. Callers that must touch single-threaded state
+  /// trampoline instead: the epoll server core's callback only encodes the
+  /// response and posts it to the session's event loop via an eventfd wakeup
+  /// (net/reactor.hpp, EventLoop::post).
   using Callback = std::function<void(Result)>;
 
   explicit Engine(EngineConfig config = {});

@@ -3,58 +3,155 @@
 #include <condition_variable>
 #include <deque>
 #include <optional>
+#include <thread>
 #include <utility>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/server_core.hpp"
+#include "net/socket.hpp"
 
 namespace ncpm::net {
 
-// Per-connection state. The socket is shared by the reader (recv) and
-// writer (send) threads — safe because each owns exactly one direction.
-// Lifetime: shared_ptr copies live in the reader/writer closures and in
-// every pending engine callback, so a Connection outlives its last
-// response even if the server's list drops it first.
-struct Server::Connection {
-  explicit Connection(Socket s) : sock(std::move(s)) {}
-
-  Socket sock;
-  std::thread reader;  ///< joined by the server (stop() or the reaper)
-  std::thread writer;  ///< joined by the reader on its way out
-
-  std::mutex mu;
-  std::condition_variable write_cv;      ///< writer wakeup
-  std::condition_variable in_flight_cv;  ///< backpressure + reader drain
-  std::deque<std::string> write_queue;
-  /// Admitted frames whose response has not yet been sent (or discarded on
-  /// a broken connection). Invariant: every queued frame holds one slot,
-  /// released by the writer after send_all — so the bound caps engine work
-  /// *and* encoded-response memory per connection.
-  std::size_t in_flight = 0;
-  bool closing = false;  ///< no further frames will be queued
-  bool broken = false;   ///< write side failed; queued frames are discarded
-
-  std::atomic<bool> done{false};  ///< reader (and therefore writer) exited
-};
-
-Server::Server(ServerConfig config) : config_(std::move(config)), engine_(config_.engine) {
-  if (config_.max_in_flight_per_connection < 1) config_.max_in_flight_per_connection = 1;
+std::string_view server_core_name(ServerCoreKind core) {
+  switch (core) {
+    case ServerCoreKind::kThreads: return "threads";
+    case ServerCoreKind::kEpoll: return "epoll";
+  }
+  return "unknown";
 }
 
-Server::~Server() { stop(); }
+std::optional<ServerCoreKind> parse_server_core(std::string_view name) {
+  if (name == "threads") return ServerCoreKind::kThreads;
+  if (name == "epoll") return ServerCoreKind::kEpoll;
+  return std::nullopt;
+}
 
-void Server::start() {
-  if (running_.load(std::memory_order_acquire)) return;
-  if (stopping_.load(std::memory_order_acquire)) {
-    // The engine behind a stopped server is drained for good.
-    throw NetError(NetErrc::kConnectFailed, "server is single-use; cannot restart after stop()");
+namespace detail {
+
+void dispatch_request(engine::Engine& engine, ServerCounters& counters,
+                      const std::vector<std::uint8_t>& body,
+                      std::chrono::steady_clock::time_point receipt,
+                      std::function<void(std::string)> deliver) {
+  RequestHead head;
+  try {
+    head = decode_request_head(body.data(), body.size());
+  } catch (const std::exception& e) {
+    counters.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+    deliver(encode_response_frame(
+        make_error_response(0, kModeUnknown, RpcStatus::kMalformedFrame, e.what())));
+    return;
   }
+
+  if (head.mode_raw >= engine::kNumModes ||
+      static_cast<engine::Mode>(head.mode_raw) == engine::Mode::kNextStable) {
+    counters.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+    deliver(encode_response_frame(make_error_response(
+        head.request_id, head.mode_raw, RpcStatus::kUnsupportedMode,
+        "mode tag " + std::to_string(head.mode_raw) + " is not served over ncpm-rpc v1")));
+    return;
+  }
+
+  std::optional<core::Instance> instance;
+  try {
+    instance = decode_request_instance(body.data(), body.size());
+  } catch (const std::exception& e) {
+    // A malformed payload inside a well-delimited frame costs exactly one
+    // error response; the connection (and its other requests) live on.
+    counters.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+    deliver(encode_response_frame(make_error_response(head.request_id, head.mode_raw,
+                                                      RpcStatus::kMalformedFrame, e.what())));
+    return;
+  }
+
+  auto request = engine::Request::popular(static_cast<engine::Mode>(head.mode_raw),
+                                          std::move(*instance));
+  if (head.deadline_ns > 0) {
+    request.deadline = receipt + std::chrono::nanoseconds(head.deadline_ns);
+  }
+
+  const auto request_id = head.request_id;
+  const auto mode_raw = head.mode_raw;
+  auto on_complete = [deliver, request_id, mode_raw](engine::Result result) {
+    deliver(encode_response_frame(make_response(request_id, mode_raw, std::move(result))));
+  };
+
+  try {
+    engine.submit(std::move(request), std::move(on_complete));
+  } catch (const std::exception& e) {
+    // Engine already shut down underneath us (external shutdown).
+    deliver(encode_response_frame(
+        make_error_response(request_id, mode_raw, RpcStatus::kRejected, e.what())));
+  }
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Threads core: the PR 5 reader/writer thread pair per connection, kept as
+// the semantics reference. See the class comment in server.hpp.
+// ---------------------------------------------------------------------------
+
+class ThreadsCore final : public ServerCoreImpl {
+ public:
+  using ServerCoreImpl::ServerCoreImpl;
+  ~ThreadsCore() override = default;
+
+  void start() override;
+  void stop() override;
+
+ private:
+  // Per-connection state. The socket is shared by the reader (recv) and
+  // writer (send) threads — safe because each owns exactly one direction.
+  // Lifetime: shared_ptr copies live in the reader/writer closures and in
+  // every pending engine callback, so a Connection outlives its last
+  // response even if the server's list drops it first.
+  struct Connection {
+    explicit Connection(Socket s) : sock(std::move(s)) {}
+
+    Socket sock;
+    std::thread reader;  ///< joined by the core (stop() or the reaper)
+    std::thread writer;  ///< joined by the reader on its way out
+
+    std::mutex mu;
+    std::condition_variable write_cv;      ///< writer wakeup
+    std::condition_variable in_flight_cv;  ///< backpressure + reader drain
+    std::deque<std::string> write_queue;
+    /// Admitted frames whose response has not yet been sent (or discarded on
+    /// a broken connection). Invariant: every queued frame holds one slot,
+    /// released by the writer after send_all — so the bound caps engine work
+    /// *and* encoded-response memory per connection.
+    std::size_t in_flight = 0;
+    bool closing = false;  ///< no further frames will be queued
+    bool broken = false;   ///< write side failed; queued frames are discarded
+
+    std::atomic<bool> done{false};  ///< reader (and therefore writer) exited
+  };
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void writer_loop(std::shared_ptr<Connection> conn);
+  void handle_frame(const std::shared_ptr<Connection>& conn,
+                    const std::vector<std::uint8_t>& body,
+                    std::chrono::steady_clock::time_point receipt);
+  void enqueue_frame(const std::shared_ptr<Connection>& conn, std::string frame);
+  void reap_finished_locked();
+
+  Socket listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conn_mu_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+};
+
+void ThreadsCore::start() {
   listener_ = Socket::listen_on(config_.bind_address, config_.port, config_.backlog);
   port_ = listener_.local_port();
-  running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
-void Server::stop() {
-  std::lock_guard<std::mutex> stop_lock(stop_mu_);
-  if (!running_.load(std::memory_order_acquire)) return;
+void ThreadsCore::stop() {
   stopping_.store(true, std::memory_order_release);
 
   // 1. No new connections: wake the accept loop and join it.
@@ -82,23 +179,9 @@ void Server::stop() {
   for (auto& conn : connections) {
     if (conn->reader.joinable()) conn->reader.join();
   }
-
-  // 3. Nothing can submit anymore; drain whatever the engine still holds.
-  engine_.shutdown(engine::Engine::ShutdownMode::kDrain);
-  running_.store(false, std::memory_order_release);
 }
 
-ServerStats Server::stats() const {
-  ServerStats s;
-  s.connections_accepted = connections_accepted_.load(std::memory_order_relaxed);
-  s.connections_active = connections_active_.load(std::memory_order_relaxed);
-  s.frames_received = frames_received_.load(std::memory_order_relaxed);
-  s.responses_sent = responses_sent_.load(std::memory_order_relaxed);
-  s.malformed_frames = malformed_frames_.load(std::memory_order_relaxed);
-  return s;
-}
-
-void Server::accept_loop() {
+void ThreadsCore::accept_loop() {
   for (;;) {
     Socket sock;
     try {
@@ -128,8 +211,8 @@ void Server::accept_loop() {
         conn->writer.join();
         throw;
       }
-      connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-      connections_active_.fetch_add(1, std::memory_order_relaxed);
+      counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+      counters_.connections_active.fetch_add(1, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(conn_mu_);
       reap_finished_locked();
       connections_.push_back(std::move(conn));
@@ -142,7 +225,7 @@ void Server::accept_loop() {
 /// Join and drop connections whose threads have already unwound (clients
 /// that disconnected long before stop()), so a long-lived server does not
 /// accumulate dead Connection records. Caller holds conn_mu_.
-void Server::reap_finished_locked() {
+void ThreadsCore::reap_finished_locked() {
   auto it = connections_.begin();
   while (it != connections_.end()) {
     if ((*it)->done.load(std::memory_order_acquire)) {
@@ -157,7 +240,7 @@ void Server::reap_finished_locked() {
 /// Queue one response frame (the caller holds an in_flight slot for it).
 /// On a broken connection the frame will never be sent, so the slot is
 /// released here instead of by the writer.
-void Server::enqueue_frame(const std::shared_ptr<Connection>& conn, std::string frame) {
+void ThreadsCore::enqueue_frame(const std::shared_ptr<Connection>& conn, std::string frame) {
   bool dropped = false;
   {
     std::lock_guard<std::mutex> lock(conn->mu);
@@ -175,10 +258,12 @@ void Server::enqueue_frame(const std::shared_ptr<Connection>& conn, std::string 
   }
 }
 
-void Server::handle_frame(const std::shared_ptr<Connection>& conn,
-                          const std::vector<std::uint8_t>& body,
-                          std::chrono::steady_clock::time_point receipt) {
-  frames_received_.fetch_add(1, std::memory_order_relaxed);
+void ThreadsCore::handle_frame(const std::shared_ptr<Connection>& conn,
+                               const std::vector<std::uint8_t>& body,
+                               std::chrono::steady_clock::time_point receipt) {
+  // Counted at receipt, before the slot wait — a frame read off the wire is
+  // "received" even when a broken connection later drops it undispatched.
+  counters_.frames_received.fetch_add(1, std::memory_order_relaxed);
 
   // Backpressure: every admitted frame — engine work or protocol error —
   // takes a slot the writer releases only after its response is sent. At
@@ -192,63 +277,11 @@ void Server::handle_frame(const std::shared_ptr<Connection>& conn,
     if (conn->broken) return;  // client is gone; drop the frame
     ++conn->in_flight;
   }
-
-  RequestHead head;
-  try {
-    head = decode_request_head(body.data(), body.size());
-  } catch (const std::exception& e) {
-    malformed_frames_.fetch_add(1, std::memory_order_relaxed);
-    enqueue_frame(conn, encode_response_frame(make_error_response(
-                            0, kModeUnknown, RpcStatus::kMalformedFrame, e.what())));
-    return;
-  }
-
-  if (head.mode_raw >= engine::kNumModes ||
-      static_cast<engine::Mode>(head.mode_raw) == engine::Mode::kNextStable) {
-    malformed_frames_.fetch_add(1, std::memory_order_relaxed);
-    enqueue_frame(conn, encode_response_frame(make_error_response(
-                            head.request_id, head.mode_raw, RpcStatus::kUnsupportedMode,
-                            "mode tag " + std::to_string(head.mode_raw) +
-                                " is not served over ncpm-rpc v1")));
-    return;
-  }
-
-  std::optional<core::Instance> instance;
-  try {
-    instance = decode_request_instance(body.data(), body.size());
-  } catch (const std::exception& e) {
-    // A malformed payload inside a well-delimited frame costs exactly one
-    // error response; the connection (and its other requests) live on.
-    malformed_frames_.fetch_add(1, std::memory_order_relaxed);
-    enqueue_frame(conn, encode_response_frame(make_error_response(
-                            head.request_id, head.mode_raw, RpcStatus::kMalformedFrame,
-                            e.what())));
-    return;
-  }
-
-  auto request = engine::Request::popular(static_cast<engine::Mode>(head.mode_raw),
-                                          std::move(*instance));
-  if (head.deadline_ns > 0) {
-    request.deadline = receipt + std::chrono::nanoseconds(head.deadline_ns);
-  }
-
-  const auto request_id = head.request_id;
-  const auto mode_raw = head.mode_raw;
-  auto on_complete = [this, conn, request_id, mode_raw](engine::Result result) {
-    enqueue_frame(conn,
-                  encode_response_frame(make_response(request_id, mode_raw, std::move(result))));
-  };
-
-  try {
-    engine_.submit(std::move(request), std::move(on_complete));
-  } catch (const std::exception& e) {
-    // Engine already shut down underneath us (external shutdown).
-    enqueue_frame(conn, encode_response_frame(make_error_response(
-                            request_id, mode_raw, RpcStatus::kRejected, e.what())));
-  }
+  dispatch_request(engine_, counters_, body, receipt,
+                   [this, conn](std::string frame) { enqueue_frame(conn, std::move(frame)); });
 }
 
-void Server::reader_loop(std::shared_ptr<Connection> conn) {
+void ThreadsCore::reader_loop(std::shared_ptr<Connection> conn) {
   try {
     if (expect_hello(conn->sock)) {
       send_hello(conn->sock);
@@ -281,11 +314,11 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
     conn->sock.shutdown_both();
     conn->sock.close();
   }
-  connections_active_.fetch_sub(1, std::memory_order_relaxed);
+  counters_.connections_active.fetch_sub(1, std::memory_order_relaxed);
   conn->done.store(true, std::memory_order_release);
 }
 
-void Server::writer_loop(std::shared_ptr<Connection> conn) {
+void ThreadsCore::writer_loop(std::shared_ptr<Connection> conn) {
   for (;;) {
     std::string frame;
     {
@@ -303,7 +336,7 @@ void Server::writer_loop(std::shared_ptr<Connection> conn) {
     }
     try {
       conn->sock.send_all(frame.data(), frame.size());
-      responses_sent_.fetch_add(1, std::memory_order_relaxed);
+      counters_.responses_sent.fetch_add(1, std::memory_order_relaxed);
       {
         std::lock_guard<std::mutex> lock(conn->mu);
         --conn->in_flight;  // response delivered; the slot opens
@@ -320,6 +353,64 @@ void Server::writer_loop(std::shared_ptr<Connection> conn) {
     }
     conn->in_flight_cv.notify_all();
   }
+}
+
+}  // namespace
+
+std::unique_ptr<ServerCoreImpl> make_threads_core(const ServerConfig& config,
+                                                  engine::Engine& engine,
+                                                  ServerCounters& counters) {
+  return std::make_unique<ThreadsCore>(config, engine, counters);
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Facade
+// ---------------------------------------------------------------------------
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      engine_(config_.engine),
+      counters_(std::make_unique<detail::ServerCounters>()) {
+  if (config_.max_in_flight_per_connection < 1) config_.max_in_flight_per_connection = 1;
+}
+
+Server::~Server() { stop(); }
+
+std::uint16_t Server::port() const noexcept { return core_ ? core_->port() : 0; }
+
+void Server::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  if (stopping_.load(std::memory_order_acquire)) {
+    // The engine behind a stopped server is drained for good.
+    throw NetError(NetErrc::kConnectFailed, "server is single-use; cannot restart after stop()");
+  }
+  core_ = config_.core == ServerCoreKind::kThreads
+              ? detail::make_threads_core(config_, engine_, *counters_)
+              : detail::make_epoll_core(config_, engine_, *counters_);
+  core_->start();
+  running_.store(true, std::memory_order_release);
+}
+
+void Server::stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  core_->stop();
+  // Nothing can submit anymore; drain whatever the engine still holds.
+  engine_.shutdown(engine::Engine::ShutdownMode::kDrain);
+  running_.store(false, std::memory_order_release);
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.connections_accepted = counters_->connections_accepted.load(std::memory_order_relaxed);
+  s.connections_active = counters_->connections_active.load(std::memory_order_relaxed);
+  s.frames_received = counters_->frames_received.load(std::memory_order_relaxed);
+  s.responses_sent = counters_->responses_sent.load(std::memory_order_relaxed);
+  s.malformed_frames = counters_->malformed_frames.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace ncpm::net

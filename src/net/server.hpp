@@ -1,52 +1,78 @@
 #pragma once
-// Multi-threaded ncpm-rpc v1 TCP server over an engine::Engine.
+// ncpm-rpc v1 TCP server over an engine::Engine, with two interchangeable
+// connection cores behind one facade:
 //
-// One accept thread hands each connection a reader thread and a writer
-// thread. The reader parses frames and dispatches every request into the
-// shared engine via the callback submit; the callback encodes the response
-// frame and hands it to the connection's writer queue, so responses go
-// back **out of order**, each as its solve resolves, while the writer
-// thread serialises the actual socket writes. Backpressure is per
-// connection: every admitted frame holds a slot until its response is
-// *sent*; at max_in_flight_per_connection held slots the reader stops
-// pulling frames off the socket and TCP pushes back on the client.
+//  - kEpoll (default): a small pool of epoll event loops drives nonblocking
+//    sockets; each connection is an explicit session FSM
+//    (net/session_fsm.hpp) with a timer wheel for send-stall and idle
+//    timeouts. Per-connection cost is one fd plus a few KB of buffers, so
+//    one process holds tens of thousands of connections (the C10K soak
+//    test pins 1024 with flat memory).
+//  - kThreads: the PR 5 core — one reader + one writer thread per
+//    connection, blocking sockets. Two threads per client caps it at
+//    hundreds of connections; kept as the semantics reference and fallback.
 //
-// Failure containment follows the framing: a well-delimited frame whose
-// payload is garbage costs one error response; bytes that break the
-// framing itself (bad hello, oversized length, truncated frame) kill only
-// that connection. stop() is a drain: the listener goes down first, then
-// each connection's read side, then every dispatched request finishes and
-// its response is flushed before the sockets close and the engine drains.
+// Both cores speak the identical wire contract and identical semantics,
+// pinned by the parameterized suite in tests/net/server_loopback_test.cpp:
+// responses go back out of order as solves resolve; backpressure is
+// slot-accounted per connection (every admitted frame holds a slot until
+// its response is *sent*); a malformed payload inside a well-delimited
+// frame costs one error response while bytes that break the framing kill
+// only that connection; a client that stops reading trips the send timeout
+// instead of hoarding memory or pinning shutdown; and stop() drains every
+// dispatched request before the sockets close and the engine shuts down.
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
-#include <thread>
-#include <vector>
+#include <string_view>
 
 #include "engine/engine.hpp"
-#include "net/frame.hpp"
-#include "net/socket.hpp"
 
 namespace ncpm::net {
+
+namespace detail {
+struct ServerCounters;
+class ServerCoreImpl;
+}  // namespace detail
+
+/// Which connection core serves the sockets. Same protocol, same
+/// semantics; they differ only in how many clients one process can hold.
+enum class ServerCoreKind : std::uint8_t {
+  kThreads = 0,  ///< reader+writer thread pair per connection (PR 5)
+  kEpoll,        ///< epoll event-loop pool + session FSMs (default)
+};
+
+std::string_view server_core_name(ServerCoreKind core);
+std::optional<ServerCoreKind> parse_server_core(std::string_view name);
 
 struct ServerConfig {
   std::string bind_address = "127.0.0.1";
   std::uint16_t port = 0;  ///< 0 = ephemeral; Server::port() reports the bound port
   int backlog = 64;
+  ServerCoreKind core = ServerCoreKind::kEpoll;
+  /// Epoll core only: event loops sharing the connections (round-robin).
+  /// 0 = auto (min(4, hardware threads)). The threads core ignores this.
+  std::size_t num_event_loops = 0;
   /// Reader-side backpressure bound: admitted frames whose response has not
   /// yet been *sent* (engine work and protocol errors alike). At the bound
-  /// the reader stops pulling frames off the socket, so neither the engine
-  /// queue nor the write queue can grow without limit on one connection.
+  /// the connection stops consuming frames, so neither the engine queue nor
+  /// the write queue can grow without limit on one connection.
   std::size_t max_in_flight_per_connection = 64;
-  /// Cap on how long one response write may block on a client that stopped
-  /// reading; expiry marks the connection broken and discards its queue.
-  /// This also bounds how long such a client can stall stop()'s drain.
-  /// Zero = block indefinitely (drain then waits on the slowest client).
+  /// Cap on how long one connection's responses may sit unsent against a
+  /// client that stopped reading; expiry marks the connection broken and
+  /// discards its queue. This also bounds how long such a client can stall
+  /// stop()'s drain. Zero = block indefinitely (drain then waits on the
+  /// slowest client).
   std::chrono::milliseconds send_timeout{30000};
+  /// Epoll core only: reap connections that stay fully quiescent (no
+  /// partial frame, nothing in flight, nothing to write) this long.
+  /// Zero = never (the threads-core behavior).
+  std::chrono::milliseconds idle_timeout{0};
   engine::EngineConfig engine{};
 };
 
@@ -66,17 +92,18 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Bind + listen + spawn the accept loop. Throws NetError(kConnectFailed)
-  /// when the address cannot be bound. A Server is single-use: calling
-  /// start() again after stop() throws (the engine is already drained).
+  /// Bind + listen + spawn the configured core. Throws
+  /// NetError(kConnectFailed) when the address cannot be bound. A Server is
+  /// single-use: calling start() again after stop() throws (the engine is
+  /// already drained).
   void start();
   /// Bound port, valid after start() (resolves config port 0).
-  std::uint16_t port() const noexcept { return port_; }
+  std::uint16_t port() const noexcept;
   bool running() const noexcept { return running_.load(std::memory_order_acquire); }
 
-  /// Graceful drain, idempotent: stop accepting, unwind every reader, let
-  /// each dispatched request finish and flush its response, close the
-  /// sockets, drain the engine, join every thread.
+  /// Graceful drain, idempotent: stop accepting, stop reading on every
+  /// connection, let each dispatched request finish and flush its
+  /// response, close the sockets, drain the engine, join every thread.
   void stop();
 
   ServerStats stats() const;
@@ -86,34 +113,13 @@ class Server {
   engine::Engine& engine() noexcept { return engine_; }
 
  private:
-  struct Connection;
-
-  void accept_loop();
-  void reader_loop(std::shared_ptr<Connection> conn);
-  void writer_loop(std::shared_ptr<Connection> conn);
-  void handle_frame(const std::shared_ptr<Connection>& conn,
-                    const std::vector<std::uint8_t>& body,
-                    std::chrono::steady_clock::time_point receipt);
-  void enqueue_frame(const std::shared_ptr<Connection>& conn, std::string frame);
-  void reap_finished_locked();
-
   ServerConfig config_;
   engine::Engine engine_;
-  Socket listener_;
-  std::uint16_t port_ = 0;
-  std::thread accept_thread_;
+  std::unique_ptr<detail::ServerCounters> counters_;
+  std::unique_ptr<detail::ServerCoreImpl> core_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::mutex stop_mu_;  ///< serialises concurrent stop() calls
-
-  mutable std::mutex conn_mu_;
-  std::vector<std::shared_ptr<Connection>> connections_;
-
-  std::atomic<std::uint64_t> connections_accepted_{0};
-  std::atomic<std::uint64_t> connections_active_{0};
-  std::atomic<std::uint64_t> frames_received_{0};
-  std::atomic<std::uint64_t> responses_sent_{0};
-  std::atomic<std::uint64_t> malformed_frames_{0};
 };
 
 }  // namespace ncpm::net

@@ -1,0 +1,82 @@
+#pragma once
+// Internal seam between the net::Server facade and its two cores.
+//
+// The facade owns the engine, the config, and the stats counters; a core
+// owns the listener and the connection machinery. Two cores implement the
+// same contract (docs/ncpm-rpc-v1.md): the PR 5 thread-per-connection core
+// (server.cpp) and the epoll reactor core (reactor.cpp). The loopback /
+// shutdown / backpressure tests in tests/net/ are parameterized over both,
+// which is what keeps the contract byte-identical between them.
+//
+// Not installed, not included by client code — server.cpp and reactor.cpp
+// only.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "net/server.hpp"
+
+namespace ncpm::net::detail {
+
+/// Shared atomic stats, written by whichever core is live.
+struct ServerCounters {
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> connections_active{0};
+  std::atomic<std::uint64_t> frames_received{0};
+  std::atomic<std::uint64_t> responses_sent{0};
+  std::atomic<std::uint64_t> malformed_frames{0};
+};
+
+class ServerCoreImpl {
+ public:
+  ServerCoreImpl(const ServerConfig& config, engine::Engine& engine, ServerCounters& counters)
+      : config_(config), engine_(engine), counters_(counters) {}
+  virtual ~ServerCoreImpl() = default;
+  ServerCoreImpl(const ServerCoreImpl&) = delete;
+  ServerCoreImpl& operator=(const ServerCoreImpl&) = delete;
+
+  /// Bind + listen + spawn the core's threads. Throws NetError on bind
+  /// failure. port() is valid afterwards.
+  virtual void start() = 0;
+  /// Stop accepting, unwind every connection, flush every admitted
+  /// request's response, join every core thread. The facade drains the
+  /// engine afterwards (nothing can submit once stop() returns).
+  virtual void stop() = 0;
+
+  std::uint16_t port() const noexcept { return port_; }
+
+ protected:
+  const ServerConfig& config_;
+  engine::Engine& engine_;
+  ServerCounters& counters_;
+  std::uint16_t port_ = 0;
+};
+
+/// Decode one request frame body and route it: protocol errors produce an
+/// immediate error frame; everything else goes into the engine. `deliver`
+/// receives the complete encoded response frame exactly once — possibly
+/// synchronously (malformed payloads, unknown modes, engine rejection) or
+/// later from an engine worker thread, so it must be safe to call from any
+/// thread. Increments malformed_frames; the caller owns frames_received
+/// (counted at receipt, before any slot wait — PR 5 counted frames a broken
+/// connection later dropped) and responses_sent (a response only counts
+/// once it is on the wire).
+void dispatch_request(engine::Engine& engine, ServerCounters& counters,
+                      const std::vector<std::uint8_t>& body,
+                      std::chrono::steady_clock::time_point receipt,
+                      std::function<void(std::string)> deliver);
+
+std::unique_ptr<ServerCoreImpl> make_threads_core(const ServerConfig& config,
+                                                  engine::Engine& engine,
+                                                  ServerCounters& counters);
+std::unique_ptr<ServerCoreImpl> make_epoll_core(const ServerConfig& config,
+                                                engine::Engine& engine,
+                                                ServerCounters& counters);
+
+}  // namespace ncpm::net::detail

@@ -1,0 +1,208 @@
+#include "net/session.hpp"
+
+#include <sys/epoll.h>
+
+#include <utility>
+
+#include "net/frame.hpp"
+
+namespace ncpm::net {
+
+namespace {
+/// Per-readable-wakeup recv chunk. Also the bound on how much unconsumed
+/// input one session can buffer: the loop stops reading the moment the FSM
+/// stops wanting bytes (in-flight bound hit, write blocked), so at most one
+/// chunk sits in SessionFsm::input_ — the flat-memory property the soak
+/// test pins.
+constexpr std::size_t kReadChunk = 16 * 1024;
+}  // namespace
+
+Session::Session(Socket sock, EventLoop& loop, const ServerConfig& config,
+                 engine::Engine& engine, detail::ServerCounters& counters,
+                 std::function<void(const std::shared_ptr<Session>&)> on_closed)
+    : sock_(std::move(sock)),
+      loop_(loop),
+      config_(config),
+      engine_(engine),
+      counters_(counters),
+      on_closed_(std::move(on_closed)),
+      fsm_(SessionFsmConfig{config.max_in_flight_per_connection, kMaxFrameBody}) {}
+
+void Session::open() {
+  sock_.set_nonblocking(true);
+  interest_ = EPOLLIN;
+  loop_.add_fd(sock_.fd(), interest_, this);
+  registered_ = true;
+  last_activity_ = std::chrono::steady_clock::now();
+  counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+  counters_.connections_active.fetch_add(1, std::memory_order_relaxed);
+  if (config_.idle_timeout.count() > 0) arm_idle_timer(config_.idle_timeout);
+}
+
+void Session::begin_drain() {
+  auto self = shared_from_this();
+  if (finished_) return;
+  apply(fsm_.on_event(SessionEvent::kDrain));
+  if (!finished_) {
+    pump_write();
+    sync_interest();
+  }
+}
+
+void Session::on_io(std::uint32_t events) {
+  auto self = shared_from_this();  // apply() may run on_closed_, which drops the core's ref
+  if (finished_) return;
+  last_activity_ = std::chrono::steady_clock::now();
+  if ((events & EPOLLIN) != 0) {
+    std::uint8_t buf[kReadChunk];
+    while (!finished_ && fsm_.wants_read()) {
+      std::ptrdiff_t n = 0;
+      try {
+        n = sock_.recv_some(buf, sizeof(buf));
+      } catch (const std::exception&) {
+        apply(fsm_.on_event(SessionEvent::kPeerError));
+        break;
+      }
+      if (n < 0) break;  // drained the kernel buffer
+      if (n == 0) {
+        apply(fsm_.on_event(SessionEvent::kReadEof));
+        break;
+      }
+      apply(fsm_.on_bytes(buf, static_cast<std::size_t>(n)));
+    }
+  }
+  if (!finished_ && (events & (EPOLLERR | EPOLLHUP)) != 0) {
+    // Checked after the read so a close-with-data still delivers its final
+    // bytes and EOF; what's left is a genuine socket failure.
+    apply(fsm_.on_event(SessionEvent::kPeerError));
+  }
+  if (!finished_) pump_write();
+  if (!finished_) sync_interest();
+}
+
+void Session::pump_write() {
+  while (!finished_ && fsm_.wants_write()) {
+    std::ptrdiff_t n = 0;
+    try {
+      n = sock_.send_some(fsm_.write_data(), fsm_.write_size());
+    } catch (const std::exception&) {
+      apply(fsm_.on_event(SessionEvent::kPeerError));
+      return;
+    }
+    if (n < 0) {
+      apply(fsm_.on_event(SessionEvent::kWriteBlocked));
+      return;
+    }
+    apply(fsm_.on_wrote(static_cast<std::size_t>(n)));
+  }
+}
+
+void Session::sync_interest() {
+  if (finished_ || !registered_) return;
+  std::uint32_t want = 0;
+  if (fsm_.wants_read()) want |= EPOLLIN;
+  if (fsm_.wants_write()) want |= EPOLLOUT;
+  if (want != interest_) {
+    interest_ = want;
+    // Level-triggered: re-adding EPOLLIN after a pause immediately re-fires
+    // for bytes that were already waiting in the kernel buffer.
+    loop_.modify_fd(sock_.fd(), want);
+  }
+}
+
+void Session::apply(SessionActions acts) {
+  if (acts.rejected) return;  // stale event (e.g. a timer racing a close in the same batch)
+  for (const auto& body : acts.dispatch) {
+    // Received == dispatched here: the FSM pauses reads at the in-flight
+    // bound instead of holding read-but-unadmitted frames, so every
+    // complete frame off the wire dispatches immediately.
+    counters_.frames_received.fetch_add(1, std::memory_order_relaxed);
+    auto self = shared_from_this();
+    detail::dispatch_request(engine_, counters_, body, std::chrono::steady_clock::now(),
+                             [self](std::string frame) { self->deliver(std::move(frame)); });
+  }
+  counters_.responses_sent.fetch_add(acts.responses_completed, std::memory_order_relaxed);
+  if (acts.disarm_send_timer && send_timer_ != 0) {
+    loop_.cancel_timer(send_timer_);
+    send_timer_ = 0;
+  }
+  if (acts.arm_send_timer && config_.send_timeout.count() > 0) {
+    if (send_timer_ != 0) loop_.cancel_timer(send_timer_);
+    auto self = shared_from_this();
+    send_timer_ = loop_.arm_timer(config_.send_timeout, [self] {
+      self->send_timer_ = 0;
+      if (self->finished_) return;
+      self->apply(self->fsm_.on_event(SessionEvent::kSendTimeout));
+    });
+  }
+  if (acts.close) finish();
+}
+
+void Session::deliver(std::string frame) {
+  if (loop_.on_loop_thread()) {
+    handle_response(std::move(frame));
+    return;
+  }
+  // Engine worker thread: trampoline onto the loop (post rings the
+  // eventfd). The shared_ptr keeps the session alive until the task runs —
+  // or is discarded, if the loop stopped after this session closed.
+  auto self = shared_from_this();
+  loop_.post([self, frame = std::move(frame)]() mutable {
+    self->handle_response(std::move(frame));
+  });
+}
+
+void Session::handle_response(std::string frame) {
+  if (finished_) return;  // write-after-close: the frame is dropped
+  auto self = shared_from_this();
+  apply(fsm_.on_response(std::move(frame)));
+  if (!finished_) {
+    pump_write();
+    sync_interest();
+  }
+}
+
+void Session::arm_idle_timer(std::chrono::milliseconds delay) {
+  auto self = shared_from_this();
+  idle_timer_ = loop_.arm_timer(delay, [self] { self->on_idle_timer(); });
+}
+
+void Session::on_idle_timer() {
+  idle_timer_ = 0;
+  if (finished_) return;
+  const auto now = std::chrono::steady_clock::now();
+  auto idle = std::chrono::duration_cast<std::chrono::milliseconds>(now - last_activity_);
+  if (idle >= config_.idle_timeout) {
+    auto acts = fsm_.on_event(SessionEvent::kIdleTimeout);
+    if (!acts.rejected) {
+      apply(acts);  // quiescent past the bound: reaped
+      return;
+    }
+    idle = std::chrono::milliseconds(0);  // mid-frame or in flight: not idle at all
+  }
+  arm_idle_timer(config_.idle_timeout - idle);
+}
+
+void Session::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (send_timer_ != 0) {
+    loop_.cancel_timer(send_timer_);
+    send_timer_ = 0;
+  }
+  if (idle_timer_ != 0) {
+    loop_.cancel_timer(idle_timer_);
+    idle_timer_ = 0;
+  }
+  if (registered_) {
+    loop_.remove_fd(sock_.fd());
+    registered_ = false;
+  }
+  // Deferred so the kernel cannot hand this fd number to a new connection
+  // while readiness events from the current batch are still in flight.
+  loop_.defer_close(std::move(sock_));
+  counters_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+  on_closed_(shared_from_this());
+}
+
+}  // namespace ncpm::net

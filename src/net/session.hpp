@@ -1,0 +1,76 @@
+#pragma once
+// One nonblocking connection inside the epoll core: a Socket, a pure
+// SessionFsm (the protocol brain), and the glue that turns epoll readiness,
+// engine completions, and timer expiries into FSM events — then carries the
+// FSM's requested actions out (dispatch into the engine, write to the
+// socket, arm/cancel timers, tear down).
+//
+// Threading: every member function except deliver() runs on the owning
+// EventLoop's thread, and deliver() immediately trampolines onto it (inline
+// when already there, loop.post() from an engine worker — the eventfd wakes
+// the loop). That single rule is what makes the whole session lock-free.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/reactor.hpp"
+#include "net/server_core.hpp"
+#include "net/session_fsm.hpp"
+#include "net/socket.hpp"
+
+namespace ncpm::net {
+
+class Session : public FdHandler, public std::enable_shared_from_this<Session> {
+ public:
+  /// `on_closed` runs on the loop thread, exactly once, after the socket is
+  /// closed and the fd/timers are deregistered — the core uses it to drop
+  /// its owning shared_ptr and decrement the live-session count.
+  Session(Socket sock, EventLoop& loop, const ServerConfig& config, engine::Engine& engine,
+          detail::ServerCounters& counters,
+          std::function<void(const std::shared_ptr<Session>&)> on_closed);
+  ~Session() override = default;
+
+  /// Loop thread. Make the socket nonblocking, register it (EPOLLIN), arm
+  /// the idle timer, count the connection.
+  void open();
+  /// Loop thread. Server stop(): no further reads; flush every admitted
+  /// response, then close (SessionCloseReason::kDrained). Idempotent.
+  void begin_drain();
+  /// Loop thread (EventLoop dispatch). Readiness on the connection fd.
+  void on_io(std::uint32_t events) override;
+
+ private:
+  /// Carry out one FSM action set: dispatch request bodies, count finished
+  /// responses, arm/cancel the send-stall timer, tear down on close.
+  void apply(SessionActions acts);
+  /// Flush the write backlog until it drains, would-block, or fails.
+  void pump_write();
+  /// Reconcile epoll interest with what the FSM now wants.
+  void sync_interest();
+  /// Any thread: route one encoded response frame to the loop thread.
+  void deliver(std::string frame);
+  void handle_response(std::string frame);  // loop thread
+  void arm_idle_timer(std::chrono::milliseconds delay);
+  void on_idle_timer();
+  void finish();
+
+  Socket sock_;
+  EventLoop& loop_;
+  const ServerConfig& config_;
+  engine::Engine& engine_;
+  detail::ServerCounters& counters_;
+  std::function<void(const std::shared_ptr<Session>&)> on_closed_;
+  SessionFsm fsm_;
+
+  std::uint32_t interest_ = 0;  ///< epoll events currently registered
+  bool registered_ = false;
+  bool finished_ = false;  ///< socket closed, fd/timers gone, on_closed_ ran
+  EventLoop::TimerId send_timer_ = 0;
+  EventLoop::TimerId idle_timer_ = 0;
+  std::chrono::steady_clock::time_point last_activity_{};
+};
+
+}  // namespace ncpm::net

@@ -1,0 +1,344 @@
+#include "net/session_fsm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace ncpm::net {
+
+namespace {
+
+// The 12-byte ncpm-rpc v1 hello, both directions: 8-byte magic + u32
+// version, little-endian. Mirrors net/frame.hpp (kRpcMagic / kRpcVersion);
+// duplicated so this unit never includes socket or engine headers — the
+// equality is pinned by tests/net/session_fsm_test.cpp.
+constexpr std::uint8_t kHello[12] = {'N', 'C', 'P', 'M', 'R', 'P', 'C', '1', 1, 0, 0, 0};
+
+}  // namespace
+
+std::string_view session_state_name(SessionState state) {
+  switch (state) {
+    case SessionState::kAwaitHello: return "await-hello";
+    case SessionState::kReadHeader: return "read-header";
+    case SessionState::kReadBody: return "read-body";
+    case SessionState::kDispatched: return "dispatched";
+    case SessionState::kWriteBacklog: return "write-backlog";
+    case SessionState::kClosing: return "closing";
+    case SessionState::kClosed: return "closed";
+  }
+  return "unknown";
+}
+
+std::string_view session_event_name(SessionEvent event) {
+  switch (event) {
+    case SessionEvent::kBytesIn: return "bytes-in";
+    case SessionEvent::kResponseReady: return "response-ready";
+    case SessionEvent::kWroteBytes: return "wrote-bytes";
+    case SessionEvent::kWriteBlocked: return "write-blocked";
+    case SessionEvent::kReadEof: return "read-eof";
+    case SessionEvent::kPeerError: return "peer-error";
+    case SessionEvent::kSendTimeout: return "send-timeout";
+    case SessionEvent::kIdleTimeout: return "idle-timeout";
+    case SessionEvent::kDrain: return "drain";
+  }
+  return "unknown";
+}
+
+std::string_view session_close_reason_name(SessionCloseReason reason) {
+  switch (reason) {
+    case SessionCloseReason::kNone: return "none";
+    case SessionCloseReason::kCleanEof: return "clean-eof";
+    case SessionCloseReason::kProtocolError: return "protocol-error";
+    case SessionCloseReason::kPeerError: return "peer-error";
+    case SessionCloseReason::kSendTimeout: return "send-timeout";
+    case SessionCloseReason::kIdleTimeout: return "idle-timeout";
+    case SessionCloseReason::kDrained: return "drained";
+  }
+  return "unknown";
+}
+
+SessionFsm::SessionFsm(SessionFsmConfig config) : config_(config) {
+  if (config_.max_in_flight < 1) config_.max_in_flight = 1;
+}
+
+SessionState SessionFsm::state() const noexcept {
+  switch (phase_) {
+    case Phase::kHello: return SessionState::kAwaitHello;
+    case Phase::kClosing: return SessionState::kClosing;
+    case Phase::kClosed: return SessionState::kClosed;
+    case Phase::kStream: break;
+  }
+  if (write_blocked_) return SessionState::kWriteBacklog;
+  if (in_flight_ >= config_.max_in_flight) return SessionState::kDispatched;
+  return reading_body_ ? SessionState::kReadBody : SessionState::kReadHeader;
+}
+
+std::size_t SessionFsm::buffered_input() const noexcept { return input_.size() - input_pos_; }
+
+bool SessionFsm::wants_read() const noexcept {
+  const auto s = state();
+  return s == SessionState::kAwaitHello || s == SessionState::kReadHeader ||
+         s == SessionState::kReadBody;
+}
+
+bool SessionFsm::wants_write() const noexcept {
+  return phase_ != Phase::kClosed && !backlog_.empty();
+}
+
+const char* SessionFsm::write_data() const noexcept {
+  return backlog_.empty() ? nullptr : backlog_.front().bytes.data() + front_written_;
+}
+
+std::size_t SessionFsm::write_size() const noexcept {
+  return backlog_.empty() ? 0 : backlog_.front().bytes.size() - front_written_;
+}
+
+SessionActions SessionFsm::reject() {
+  SessionActions acts;
+  acts.rejected = true;
+  return acts;
+}
+
+void SessionFsm::push_backlog(std::string bytes, bool counts, SessionActions& acts) {
+  if (backlog_.empty()) acts.arm_send_timer = true;
+  backlog_bytes_ += bytes.size();
+  backlog_.push_back(OutFrame{std::move(bytes), counts});
+}
+
+void SessionFsm::close_now(SessionCloseReason reason, SessionActions& acts) {
+  if (!backlog_.empty()) acts.disarm_send_timer = true;
+  phase_ = Phase::kClosed;
+  close_reason_ = reason;
+  write_blocked_ = false;
+  in_flight_ = 0;
+  queued_responses_ = 0;
+  backlog_.clear();
+  backlog_bytes_ = 0;
+  front_written_ = 0;
+  input_.clear();
+  input_pos_ = 0;
+  acts.close = true;
+  acts.close_reason = reason;
+}
+
+void SessionFsm::enter_closing_or_close(SessionCloseReason reason, SessionActions& acts) {
+  if (in_flight_ == 0 && backlog_.empty()) {
+    close_now(reason, acts);
+    return;
+  }
+  phase_ = Phase::kClosing;
+  drain_reason_ = reason;
+  // The read side is done for good: buffered frames that never reached the
+  // in-flight bound are abandoned, exactly like unread socket bytes.
+  input_.clear();
+  input_pos_ = 0;
+}
+
+void SessionFsm::pump_input(SessionActions& acts) {
+  for (;;) {
+    const std::size_t avail = input_.size() - input_pos_;
+    if (phase_ == Phase::kHello) {
+      const std::size_t take = std::min(avail, sizeof(kHello) - hello_got_);
+      // take can be 0 (pump re-entered with nothing buffered); data() may be
+      // null then, and memcpy's pointers are declared nonnull even for n=0.
+      if (take != 0) std::memcpy(hello_buf_ + hello_got_, input_.data() + input_pos_, take);
+      hello_got_ += take;
+      input_pos_ += take;
+      if (hello_got_ < sizeof(kHello)) break;
+      if (std::memcmp(hello_buf_, kHello, sizeof(kHello)) != 0) {
+        acts.protocol_error = true;
+        acts.error = "bad hello (magic/version mismatch)";
+        close_now(SessionCloseReason::kProtocolError, acts);
+        return;
+      }
+      acts.hello_ok = true;
+      push_backlog(std::string(reinterpret_cast<const char*>(kHello), sizeof(kHello)),
+                   /*counts=*/false, acts);
+      phase_ = Phase::kStream;
+      reading_body_ = false;
+      continue;
+    }
+    if (phase_ != Phase::kStream || write_blocked_ || in_flight_ >= config_.max_in_flight) {
+      break;
+    }
+    if (!reading_body_) {
+      const std::size_t take = std::min(avail, sizeof(header_) - header_got_);
+      if (take != 0) std::memcpy(header_ + header_got_, input_.data() + input_pos_, take);
+      header_got_ += take;
+      input_pos_ += take;
+      if (header_got_ < sizeof(header_)) break;
+      std::uint32_t len = 0;
+      for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(header_[i]) << (8 * i);
+      header_got_ = 0;
+      if (len > config_.max_frame_body) {
+        acts.protocol_error = true;
+        acts.error = "frame body length " + std::to_string(len) + " exceeds the cap";
+        enter_closing_or_close(SessionCloseReason::kProtocolError, acts);
+        return;
+      }
+      reading_body_ = true;
+      body_needed_ = len;
+      body_.clear();
+      continue;
+    }
+    const std::size_t take = std::min(avail, body_needed_ - body_.size());
+    body_.insert(body_.end(), input_.begin() + static_cast<std::ptrdiff_t>(input_pos_),
+                 input_.begin() + static_cast<std::ptrdiff_t>(input_pos_ + take));
+    input_pos_ += take;
+    if (body_.size() < body_needed_) break;
+    ++in_flight_;
+    acts.dispatch.push_back(std::move(body_));
+    body_ = {};
+    reading_body_ = false;
+  }
+  if (input_pos_ == input_.size()) {
+    input_.clear();
+    input_pos_ = 0;
+  }
+}
+
+SessionActions SessionFsm::on_bytes(const std::uint8_t* data, std::size_t size) {
+  if (phase_ == Phase::kClosed || phase_ == Phase::kClosing) return reject();
+  SessionActions acts;
+  input_.insert(input_.end(), data, data + size);
+  pump_input(acts);
+  return acts;
+}
+
+SessionActions SessionFsm::on_response(std::string frame) {
+  // kHello: nothing can have been dispatched yet (in_flight is zero by
+  // construction), so a response here is a caller bug. kClosed: the
+  // write-after-close case — rejected, the frame is dropped.
+  if (phase_ != Phase::kStream && phase_ != Phase::kClosing) return reject();
+  // Responses are matched one-to-one with held slots. Accepting an excess
+  // response would underflow in_flight_ when it finished writing, so a
+  // driver delivering more responses than it dispatched is rejected here.
+  if (queued_responses_ >= in_flight_) return reject();
+  ++queued_responses_;
+  SessionActions acts;
+  push_backlog(std::move(frame), /*counts=*/true, acts);
+  return acts;
+}
+
+SessionActions SessionFsm::on_wrote(std::size_t n) {
+  if (phase_ != Phase::kStream && phase_ != Phase::kClosing) return reject();
+  if (n == 0 || n > backlog_bytes_) return reject();
+  SessionActions acts;
+  write_blocked_ = false;
+  backlog_bytes_ -= n;
+  while (n > 0) {
+    auto& front = backlog_.front();
+    const std::size_t left = front.bytes.size() - front_written_;
+    const std::size_t took = std::min(left, n);
+    front_written_ += took;
+    n -= took;
+    if (front_written_ == front.bytes.size()) {
+      if (front.counts) {
+        ++acts.responses_completed;
+        --in_flight_;
+        --queued_responses_;
+      }
+      backlog_.pop_front();
+      front_written_ = 0;
+    }
+  }
+  if (backlog_.empty()) {
+    acts.disarm_send_timer = true;
+  } else {
+    acts.arm_send_timer = true;  // progress restarts the stall clock
+  }
+  if (phase_ == Phase::kStream) {
+    pump_input(acts);  // freed slots may admit buffered frames
+  } else if (in_flight_ == 0 && backlog_.empty()) {
+    close_now(drain_reason_, acts);
+  }
+  return acts;
+}
+
+SessionActions SessionFsm::on_event(SessionEvent event) {
+  switch (event) {
+    case SessionEvent::kBytesIn:
+    case SessionEvent::kResponseReady:
+    case SessionEvent::kWroteBytes:
+      return reject();  // payload-carrying events use their typed methods
+
+    case SessionEvent::kWriteBlocked: {
+      if ((phase_ != Phase::kStream && phase_ != Phase::kClosing) || backlog_.empty()) {
+        return reject();
+      }
+      SessionActions acts;
+      write_blocked_ = true;  // idempotent: repeated would-blocks are fine
+      return acts;
+    }
+
+    case SessionEvent::kReadEof: {
+      if (phase_ == Phase::kClosed) return reject();
+      SessionActions acts;
+      if (phase_ == Phase::kClosing) return acts;  // read side already done; ignored
+      if (phase_ == Phase::kHello) {
+        close_now(SessionCloseReason::kCleanEof, acts);
+        return acts;
+      }
+      // EOF inside a frame (or with bytes the stream never completed) is a
+      // truncation — a framing error. Either way, admitted requests still
+      // flush before the connection dies.
+      const bool mid_frame = reading_body_ || header_got_ > 0 || buffered_input() > 0;
+      enter_closing_or_close(
+          mid_frame ? SessionCloseReason::kProtocolError : SessionCloseReason::kCleanEof, acts);
+      if (mid_frame) {
+        acts.protocol_error = true;
+        acts.error = "peer closed mid-frame";
+      }
+      return acts;
+    }
+
+    case SessionEvent::kPeerError: {
+      if (phase_ == Phase::kClosed) return reject();
+      SessionActions acts;
+      close_now(SessionCloseReason::kPeerError, acts);
+      return acts;
+    }
+
+    case SessionEvent::kSendTimeout: {
+      if ((phase_ != Phase::kStream && phase_ != Phase::kClosing) || backlog_.empty()) {
+        return reject();
+      }
+      SessionActions acts;
+      close_now(SessionCloseReason::kSendTimeout, acts);
+      return acts;
+    }
+
+    case SessionEvent::kIdleTimeout: {
+      // Only a quiescent connection is reapable: nothing dispatched,
+      // nothing to write, no partial frame. Anything else rejects and the
+      // reactor re-arms the idle timer.
+      if (phase_ == Phase::kHello) {
+        SessionActions acts;
+        close_now(SessionCloseReason::kIdleTimeout, acts);
+        return acts;
+      }
+      if (phase_ != Phase::kStream || reading_body_ || header_got_ > 0 || in_flight_ > 0 ||
+          !backlog_.empty() || buffered_input() > 0) {
+        return reject();
+      }
+      SessionActions acts;
+      close_now(SessionCloseReason::kIdleTimeout, acts);
+      return acts;
+    }
+
+    case SessionEvent::kDrain: {
+      if (phase_ == Phase::kClosed) return reject();
+      SessionActions acts;
+      if (phase_ == Phase::kClosing) return acts;  // already draining; ignored
+      if (phase_ == Phase::kHello) {
+        close_now(SessionCloseReason::kDrained, acts);
+        return acts;
+      }
+      enter_closing_or_close(SessionCloseReason::kDrained, acts);
+      return acts;
+    }
+  }
+  return reject();
+}
+
+}  // namespace ncpm::net

@@ -1,0 +1,206 @@
+#pragma once
+// Pure per-connection session state machine for the ncpm-rpc v1 server.
+//
+// One SessionFsm is the entire protocol brain of one connection: events in
+// (bytes from the socket, completed responses, write progress, timer and
+// lifecycle signals), actions out (request bodies to dispatch, interest
+// changes, timer arm/disarm, close). It performs **no I/O** — no sockets,
+// no threads, no clocks — so it links on its own, runs thousands of fuzz
+// cases per second under ASan, and its transition table is testable
+// exhaustively (tests/net/session_fsm_test.cpp mirrors the table in
+// docs/ncpm-rpc-v1.md, "Server session lifecycle").
+//
+// States (the reactor's epoll interest is derived from them):
+//
+//   kAwaitHello   accumulating the 12-byte client hello
+//   kReadHeader   accumulating the u32 frame length prefix
+//   kReadBody     accumulating a request frame body
+//   kDispatched   at the in-flight bound: reads pause until a response is
+//                 fully written and frees a slot (per-connection backpressure)
+//   kWriteBacklog the peer stopped draining responses: a write hit
+//                 would-block; reads pause until the backlog moves again
+//   kClosing      draining: no further reads; every admitted request's
+//                 response is flushed, then the connection closes
+//   kClosed       terminal; every further event is rejected
+//
+// The PR 5 semantics carry over exactly: every dispatched body holds one
+// in-flight slot until its response frame is *fully written* (engine work
+// and protocol-error responses alike); a malformed payload inside a
+// well-delimited frame costs one error response (the server dispatches it
+// and answers — the FSM neither knows nor cares what the bytes mean);
+// breaking the framing itself (bad hello, oversized length, EOF mid-frame)
+// kills only this connection, after flushing what was already admitted.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ncpm::net {
+
+enum class SessionState : std::uint8_t {
+  kAwaitHello = 0,
+  kReadHeader,
+  kReadBody,
+  kDispatched,
+  kWriteBacklog,
+  kClosing,
+  kClosed,
+};
+inline constexpr std::size_t kNumSessionStates = 7;
+
+/// Everything that can happen to a session, socket- and timer-free. The
+/// byte/frame/progress events carry payloads and enter through their own
+/// typed methods; the rest go through on_event().
+enum class SessionEvent : std::uint8_t {
+  kBytesIn = 0,    ///< bytes arrived from the peer          -> on_bytes()
+  kResponseReady,  ///< an encoded response frame is ready   -> on_response()
+  kWroteBytes,     ///< n backlog bytes reached the kernel   -> on_wrote()
+  kWriteBlocked,   ///< a write attempt returned would-block -> on_event()
+  kReadEof,        ///< peer closed its write side           -> on_event()
+  kPeerError,      ///< socket error (reset, hard failure)   -> on_event()
+  kSendTimeout,    ///< backlog stalled past the send bound  -> on_event()
+  kIdleTimeout,    ///< idle reaper fired                    -> on_event()
+  kDrain,          ///< server stop(): drain then close      -> on_event()
+};
+inline constexpr std::size_t kNumSessionEvents = 9;
+
+enum class SessionCloseReason : std::uint8_t {
+  kNone = 0,
+  kCleanEof,        ///< peer closed at a frame boundary with nothing pending
+  kProtocolError,   ///< framing broke: bad hello, oversized length, EOF mid-frame
+  kPeerError,       ///< socket-level failure
+  kSendTimeout,     ///< peer stopped reading past the send bound
+  kIdleTimeout,     ///< idle reaper closed a quiescent connection
+  kDrained,         ///< server-initiated drain completed
+};
+
+std::string_view session_state_name(SessionState state);
+std::string_view session_event_name(SessionEvent event);
+std::string_view session_close_reason_name(SessionCloseReason reason);
+
+struct SessionFsmConfig {
+  /// Dispatched bodies whose response frame is not yet fully written. At
+  /// the bound the FSM stops consuming input (state kDispatched).
+  std::size_t max_in_flight = 64;
+  /// Frame length prefix above this is a framing error (mirrors
+  /// net::kMaxFrameBody; duplicated so this unit stays socket-free).
+  std::uint32_t max_frame_body = std::uint32_t{1} << 31;
+};
+
+/// What one event application asks the reactor to do. Flags are only ever
+/// set, so a caller can batch several applications into one struct.
+struct SessionActions {
+  /// The event is invalid in the current state (write-after-close, wrote
+  /// with an empty backlog, ...). State is untouched; nothing else is set.
+  bool rejected = false;
+  /// Hello handshake completed; the server hello is now first in the
+  /// write backlog.
+  bool hello_ok = false;
+  /// Framing broke; `close` (or state kClosing, when admitted responses
+  /// still need flushing) follows in this same action set.
+  bool protocol_error = false;
+  /// Complete request frame bodies, in arrival order. Each holds one
+  /// in-flight slot until its response is fully written.
+  std::vector<std::vector<std::uint8_t>> dispatch;
+  /// Response frames whose last byte was written by this event (slot
+  /// releases; the server hello does not count).
+  std::size_t responses_completed = 0;
+  /// Tear the connection down now; `reason` says why. Set exactly once
+  /// over a session's lifetime (kClosed is terminal).
+  bool close = false;
+  SessionCloseReason close_reason = SessionCloseReason::kNone;
+  /// (Re)start the send-stall timer: the backlog just became non-empty, or
+  /// made progress while still non-empty.
+  bool arm_send_timer = false;
+  /// Stop the send-stall timer: the backlog fully drained.
+  bool disarm_send_timer = false;
+  /// Human-readable detail for protocol_error / close.
+  std::string error;
+};
+
+class SessionFsm {
+ public:
+  explicit SessionFsm(SessionFsmConfig config = {});
+
+  SessionState state() const noexcept;
+  SessionCloseReason close_reason() const noexcept { return close_reason_; }
+  std::size_t in_flight() const noexcept { return in_flight_; }
+  /// Unwritten backlog bytes (hello + queued response frames).
+  std::size_t backlog_bytes() const noexcept { return backlog_bytes_; }
+  /// Input bytes accepted but not yet consumed (paused at the in-flight
+  /// bound or behind a write backlog). Bounded by what the reactor reads
+  /// per readable wakeup — it stops reading whenever wants_read() is false.
+  std::size_t buffered_input() const noexcept;
+
+  /// Epoll interest, derived from state: read in the three reading states,
+  /// write whenever backlog remains and the session is not closed.
+  bool wants_read() const noexcept;
+  bool wants_write() const noexcept;
+
+  /// kBytesIn. Consumes as much of `data` as the hello/header/body cursors
+  /// and the in-flight bound allow; the rest is buffered and resumes when
+  /// a slot frees or the backlog drains.
+  SessionActions on_bytes(const std::uint8_t* data, std::size_t size);
+  /// kResponseReady: one encoded response frame (length prefix included),
+  /// queued behind the backlog in arrival order (responses are matched by
+  /// request id, so cross-request order is free). Rejected when every held
+  /// slot already has its response queued — responses match slots
+  /// one-to-one, and an excess one would corrupt the accounting.
+  SessionActions on_response(std::string frame);
+  /// kWroteBytes: `n` bytes of next_write() reached the kernel.
+  SessionActions on_wrote(std::size_t n);
+  /// The payload-free events (kWriteBlocked, kReadEof, kPeerError,
+  /// kSendTimeout, kIdleTimeout, kDrain). Payload-carrying events passed
+  /// here are rejected.
+  SessionActions on_event(SessionEvent event);
+
+  /// Contiguous view of the next unwritten backlog bytes (front frame from
+  /// its write offset); {nullptr, 0} when the backlog is empty.
+  const char* write_data() const noexcept;
+  std::size_t write_size() const noexcept;
+
+ private:
+  enum class Phase : std::uint8_t { kHello, kStream, kClosing, kClosed };
+
+  struct OutFrame {
+    std::string bytes;
+    bool counts;  ///< true for response frames (slot + responses_sent); false for the hello
+  };
+
+  static SessionActions reject();
+  /// Consume buffered input through the hello/header/body cursors until it
+  /// runs out or the FSM pauses (bound reached, write blocked, closed).
+  void pump_input(SessionActions& acts);
+  void push_backlog(std::string bytes, bool counts, SessionActions& acts);
+  void enter_closing_or_close(SessionCloseReason reason, SessionActions& acts);
+  void close_now(SessionCloseReason reason, SessionActions& acts);
+
+  SessionFsmConfig config_;
+  Phase phase_ = Phase::kHello;
+  bool reading_body_ = false;   ///< within kStream: header vs body cursor
+  bool write_blocked_ = false;  ///< a send hit would-block and EPOLLOUT is pending
+  SessionCloseReason close_reason_ = SessionCloseReason::kNone;
+  SessionCloseReason drain_reason_ = SessionCloseReason::kNone;  ///< why kClosing was entered
+
+  // Input side.
+  std::vector<std::uint8_t> input_;  ///< accepted, unconsumed bytes
+  std::size_t input_pos_ = 0;
+  std::uint8_t hello_buf_[12] = {};
+  std::size_t hello_got_ = 0;
+  std::uint8_t header_[4] = {0, 0, 0, 0};
+  std::size_t header_got_ = 0;
+  std::vector<std::uint8_t> body_;
+  std::size_t body_needed_ = 0;
+
+  // Output side.
+  std::deque<OutFrame> backlog_;
+  std::size_t front_written_ = 0;  ///< bytes of backlog_.front() already written
+  std::size_t backlog_bytes_ = 0;
+  std::size_t in_flight_ = 0;
+  std::size_t queued_responses_ = 0;  ///< counting frames in backlog_ (<= in_flight_)
+};
+
+}  // namespace ncpm::net

@@ -39,7 +39,7 @@ addrinfo* resolve(const std::string& host, std::uint16_t port, bool passive) {
   return result;
 }
 
-void set_nonblocking(int fd, bool on) {
+void set_fd_nonblocking(int fd, bool on) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags < 0) fail(NetErrc::kIo, "fcntl(F_GETFL)");
   const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
@@ -85,7 +85,7 @@ Socket Socket::connect_to(const std::string& host, std::uint16_t port,
     Socket sock(fd);
     // Connect with a deadline: non-blocking connect + poll for writability,
     // then read the outcome from SO_ERROR.
-    if (timeout.count() > 0) set_nonblocking(fd, true);
+    if (timeout.count() > 0) set_fd_nonblocking(fd, true);
     int rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
     if (rc < 0 && errno == EINPROGRESS && timeout.count() > 0) {
       pollfd pfd{fd, POLLOUT, 0};
@@ -107,7 +107,7 @@ Socket Socket::connect_to(const std::string& host, std::uint16_t port,
       last_error = std::strerror(errno);
       continue;
     }
-    if (timeout.count() > 0) set_nonblocking(fd, false);
+    if (timeout.count() > 0) set_fd_nonblocking(fd, false);
     ::freeaddrinfo(addrs);
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -157,6 +157,53 @@ Socket Socket::accept_connection() const {
       throw NetError(NetErrc::kClosed, "listening socket shut down");
     }
     fail(NetErrc::kIo, "accept");
+  }
+}
+
+Socket Socket::try_accept() const {
+  for (;;) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Socket();
+    // A connection that was reset between arrival and accept costs nothing.
+    if (errno == ECONNABORTED) continue;
+    if (errno == EINVAL || errno == EBADF) {
+      throw NetError(NetErrc::kClosed, "listening socket shut down");
+    }
+    fail(NetErrc::kIo, "accept");
+  }
+}
+
+void Socket::set_nonblocking(bool on) { set_fd_nonblocking(fd_, on); }
+
+std::ptrdiff_t Socket::recv_some(void* data, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::recv(fd_, data, size, 0);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    if (errno == ECONNRESET) {
+      throw NetError(NetErrc::kClosed, "connection reset during recv");
+    }
+    fail(NetErrc::kIo, "recv");
+  }
+}
+
+std::ptrdiff_t Socket::send_some(const void* data, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::send(fd_, data, size, MSG_NOSIGNAL);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    if (errno == EPIPE || errno == ECONNRESET) {
+      throw NetError(NetErrc::kClosed, "peer closed the connection during send");
+    }
+    fail(NetErrc::kIo, "send");
   }
 }
 

@@ -58,7 +58,16 @@ class Socket {
   /// Block for the next connection. Throws NetError(kClosed) once the
   /// listening socket has been shut down, NetError(kIo) on other failures.
   Socket accept_connection() const;
+  /// Nonblocking accept for a listener registered with an event loop:
+  /// returns an invalid Socket (valid() == false) when no connection is
+  /// pending. Throws like accept_connection() otherwise.
+  Socket try_accept() const;
   std::uint16_t local_port() const;
+
+  /// Toggle O_NONBLOCK — the reactor core drives every connection socket
+  /// (and its listener) nonblocking; the threads core and the client keep
+  /// blocking I/O.
+  void set_nonblocking(bool on);
 
   /// Zero cancels a previously set timeout.
   void set_recv_timeout(std::chrono::milliseconds timeout);
@@ -73,6 +82,15 @@ class Socket {
   /// first byte; throws NetError(kClosed) on EOF mid-read, kTimeout when a
   /// recv timeout is set and expires, kIo on other failures.
   bool recv_exact(void* data, std::size_t size);
+
+  /// Single nonblocking recv: > 0 bytes read, 0 on peer EOF, -1 when the
+  /// socket has nothing to read right now (EAGAIN). Throws NetError
+  /// (kClosed on reset, kIo otherwise) — never on would-block.
+  std::ptrdiff_t recv_some(void* data, std::size_t size);
+  /// Single nonblocking send: > 0 bytes accepted by the kernel, -1 when
+  /// the send buffer is full (EAGAIN). Throws NetError(kClosed) when the
+  /// peer is gone, kIo otherwise.
+  std::ptrdiff_t send_some(const void* data, std::size_t size);
 
   bool valid() const noexcept { return fd_ >= 0; }
   int fd() const noexcept { return fd_; }

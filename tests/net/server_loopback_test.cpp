@@ -4,6 +4,10 @@
 // out-of-order responses are matched by request id, malformed frames get
 // error responses without killing the connection, and shutdown drains
 // in-flight requests.
+//
+// The whole suite is parameterized over both connection cores (threads and
+// epoll): the assertions ARE the server's semantic contract, so both cores
+// must pass every one of them unchanged.
 
 #include "net/server.hpp"
 
@@ -23,6 +27,22 @@ namespace ncpm::net {
 namespace {
 
 using engine::Mode;
+
+class ServerLoopback : public ::testing::TestWithParam<ServerCoreKind> {
+ protected:
+  /// Default config aimed at the core under test; tests tweak from here.
+  ServerConfig make_config() const {
+    ServerConfig cfg;
+    cfg.core = GetParam();
+    return cfg;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Cores, ServerLoopback,
+                         ::testing::Values(ServerCoreKind::kThreads, ServerCoreKind::kEpoll),
+                         [](const ::testing::TestParamInfo<ServerCoreKind>& info) {
+                           return std::string(server_core_name(info.param));
+                         });
 
 std::vector<core::Instance> mixed_instances(std::uint64_t seed) {
   std::vector<core::Instance> instances;
@@ -84,11 +104,11 @@ void expect_matches_direct(const ResponseFrame& resp, const engine::Result& ref)
   }
 }
 
-TEST(ServerLoopback, PipelinedMixedModesMatchDirectEngine) {
+TEST_P(ServerLoopback, PipelinedMixedModesMatchDirectEngine) {
   constexpr int kClients = 4;
   constexpr std::size_t kRequestsPerClient = 24;
 
-  ServerConfig cfg;
+  ServerConfig cfg = make_config();
   cfg.engine = engine::EngineConfig{4, 1};
   Server server(cfg);
   server.start();
@@ -140,8 +160,8 @@ TEST(ServerLoopback, PipelinedMixedModesMatchDirectEngine) {
   EXPECT_EQ(stats.malformed_frames, 0u);
 }
 
-TEST(ServerLoopback, MalformedFramesGetErrorsWithoutKillingTheConnection) {
-  Server server{ServerConfig{}};
+TEST_P(ServerLoopback, MalformedFramesGetErrorsWithoutKillingTheConnection) {
+  Server server{make_config()};
   server.start();
 
   Socket sock = Socket::connect_to("127.0.0.1", server.port(), std::chrono::seconds(5));
@@ -222,8 +242,8 @@ TEST(ServerLoopback, MalformedFramesGetErrorsWithoutKillingTheConnection) {
   server.stop();
 }
 
-TEST(ServerLoopback, DeadlineTooTightComesBackExpired) {
-  Server server{ServerConfig{}};
+TEST_P(ServerLoopback, DeadlineTooTightComesBackExpired) {
+  Server server{make_config()};
   server.start();
   auto client = Client::connect("127.0.0.1", server.port());
   gen::SolvableConfig cfg;
@@ -236,8 +256,8 @@ TEST(ServerLoopback, DeadlineTooTightComesBackExpired) {
   server.stop();
 }
 
-TEST(ServerLoopback, StopDrainsInFlightRequests) {
-  ServerConfig cfg;
+TEST_P(ServerLoopback, StopDrainsInFlightRequests) {
+  ServerConfig cfg = make_config();
   cfg.engine = engine::EngineConfig{1, 1};  // one worker => a real queue builds
   Server server(cfg);
   server.start();
@@ -300,8 +320,8 @@ TEST(ServerLoopback, StopDrainsInFlightRequests) {
 /// and the drain completes. (When the responses happen to fit the kernel
 /// buffers the writer never stalls and this degenerates to a clean drain —
 /// either way stop() returns; a hang fails the test via the CTest timeout.)
-TEST(ServerLoopback, StalledClientCannotBlockStop) {
-  ServerConfig cfg;
+TEST_P(ServerLoopback, StalledClientCannotBlockStop) {
+  ServerConfig cfg = make_config();
   cfg.send_timeout = std::chrono::milliseconds(250);
   cfg.engine = engine::EngineConfig{1, 1};
   Server server{cfg};
@@ -341,8 +361,8 @@ TEST(ServerLoopback, StalledClientCannotBlockStop) {
 /// work: a storm of malformed frames larger than the in-flight bound must
 /// cycle through (slots released as error responses are sent), not wedge
 /// the reader.
-TEST(ServerLoopback, MalformedFrameStormRespectsBackpressure) {
-  ServerConfig cfg;
+TEST_P(ServerLoopback, MalformedFrameStormRespectsBackpressure) {
+  ServerConfig cfg = make_config();
   cfg.max_in_flight_per_connection = 4;
   Server server{cfg};
   server.start();
@@ -369,8 +389,8 @@ TEST(ServerLoopback, MalformedFrameStormRespectsBackpressure) {
   EXPECT_EQ(server.stats().malformed_frames, kFrames);
 }
 
-TEST(ServerLoopback, ServerIsSingleUse) {
-  Server server{ServerConfig{}};
+TEST_P(ServerLoopback, ServerIsSingleUse) {
+  Server server{make_config()};
   server.start();
   server.stop();
   EXPECT_THROW(server.start(), NetError);
@@ -378,8 +398,8 @@ TEST(ServerLoopback, ServerIsSingleUse) {
 
 /// Connecting clients that disappear without a clean shutdown must not
 /// wedge or leak the server (the reaper path).
-TEST(ServerLoopback, AbruptClientDisconnectsAreHarmless) {
-  Server server{ServerConfig{}};
+TEST_P(ServerLoopback, AbruptClientDisconnectsAreHarmless) {
+  Server server{make_config()};
   server.start();
   for (int i = 0; i < 8; ++i) {
     Socket sock = Socket::connect_to("127.0.0.1", server.port(), std::chrono::seconds(5));

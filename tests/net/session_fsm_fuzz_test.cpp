@@ -1,0 +1,192 @@
+// Fuzz-lite for the session FSM: random event sequences — truncated and
+// byte-flipped wire streams, interleaved with responses, write progress,
+// and lifecycle events in arbitrary (including invalid) orders. The FSM
+// has no sockets or threads, so thousands of adversarial sessions run in
+// milliseconds, and the whole binary runs under ASan/UBSan in CI.
+//
+// Properties: never crashes or over-reads; invalid events are rejected
+// without mutating anything; the slot/backlog/close invariants hold after
+// every single event; close happens at most once and kClosed is terminal.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/session_fsm.hpp"
+
+namespace ncpm::net {
+namespace {
+
+std::vector<std::uint8_t> wire_hello() {
+  std::vector<std::uint8_t> hello(12);
+  std::memcpy(hello.data(), kRpcMagic, 8);
+  for (int i = 0; i < 4; ++i) {
+    hello[8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((kRpcVersion >> (8 * i)) & 0xff);
+  }
+  return hello;
+}
+
+/// A plausible wire stream: hello + a few small frames. Mutations tear it
+/// into random chunks and flip bytes, so the FSM sees both valid framing
+/// and garbage mid-stream.
+std::vector<std::uint8_t> sample_stream(std::mt19937_64& rng) {
+  auto stream = wire_hello();
+  const int frames = static_cast<int>(rng() % 5);
+  for (int f = 0; f < frames; ++f) {
+    const std::uint32_t len = static_cast<std::uint32_t>(rng() % 40);
+    for (int i = 0; i < 4; ++i) {
+      stream.push_back(static_cast<std::uint8_t>((len >> (8 * i)) & 0xff));
+    }
+    for (std::uint32_t i = 0; i < len; ++i) {
+      stream.push_back(static_cast<std::uint8_t>(rng() % 256));
+    }
+  }
+  return stream;
+}
+
+/// Model mirror of the FSM's accounting, updated from the action structs
+/// alone. Divergence between model and FSM is a bug in one of them.
+struct Model {
+  std::size_t dispatched = 0;
+  std::size_t responses_delivered = 0;  ///< accepted on_response calls
+  std::size_t responses_completed = 0;
+  bool closed = false;
+  SessionCloseReason reason = SessionCloseReason::kNone;
+};
+
+void check_invariants(const SessionFsm& fsm, const Model& model, std::size_t max_in_flight) {
+  ASSERT_LE(fsm.in_flight(), max_in_flight);
+  ASSERT_LE(fsm.write_size(), fsm.backlog_bytes());
+  ASSERT_LE(model.responses_completed, model.responses_delivered);
+  ASSERT_LE(model.responses_delivered, model.dispatched);
+  if (model.closed) {
+    ASSERT_EQ(fsm.state(), SessionState::kClosed);
+    ASSERT_EQ(fsm.close_reason(), model.reason);
+    ASSERT_EQ(fsm.in_flight(), 0u);
+    ASSERT_EQ(fsm.backlog_bytes(), 0u);
+    ASSERT_EQ(fsm.buffered_input(), 0u);
+    ASSERT_FALSE(fsm.wants_read());
+    ASSERT_FALSE(fsm.wants_write());
+  } else {
+    ASSERT_NE(fsm.state(), SessionState::kClosed);
+    // Slots held == dispatched but not yet fully answered on the wire.
+    ASSERT_EQ(fsm.in_flight(), model.dispatched - model.responses_completed);
+    // wants_read() is exactly "one of the three reading states".
+    const auto s = fsm.state();
+    const bool reading = s == SessionState::kAwaitHello || s == SessionState::kReadHeader ||
+                         s == SessionState::kReadBody;
+    ASSERT_EQ(fsm.wants_read(), reading);
+    ASSERT_EQ(fsm.wants_write(), fsm.backlog_bytes() > 0);
+  }
+}
+
+/// Absorb one action set into the model; `rejected` action sets must be
+/// empty of everything else.
+void absorb(const SessionActions& acts, Model& model) {
+  if (acts.rejected) {
+    ASSERT_TRUE(acts.dispatch.empty());
+    ASSERT_FALSE(acts.close);
+    ASSERT_EQ(acts.responses_completed, 0u);
+    return;
+  }
+  model.dispatched += acts.dispatch.size();
+  model.responses_completed += acts.responses_completed;
+  if (acts.close) {
+    ASSERT_FALSE(model.closed) << "second close";
+    model.closed = true;
+    model.reason = acts.close_reason;
+  }
+}
+
+void fuzz_session(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  SessionFsmConfig config;
+  config.max_in_flight = 1 + rng() % 4;
+  config.max_frame_body = 64;  // small cap => oversized-length paths fire often
+  SessionFsm fsm(config);
+  Model model;
+
+  auto stream = sample_stream(rng);
+  // Byte flips corrupt the hello, length prefixes, and bodies alike.
+  const int flips = static_cast<int>(rng() % 4);
+  for (int f = 0; f < flips && !stream.empty(); ++f) {
+    stream[rng() % stream.size()] = static_cast<std::uint8_t>(rng() % 256);
+  }
+  std::size_t cursor = 0;
+
+  for (int step = 0; step < 120; ++step) {
+    SessionActions acts;
+    switch (rng() % 8) {
+      case 0:
+      case 1:
+      case 2: {  // feed a random-sized chunk of the (mutated) stream
+        if (cursor >= stream.size()) break;
+        const std::size_t n = 1 + rng() % std::min<std::size_t>(stream.size() - cursor, 16);
+        acts = fsm.on_bytes(stream.data() + cursor, n);
+        if (!acts.rejected) cursor += n;
+        break;
+      }
+      case 3: {  // deliver a response (sometimes with none outstanding)
+        acts = fsm.on_response(std::string(1 + rng() % 24, 'r'));
+        if (!acts.rejected) ++model.responses_delivered;
+        break;
+      }
+      case 4: {  // write progress, honest or bogus
+        const std::size_t backlog = fsm.backlog_bytes();
+        const std::size_t n = (rng() % 4 == 0) ? backlog + 1 + rng() % 8  // bogus
+                                               : (backlog > 0 ? 1 + rng() % backlog : 0);
+        acts = fsm.on_wrote(n);
+        break;
+      }
+      default: {  // lifecycle / timer events, valid or not
+        constexpr SessionEvent kEvents[] = {
+            SessionEvent::kWriteBlocked, SessionEvent::kReadEof,   SessionEvent::kPeerError,
+            SessionEvent::kSendTimeout,  SessionEvent::kIdleTimeout, SessionEvent::kDrain,
+            // Payload events through the wrong entry point must reject.
+            SessionEvent::kBytesIn, SessionEvent::kResponseReady, SessionEvent::kWroteBytes,
+        };
+        acts = fsm.on_event(kEvents[rng() % std::size(kEvents)]);
+        break;
+      }
+    }
+    absorb(acts, model);
+    check_invariants(fsm, model, config.max_in_flight);
+    if (model.closed) break;
+  }
+
+  // Terminal check: once closed, everything is rejected, forever.
+  if (model.closed) {
+    for (const auto event :
+         {SessionEvent::kWriteBlocked, SessionEvent::kReadEof, SessionEvent::kPeerError,
+          SessionEvent::kSendTimeout, SessionEvent::kIdleTimeout, SessionEvent::kDrain}) {
+      ASSERT_TRUE(fsm.on_event(event).rejected);
+    }
+    const std::uint8_t byte = 0;
+    ASSERT_TRUE(fsm.on_bytes(&byte, 1).rejected);
+    ASSERT_TRUE(fsm.on_response("late").rejected);
+    ASSERT_TRUE(fsm.on_wrote(1).rejected);
+    ASSERT_EQ(fsm.close_reason(), model.reason);
+  }
+}
+
+class SessionFsmFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SessionFsmFuzz, RandomEventSequencesPreserveInvariants) {
+  const std::uint64_t base = GetParam() * 50000;
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    fuzz_session(base + i);
+    if (::testing::Test::HasFatalFailure()) {
+      FAIL() << "seed " << (base + i);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionFsmFuzz, ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace ncpm::net

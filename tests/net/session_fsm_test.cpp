@@ -1,0 +1,577 @@
+// Conformance suite for the pure session FSM (net/session_fsm.hpp) — no
+// sockets, no threads, no clocks.
+//
+// The core of the suite is a table of all (state, event) pairs mirroring
+// the "Server session lifecycle" table in docs/ncpm-rpc-v1.md: every pair
+// either transitions exactly as documented or is rejected with the FSM
+// untouched. Around the table sit directed tests for the torn-read paths
+// (hello and frames arriving one byte at a time, headers split across
+// reads), slot accounting, pause/resume under backpressure and write
+// backlog, and the double-close / write-after-close rejections.
+
+#include "net/session_fsm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+
+namespace ncpm::net {
+namespace {
+
+// --- canonical wire fragments -----------------------------------------------
+
+std::vector<std::uint8_t> wire_hello() {
+  std::vector<std::uint8_t> hello(12);
+  std::memcpy(hello.data(), kRpcMagic, 8);
+  for (int i = 0; i < 4; ++i) {
+    hello[8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((kRpcVersion >> (8 * i)) & 0xff);
+  }
+  return hello;
+}
+
+std::vector<std::uint8_t> frame_header(std::uint32_t len) {
+  std::vector<std::uint8_t> header(4);
+  for (int i = 0; i < 4; ++i) {
+    header[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>((len >> (8 * i)) & 0xff);
+  }
+  return header;
+}
+
+/// A complete length-prefixed frame with a `len`-byte arbitrary body.
+std::vector<std::uint8_t> whole_frame(std::uint32_t len) {
+  auto frame = frame_header(len);
+  for (std::uint32_t i = 0; i < len; ++i) frame.push_back(static_cast<std::uint8_t>(i + 1));
+  return frame;
+}
+
+SessionActions feed(SessionFsm& fsm, const std::vector<std::uint8_t>& bytes) {
+  return fsm.on_bytes(bytes.data(), bytes.size());
+}
+
+/// Drive the handshake and flush the server hello so constructions start
+/// from an empty backlog (the table is cleaner when "backlog non-empty"
+/// only holds where the row says so).
+void handshake_and_flush(SessionFsm& fsm) {
+  const auto acts = feed(fsm, wire_hello());
+  ASSERT_TRUE(acts.hello_ok);
+  ASSERT_EQ(fsm.backlog_bytes(), 12u);
+  ASSERT_FALSE(fsm.on_wrote(12).rejected);
+  ASSERT_EQ(fsm.backlog_bytes(), 0u);
+}
+
+// --- the transition table ----------------------------------------------------
+
+/// Expected outcome of applying one event in one canonically-built state.
+struct Expected {
+  bool rejected = false;
+  SessionState after = SessionState::kClosed;
+  /// Checked when `after` is kClosed and the row is not a rejection.
+  SessionCloseReason reason = SessionCloseReason::kNone;
+};
+
+constexpr Expected kRejectedRow{true, SessionState::kClosed, SessionCloseReason::kNone};
+
+Expected accepted(SessionState after) { return {false, after, SessionCloseReason::kNone}; }
+Expected closes(SessionCloseReason reason) { return {false, SessionState::kClosed, reason}; }
+
+struct TableCase {
+  SessionState state;
+  SessionEvent event;
+  Expected expected;
+};
+
+/// Build an FSM sitting in `state` via the documented canonical route.
+/// kDispatched and kClosing use max_in_flight = 1; the rest use 2.
+SessionFsm make_fsm(SessionState state) {
+  SessionFsmConfig config;
+  config.max_in_flight =
+      (state == SessionState::kDispatched || state == SessionState::kClosing) ? 1 : 2;
+  SessionFsm fsm(config);
+  switch (state) {
+    case SessionState::kAwaitHello:
+      break;
+    case SessionState::kReadHeader:
+      handshake_and_flush(fsm);
+      break;
+    case SessionState::kReadBody:
+      handshake_and_flush(fsm);
+      feed(fsm, frame_header(2));
+      break;
+    case SessionState::kDispatched:
+      handshake_and_flush(fsm);
+      feed(fsm, whole_frame(2));  // dispatches; in_flight == max_in_flight == 1
+      break;
+    case SessionState::kWriteBacklog:
+      handshake_and_flush(fsm);
+      feed(fsm, whole_frame(2));     // in_flight 1 of 2
+      fsm.on_response("RESP");       // 4 backlog bytes
+      fsm.on_event(SessionEvent::kWriteBlocked);
+      break;
+    case SessionState::kClosing:
+      handshake_and_flush(fsm);
+      feed(fsm, whole_frame(2));               // in_flight 1 of 1
+      fsm.on_event(SessionEvent::kDrain);      // drains: closing until the response flushes
+      break;
+    case SessionState::kClosed:
+      fsm.on_event(SessionEvent::kPeerError);
+      break;
+  }
+  EXPECT_EQ(fsm.state(), state) << "canonical construction broke";
+  return fsm;
+}
+
+/// Apply `event` with its canonical payload (one input byte, one 4-byte
+/// response frame, one written byte).
+SessionActions apply_event(SessionFsm& fsm, SessionEvent event) {
+  switch (event) {
+    case SessionEvent::kBytesIn: {
+      const std::uint8_t byte = 'N';  // a valid first hello byte, an arbitrary body byte
+      return fsm.on_bytes(&byte, 1);
+    }
+    case SessionEvent::kResponseReady:
+      return fsm.on_response("RESP");
+    case SessionEvent::kWroteBytes:
+      return fsm.on_wrote(1);
+    default:
+      return fsm.on_event(event);
+  }
+}
+
+const TableCase kTable[] = {
+    // kAwaitHello: reads progress the hello; nothing is in flight, nothing
+    // is writable, so lifecycle events close immediately.
+    {SessionState::kAwaitHello, SessionEvent::kBytesIn, accepted(SessionState::kAwaitHello)},
+    {SessionState::kAwaitHello, SessionEvent::kResponseReady, kRejectedRow},
+    {SessionState::kAwaitHello, SessionEvent::kWroteBytes, kRejectedRow},
+    {SessionState::kAwaitHello, SessionEvent::kWriteBlocked, kRejectedRow},
+    {SessionState::kAwaitHello, SessionEvent::kReadEof, closes(SessionCloseReason::kCleanEof)},
+    {SessionState::kAwaitHello, SessionEvent::kPeerError, closes(SessionCloseReason::kPeerError)},
+    {SessionState::kAwaitHello, SessionEvent::kSendTimeout, kRejectedRow},
+    {SessionState::kAwaitHello, SessionEvent::kIdleTimeout,
+     closes(SessionCloseReason::kIdleTimeout)},
+    {SessionState::kAwaitHello, SessionEvent::kDrain, closes(SessionCloseReason::kDrained)},
+
+    // kReadHeader: quiescent between frames (backlog flushed).
+    {SessionState::kReadHeader, SessionEvent::kBytesIn, accepted(SessionState::kReadHeader)},
+    // Nothing dispatched => no slot is awaiting a response.
+    {SessionState::kReadHeader, SessionEvent::kResponseReady, kRejectedRow},
+    {SessionState::kReadHeader, SessionEvent::kWroteBytes, kRejectedRow},
+    {SessionState::kReadHeader, SessionEvent::kWriteBlocked, kRejectedRow},
+    {SessionState::kReadHeader, SessionEvent::kReadEof, closes(SessionCloseReason::kCleanEof)},
+    {SessionState::kReadHeader, SessionEvent::kPeerError, closes(SessionCloseReason::kPeerError)},
+    {SessionState::kReadHeader, SessionEvent::kSendTimeout, kRejectedRow},
+    {SessionState::kReadHeader, SessionEvent::kIdleTimeout,
+     closes(SessionCloseReason::kIdleTimeout)},
+    {SessionState::kReadHeader, SessionEvent::kDrain, closes(SessionCloseReason::kDrained)},
+
+    // kReadBody: mid-frame. EOF here is a truncation; the idle reaper must
+    // not fire; drain abandons the partial frame (nothing admitted yet).
+    {SessionState::kReadBody, SessionEvent::kBytesIn, accepted(SessionState::kReadBody)},
+    {SessionState::kReadBody, SessionEvent::kResponseReady, kRejectedRow},
+    {SessionState::kReadBody, SessionEvent::kWroteBytes, kRejectedRow},
+    {SessionState::kReadBody, SessionEvent::kWriteBlocked, kRejectedRow},
+    {SessionState::kReadBody, SessionEvent::kReadEof,
+     closes(SessionCloseReason::kProtocolError)},
+    {SessionState::kReadBody, SessionEvent::kPeerError, closes(SessionCloseReason::kPeerError)},
+    {SessionState::kReadBody, SessionEvent::kSendTimeout, kRejectedRow},
+    {SessionState::kReadBody, SessionEvent::kIdleTimeout, kRejectedRow},
+    {SessionState::kReadBody, SessionEvent::kDrain, closes(SessionCloseReason::kDrained)},
+
+    // kDispatched: at the in-flight bound. New bytes buffer; EOF and drain
+    // enter kClosing so the admitted request's response still flushes.
+    {SessionState::kDispatched, SessionEvent::kBytesIn, accepted(SessionState::kDispatched)},
+    {SessionState::kDispatched, SessionEvent::kResponseReady,
+     accepted(SessionState::kDispatched)},
+    {SessionState::kDispatched, SessionEvent::kWroteBytes, kRejectedRow},
+    {SessionState::kDispatched, SessionEvent::kWriteBlocked, kRejectedRow},
+    {SessionState::kDispatched, SessionEvent::kReadEof, accepted(SessionState::kClosing)},
+    {SessionState::kDispatched, SessionEvent::kPeerError,
+     closes(SessionCloseReason::kPeerError)},
+    {SessionState::kDispatched, SessionEvent::kSendTimeout, kRejectedRow},
+    {SessionState::kDispatched, SessionEvent::kIdleTimeout, kRejectedRow},
+    {SessionState::kDispatched, SessionEvent::kDrain, accepted(SessionState::kClosing)},
+
+    // kWriteBacklog: the peer stopped draining. Write progress unblocks;
+    // the send timeout may fire here (and only where a backlog exists).
+    {SessionState::kWriteBacklog, SessionEvent::kBytesIn,
+     accepted(SessionState::kWriteBacklog)},
+    // The canonical backlog already queued its one slot's response.
+    {SessionState::kWriteBacklog, SessionEvent::kResponseReady, kRejectedRow},
+    {SessionState::kWriteBacklog, SessionEvent::kWroteBytes,
+     accepted(SessionState::kReadHeader)},
+    {SessionState::kWriteBacklog, SessionEvent::kWriteBlocked,
+     accepted(SessionState::kWriteBacklog)},
+    {SessionState::kWriteBacklog, SessionEvent::kReadEof, accepted(SessionState::kClosing)},
+    {SessionState::kWriteBacklog, SessionEvent::kPeerError,
+     closes(SessionCloseReason::kPeerError)},
+    {SessionState::kWriteBacklog, SessionEvent::kSendTimeout,
+     closes(SessionCloseReason::kSendTimeout)},
+    {SessionState::kWriteBacklog, SessionEvent::kIdleTimeout, kRejectedRow},
+    {SessionState::kWriteBacklog, SessionEvent::kDrain, accepted(SessionState::kClosing)},
+
+    // kClosing: reads are over; responses still arrive and flush. Repeated
+    // EOF/drain signals are ignored no-ops, not errors.
+    {SessionState::kClosing, SessionEvent::kBytesIn, kRejectedRow},
+    {SessionState::kClosing, SessionEvent::kResponseReady, accepted(SessionState::kClosing)},
+    {SessionState::kClosing, SessionEvent::kWroteBytes, kRejectedRow},
+    {SessionState::kClosing, SessionEvent::kWriteBlocked, kRejectedRow},
+    {SessionState::kClosing, SessionEvent::kReadEof, accepted(SessionState::kClosing)},
+    {SessionState::kClosing, SessionEvent::kPeerError, closes(SessionCloseReason::kPeerError)},
+    {SessionState::kClosing, SessionEvent::kSendTimeout, kRejectedRow},
+    {SessionState::kClosing, SessionEvent::kIdleTimeout, kRejectedRow},
+    {SessionState::kClosing, SessionEvent::kDrain, accepted(SessionState::kClosing)},
+
+    // kClosed: terminal. Every event — double close included — is rejected.
+    {SessionState::kClosed, SessionEvent::kBytesIn, kRejectedRow},
+    {SessionState::kClosed, SessionEvent::kResponseReady, kRejectedRow},
+    {SessionState::kClosed, SessionEvent::kWroteBytes, kRejectedRow},
+    {SessionState::kClosed, SessionEvent::kWriteBlocked, kRejectedRow},
+    {SessionState::kClosed, SessionEvent::kReadEof, kRejectedRow},
+    {SessionState::kClosed, SessionEvent::kPeerError, kRejectedRow},
+    {SessionState::kClosed, SessionEvent::kSendTimeout, kRejectedRow},
+    {SessionState::kClosed, SessionEvent::kIdleTimeout, kRejectedRow},
+    {SessionState::kClosed, SessionEvent::kDrain, kRejectedRow},
+};
+
+TEST(SessionFsmTable, CoversEveryStateEventPair) {
+  // The table must be total: one row per (state, event) pair.
+  ASSERT_EQ(std::size(kTable), kNumSessionStates * kNumSessionEvents);
+  bool seen[kNumSessionStates][kNumSessionEvents] = {};
+  for (const auto& row : kTable) {
+    auto& cell = seen[static_cast<std::size_t>(row.state)][static_cast<std::size_t>(row.event)];
+    EXPECT_FALSE(cell) << session_state_name(row.state) << " x "
+                       << session_event_name(row.event) << " appears twice";
+    cell = true;
+  }
+}
+
+class SessionFsmTransition : public ::testing::TestWithParam<TableCase> {};
+
+TEST_P(SessionFsmTransition, MatchesTheDocumentedTable) {
+  const auto& row = GetParam();
+  SessionFsm fsm = make_fsm(row.state);
+  const auto before_state = fsm.state();
+  const auto before_in_flight = fsm.in_flight();
+  const auto before_backlog = fsm.backlog_bytes();
+  const auto before_reason = fsm.close_reason();
+
+  const auto acts = apply_event(fsm, row.event);
+
+  if (row.expected.rejected) {
+    EXPECT_TRUE(acts.rejected);
+    // Rejection is observation-free: nothing about the FSM moved.
+    EXPECT_EQ(fsm.state(), before_state);
+    EXPECT_EQ(fsm.in_flight(), before_in_flight);
+    EXPECT_EQ(fsm.backlog_bytes(), before_backlog);
+    EXPECT_EQ(fsm.close_reason(), before_reason);
+    EXPECT_FALSE(acts.close);
+    EXPECT_TRUE(acts.dispatch.empty());
+    return;
+  }
+  EXPECT_FALSE(acts.rejected);
+  EXPECT_EQ(fsm.state(), row.expected.after)
+      << "got " << session_state_name(fsm.state());
+  if (row.expected.after == SessionState::kClosed) {
+    EXPECT_TRUE(acts.close);
+    EXPECT_EQ(acts.close_reason, row.expected.reason);
+    EXPECT_EQ(fsm.close_reason(), row.expected.reason);
+  } else {
+    EXPECT_FALSE(acts.close);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table, SessionFsmTransition, ::testing::ValuesIn(kTable),
+                         [](const ::testing::TestParamInfo<TableCase>& info) {
+                           std::string name(session_state_name(info.param.state));
+                           name += "_";
+                           name += session_event_name(info.param.event);
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// --- hello handshake ---------------------------------------------------------
+
+/// The FSM keeps its own copy of the 12-byte hello so it stays socket-free;
+/// this pins that copy to the wire constants in net/frame.hpp, both for
+/// what it accepts and for what it queues as the server hello.
+TEST(SessionFsmHello, HelloBytesArePinnedToTheWireConstants) {
+  SessionFsm fsm;
+  const auto hello = wire_hello();
+  const auto acts = feed(fsm, hello);
+  EXPECT_TRUE(acts.hello_ok);
+  ASSERT_EQ(fsm.backlog_bytes(), hello.size());
+  ASSERT_EQ(fsm.write_size(), hello.size());
+  EXPECT_EQ(0, std::memcmp(fsm.write_data(), hello.data(), hello.size()));
+}
+
+TEST(SessionFsmHello, BadHelloIsAProtocolErrorThatClosesImmediately) {
+  SessionFsm fsm;
+  auto hello = wire_hello();
+  hello[8] = 0x2;  // wrong version
+  const auto acts = feed(fsm, hello);
+  EXPECT_TRUE(acts.protocol_error);
+  EXPECT_TRUE(acts.close);
+  EXPECT_EQ(acts.close_reason, SessionCloseReason::kProtocolError);
+  EXPECT_EQ(fsm.state(), SessionState::kClosed);
+}
+
+TEST(SessionFsmHello, HelloTornAcrossSingleByteReadsStillCompletes) {
+  SessionFsm fsm;
+  const auto hello = wire_hello();
+  for (std::size_t i = 0; i < hello.size(); ++i) {
+    const auto acts = fsm.on_bytes(&hello[i], 1);
+    ASSERT_FALSE(acts.rejected);
+    if (i + 1 < hello.size()) {
+      EXPECT_FALSE(acts.hello_ok);
+      EXPECT_EQ(fsm.state(), SessionState::kAwaitHello);
+    } else {
+      EXPECT_TRUE(acts.hello_ok);
+      EXPECT_EQ(fsm.state(), SessionState::kReadHeader);
+    }
+  }
+}
+
+TEST(SessionFsmHello, BadHelloDetectedOnlyWhenComplete) {
+  // The last byte is the tell: nothing fails until all 12 arrived.
+  SessionFsm fsm;
+  auto hello = wire_hello();
+  hello[11] = 0xff;
+  ASSERT_FALSE(fsm.on_bytes(hello.data(), 11).protocol_error);
+  const auto acts = fsm.on_bytes(&hello[11], 1);
+  EXPECT_TRUE(acts.protocol_error);
+  EXPECT_EQ(fsm.state(), SessionState::kClosed);
+}
+
+// --- torn frames and dispatch ------------------------------------------------
+
+TEST(SessionFsmFraming, FrameTornIntoSingleBytesDispatchesOnce) {
+  SessionFsm fsm;
+  handshake_and_flush(fsm);
+  const auto frame = whole_frame(5);
+  std::size_t dispatched = 0;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    const auto acts = fsm.on_bytes(&frame[i], 1);
+    ASSERT_FALSE(acts.rejected);
+    dispatched += acts.dispatch.size();
+  }
+  ASSERT_EQ(dispatched, 1u);
+  EXPECT_EQ(fsm.in_flight(), 1u);
+}
+
+TEST(SessionFsmFraming, EverySplitOfHelloPlusFrameDispatchesTheSameBody) {
+  // Two-chunk splits at every boundary of hello + header + body: the
+  // dispatch must be byte-identical no matter where the reads tore.
+  std::vector<std::uint8_t> stream = wire_hello();
+  const auto frame = whole_frame(7);
+  stream.insert(stream.end(), frame.begin(), frame.end());
+  const std::vector<std::uint8_t> want(frame.begin() + 4, frame.end());
+
+  for (std::size_t split = 0; split <= stream.size(); ++split) {
+    SCOPED_TRACE("split at " + std::to_string(split));
+    SessionFsm fsm;
+    std::vector<std::vector<std::uint8_t>> got;
+    auto first = fsm.on_bytes(stream.data(), split);
+    ASSERT_FALSE(first.rejected);
+    for (auto& b : first.dispatch) got.push_back(std::move(b));
+    auto second = fsm.on_bytes(stream.data() + split, stream.size() - split);
+    ASSERT_FALSE(second.rejected);
+    for (auto& b : second.dispatch) got.push_back(std::move(b));
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], want);
+  }
+}
+
+TEST(SessionFsmFraming, ZeroLengthFrameDispatchesAnEmptyBody) {
+  // The server answers it with a malformed-payload error; the framing
+  // layer's job is only to deliver the (empty) body and hold a slot.
+  SessionFsm fsm;
+  handshake_and_flush(fsm);
+  const auto acts = feed(fsm, frame_header(0));
+  ASSERT_EQ(acts.dispatch.size(), 1u);
+  EXPECT_TRUE(acts.dispatch[0].empty());
+  EXPECT_EQ(fsm.in_flight(), 1u);
+}
+
+TEST(SessionFsmFraming, OversizedLengthPrefixIsAProtocolError) {
+  SessionFsmConfig config;
+  config.max_frame_body = 1024;
+  SessionFsm fsm(config);
+  handshake_and_flush(fsm);
+  const auto acts = feed(fsm, frame_header(1025));
+  EXPECT_TRUE(acts.protocol_error);
+  EXPECT_TRUE(acts.close);  // nothing admitted => nothing to flush first
+  EXPECT_EQ(acts.close_reason, SessionCloseReason::kProtocolError);
+}
+
+TEST(SessionFsmFraming, OversizedLengthWithAdmittedWorkFlushesBeforeClosing) {
+  SessionFsmConfig config;
+  config.max_frame_body = 1024;
+  config.max_in_flight = 2;
+  SessionFsm fsm(config);
+  handshake_and_flush(fsm);
+  feed(fsm, whole_frame(2));  // one admitted request
+  const auto acts = feed(fsm, frame_header(4096));
+  EXPECT_TRUE(acts.protocol_error);
+  EXPECT_FALSE(acts.close);  // the admitted request's response must flush first
+  EXPECT_EQ(fsm.state(), SessionState::kClosing);
+
+  auto resp = fsm.on_response("RR");
+  ASSERT_FALSE(resp.rejected);
+  const auto done = fsm.on_wrote(fsm.backlog_bytes());
+  EXPECT_EQ(done.responses_completed, 1u);
+  EXPECT_TRUE(done.close);
+  EXPECT_EQ(done.close_reason, SessionCloseReason::kProtocolError);
+}
+
+// --- backpressure and write backlog -----------------------------------------
+
+TEST(SessionFsmBackpressure, InputPausesAtTheBoundAndResumesOnSlotRelease) {
+  SessionFsmConfig config;
+  config.max_in_flight = 1;
+  SessionFsm fsm(config);
+  handshake_and_flush(fsm);
+
+  // Two complete frames in one read: only the first may dispatch.
+  auto stream = whole_frame(3);
+  const auto second = whole_frame(4);
+  stream.insert(stream.end(), second.begin(), second.end());
+  const auto acts = feed(fsm, stream);
+  ASSERT_EQ(acts.dispatch.size(), 1u);
+  EXPECT_EQ(fsm.state(), SessionState::kDispatched);
+  EXPECT_FALSE(fsm.wants_read());
+  EXPECT_EQ(fsm.buffered_input(), second.size());
+
+  // Response queued: still at the bound (the slot frees on full write).
+  ASSERT_FALSE(fsm.on_response("RESP").rejected);
+  EXPECT_EQ(fsm.state(), SessionState::kDispatched);
+
+  // Partial write: still held.
+  auto partial = fsm.on_wrote(2);
+  ASSERT_FALSE(partial.rejected);
+  EXPECT_EQ(partial.responses_completed, 0u);
+  EXPECT_EQ(fsm.in_flight(), 1u);
+
+  // Final write: slot opens and the buffered second frame dispatches.
+  auto done = fsm.on_wrote(2);
+  ASSERT_FALSE(done.rejected);
+  EXPECT_EQ(done.responses_completed, 1u);
+  ASSERT_EQ(done.dispatch.size(), 1u);
+  EXPECT_EQ(done.dispatch[0], std::vector<std::uint8_t>(second.begin() + 4, second.end()));
+  EXPECT_EQ(fsm.buffered_input(), 0u);
+}
+
+TEST(SessionFsmBackpressure, WriteBacklogPausesInputUntilProgress) {
+  SessionFsmConfig config;
+  config.max_in_flight = 4;
+  SessionFsm fsm(config);
+  handshake_and_flush(fsm);
+  feed(fsm, whole_frame(2));
+  ASSERT_FALSE(fsm.on_response("RESPONSE").rejected);
+  ASSERT_FALSE(fsm.on_event(SessionEvent::kWriteBlocked).rejected);
+  EXPECT_EQ(fsm.state(), SessionState::kWriteBacklog);
+  EXPECT_FALSE(fsm.wants_read());
+
+  // A complete frame arriving now buffers instead of dispatching.
+  const auto held = feed(fsm, whole_frame(3));
+  ASSERT_FALSE(held.rejected);
+  EXPECT_TRUE(held.dispatch.empty());
+  EXPECT_GT(fsm.buffered_input(), 0u);
+
+  // One byte of write progress unblocks reads and admits the held frame.
+  const auto acts = fsm.on_wrote(1);
+  ASSERT_FALSE(acts.rejected);
+  ASSERT_EQ(acts.dispatch.size(), 1u);
+  EXPECT_TRUE(fsm.wants_read());
+}
+
+TEST(SessionFsmBackpressure, SendTimerArmsOnBacklogAndDisarmsOnDrain) {
+  SessionFsm fsm;
+  const auto hello = feed(fsm, wire_hello());
+  EXPECT_TRUE(hello.arm_send_timer);  // server hello made the backlog non-empty
+
+  auto partial = fsm.on_wrote(6);
+  EXPECT_TRUE(partial.arm_send_timer);  // progress restarts the stall clock
+  EXPECT_FALSE(partial.disarm_send_timer);
+
+  auto done = fsm.on_wrote(6);
+  EXPECT_TRUE(done.disarm_send_timer);
+  EXPECT_FALSE(done.arm_send_timer);
+}
+
+// --- drain and close ---------------------------------------------------------
+
+TEST(SessionFsmClose, DrainFlushesAdmittedResponsesThenCloses) {
+  SessionFsmConfig config;
+  config.max_in_flight = 2;
+  SessionFsm fsm(config);
+  handshake_and_flush(fsm);
+  feed(fsm, whole_frame(2));
+  feed(fsm, whole_frame(2));
+  ASSERT_EQ(fsm.in_flight(), 2u);
+
+  ASSERT_FALSE(fsm.on_event(SessionEvent::kDrain).rejected);
+  EXPECT_EQ(fsm.state(), SessionState::kClosing);
+
+  ASSERT_FALSE(fsm.on_response("AA").rejected);
+  ASSERT_FALSE(fsm.on_wrote(2).close);  // one of two responses flushed
+  ASSERT_FALSE(fsm.on_response("BB").rejected);
+  const auto last = fsm.on_wrote(2);
+  EXPECT_EQ(last.responses_completed, 1u);
+  EXPECT_TRUE(last.close);
+  EXPECT_EQ(last.close_reason, SessionCloseReason::kDrained);
+}
+
+TEST(SessionFsmClose, EofMidBodyStillFlushesAdmittedWork) {
+  SessionFsmConfig config;
+  config.max_in_flight = 2;
+  SessionFsm fsm(config);
+  handshake_and_flush(fsm);
+  feed(fsm, whole_frame(2));      // admitted
+  feed(fsm, frame_header(8));     // second frame: header only, then the peer dies
+  const auto eof = fsm.on_event(SessionEvent::kReadEof);
+  EXPECT_TRUE(eof.protocol_error);
+  EXPECT_EQ(fsm.state(), SessionState::kClosing);
+
+  ASSERT_FALSE(fsm.on_response("RR").rejected);
+  const auto done = fsm.on_wrote(fsm.backlog_bytes());
+  EXPECT_TRUE(done.close);
+  EXPECT_EQ(done.close_reason, SessionCloseReason::kProtocolError);
+}
+
+TEST(SessionFsmClose, DoubleCloseAndWriteAfterCloseAreRejected) {
+  SessionFsm fsm;
+  ASSERT_FALSE(fsm.on_event(SessionEvent::kPeerError).rejected);
+  ASSERT_EQ(fsm.state(), SessionState::kClosed);
+
+  // Double close: a second close-causing event of any flavor is rejected
+  // and the original reason is preserved.
+  EXPECT_TRUE(fsm.on_event(SessionEvent::kPeerError).rejected);
+  EXPECT_TRUE(fsm.on_event(SessionEvent::kReadEof).rejected);
+  EXPECT_TRUE(fsm.on_event(SessionEvent::kDrain).rejected);
+  EXPECT_EQ(fsm.close_reason(), SessionCloseReason::kPeerError);
+
+  // Write after close: a late engine response is rejected, not queued.
+  EXPECT_TRUE(fsm.on_response("LATE").rejected);
+  EXPECT_EQ(fsm.backlog_bytes(), 0u);
+  EXPECT_FALSE(fsm.wants_write());
+}
+
+TEST(SessionFsmClose, SendTimeoutDropsTheBacklogImmediately) {
+  SessionFsm fsm;
+  feed(fsm, wire_hello());  // hello queued, never written: a stalled peer
+  ASSERT_FALSE(fsm.on_event(SessionEvent::kWriteBlocked).rejected);
+  const auto acts = fsm.on_event(SessionEvent::kSendTimeout);
+  EXPECT_TRUE(acts.close);
+  EXPECT_EQ(acts.close_reason, SessionCloseReason::kSendTimeout);
+  EXPECT_EQ(fsm.backlog_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace ncpm::net
