@@ -167,6 +167,86 @@ void BM_ServerLoopbackPipelined(benchmark::State& state) {
 BENCHMARK(BM_ServerLoopbackPipelined)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+void BM_ServerOverload(benchmark::State& state) {
+  // Demand is `multiplier` x the server's global admission cap: every client
+  // keeps one call in flight, so with cap 8 and 16 clients roughly half the
+  // arrivals are shed. Reports the shed rate and the p99 round-trip of the
+  // *admitted* requests — the overload contract is "refuse fast, stay fast
+  // for what you accept", and this measures both halves.
+  const std::size_t multiplier = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kGlobalCap = 8;
+  constexpr std::size_t kCallsPerClient = 16;
+  const std::size_t clients_n = kGlobalCap * multiplier;
+
+  ncpm::net::ServerConfig cfg;
+  cfg.engine = ncpm::engine::EngineConfig{2, 1};
+  cfg.max_in_flight_global = kGlobalCap;
+  ncpm::net::Server server(cfg);
+  server.start();
+
+  std::vector<ncpm::net::Client> clients;
+  for (std::size_t c = 0; c < clients_n; ++c) {
+    clients.push_back(ncpm::net::Client::connect("127.0.0.1", server.port()));
+  }
+
+  const auto& instances = instance_mix();
+  std::mutex lat_mu;
+  std::vector<double> admitted_us;
+  std::size_t admitted = 0;
+  std::size_t shed = 0;
+  std::atomic<bool> bad_status{false};
+
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(clients_n);
+    for (std::size_t c = 0; c < clients_n; ++c) {
+      threads.emplace_back([&, c] {
+        std::vector<double> local;
+        std::size_t local_admitted = 0;
+        std::size_t local_shed = 0;
+        for (std::size_t i = 0; i < kCallsPerClient; ++i) {
+          const auto& inst = instances[(i + c) % instances.size()];
+          const auto mode = kModeCycle[i % std::size(kModeCycle)];
+          const auto t0 = std::chrono::steady_clock::now();
+          const auto resp = clients[c].call(mode, inst);
+          const auto t1 = std::chrono::steady_clock::now();
+          if (resp.status == ncpm::net::RpcStatus::kOverloaded) {
+            ++local_shed;
+          } else if (resp.status == ncpm::net::RpcStatus::kOk ||
+                     resp.status == ncpm::net::RpcStatus::kNoSolution) {
+            ++local_admitted;
+            local.push_back(std::chrono::duration<double, std::micro>(t1 - t0).count());
+          } else {
+            bad_status.store(true);  // kRejected here would be a server bug
+          }
+        }
+        std::lock_guard<std::mutex> lock(lat_mu);
+        admitted += local_admitted;
+        shed += local_shed;
+        admitted_us.insert(admitted_us.end(), local.begin(), local.end());
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  if (bad_status.load()) {
+    state.SkipWithError("live server answered something other than ok/no-solution/overloaded");
+    return;
+  }
+
+  std::sort(admitted_us.begin(), admitted_us.end());
+  const auto total = admitted + shed;
+  state.counters["admitted/s"] =
+      benchmark::Counter(static_cast<double>(admitted), benchmark::Counter::kIsRate);
+  state.counters["shed_rate"] =
+      total == 0 ? 0.0 : static_cast<double>(shed) / static_cast<double>(total);
+  state.counters["admitted_p50_us"] = percentile(admitted_us, 0.50);
+  state.counters["admitted_p99_us"] = percentile(admitted_us, 0.99);
+
+  for (auto& client : clients) client.close();
+  server.stop();
+}
+BENCHMARK(BM_ServerOverload)->Arg(2)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
+
 /// Best-effort RLIMIT_NOFILE raise so the 1024-connection point fits.
 bool fd_budget_holds(std::size_t want) {
   rlimit lim{};

@@ -48,6 +48,7 @@
 #include "gen/io_binary.hpp"
 #include "gen/stable_generators.hpp"
 #include "net/client.hpp"
+#include "net/resilient_client.hpp"
 #include "net/server.hpp"
 #include "pram/executor.hpp"
 #include "stable/rotations.hpp"
@@ -74,8 +75,11 @@ constexpr const char* kGenStableUsage = "gen-stable N SEED";
 constexpr const char* kGenBatchUsage = "gen-batch COUNT N_APPLICANTS N_POSTS SEED OUT.bin";
 constexpr const char* kServeUsage =
     "serve [--port P] [--bind ADDR] [--workers W] [--threads LANES] [--max-in-flight K] "
-    "[--core threads|epoll] [--idle-timeout-ms T]";
-constexpr const char* kRpcUsage = "rpc HOST:PORT MODE [file] [--deadline-ms N]";
+    "[--max-in-flight-global G] [--core threads|epoll] [--idle-timeout-ms T] "
+    "[--hello-timeout-ms T]";
+constexpr const char* kRpcUsage =
+    "rpc HOST:PORT MODE [file] [--deadline-ms N] [--retries R] [--backoff-ms B] "
+    "[--hedge-ms H]";
 
 int help() {
   std::printf(
@@ -98,9 +102,14 @@ struct Options {
   std::string bind = "127.0.0.1";
   int workers = 0;             // serve: 0 = hardware default
   int max_in_flight = 64;
-  std::string core = "epoll";  // serve: reactor core (threads|epoll)
-  int idle_timeout_ms = 0;     // serve: 0 = never reap idle connections
-  int deadline_ms = 0;  // rpc: 0 = none
+  int max_in_flight_global = 0;  // serve: 0 = no global admission cap
+  std::string core = "epoll";    // serve: reactor core (threads|epoll)
+  int idle_timeout_ms = 0;       // serve: 0 = never reap idle connections
+  int hello_timeout_ms = 10000;  // serve: 0 = wait for the hello forever
+  int deadline_ms = 0;           // rpc: 0 = none
+  int retries = 0;               // rpc: attempts beyond the first
+  int backoff_ms = 50;           // rpc: initial retry backoff
+  int hedge_ms = 0;              // rpc: 0 = no hedged second attempt
 };
 
 /// Parse one nonnegative integer flag value; returns false on junk.
@@ -129,13 +138,23 @@ bool parse_flags(int argc, char** argv, Options& opts) {
       if (++i >= argc || !parse_int(argv[i], 1, opts.workers)) return false;
     } else if (arg == "--max-in-flight") {
       if (++i >= argc || !parse_int(argv[i], 1, opts.max_in_flight)) return false;
+    } else if (arg == "--max-in-flight-global") {
+      if (++i >= argc || !parse_int(argv[i], 0, opts.max_in_flight_global)) return false;
     } else if (arg == "--core") {
       if (++i >= argc || !ncpm::net::parse_server_core(argv[i]).has_value()) return false;
       opts.core = argv[i];
     } else if (arg == "--idle-timeout-ms") {
       if (++i >= argc || !parse_int(argv[i], 1, opts.idle_timeout_ms)) return false;
+    } else if (arg == "--hello-timeout-ms") {
+      if (++i >= argc || !parse_int(argv[i], 0, opts.hello_timeout_ms)) return false;
     } else if (arg == "--deadline-ms") {
       if (++i >= argc || !parse_int(argv[i], 1, opts.deadline_ms)) return false;
+    } else if (arg == "--retries") {
+      if (++i >= argc || !parse_int(argv[i], 0, opts.retries)) return false;
+    } else if (arg == "--backoff-ms") {
+      if (++i >= argc || !parse_int(argv[i], 1, opts.backoff_ms)) return false;
+    } else if (arg == "--hedge-ms") {
+      if (++i >= argc || !parse_int(argv[i], 1, opts.hedge_ms)) return false;
     } else if (arg.rfind("--", 0) == 0) {
       return false;
     } else {
@@ -457,10 +476,16 @@ int run_rpc(const Options& opts) {
   if (opts.positional.size() == 3) input.positional.push_back(opts.positional[2]);
   const auto inst = ncpm::io::read_instance(slurp_input(input));
 
-  auto client =
-      ncpm::net::Client::connect(hostport.substr(0, colon), static_cast<std::uint16_t>(port));
-  const auto deadline_ns = static_cast<std::uint64_t>(opts.deadline_ms) * 1'000'000ULL;
-  return print_response(client.call(*mode, inst, deadline_ns));
+  // Always go through the resilient wrapper: with the defaults (0 retries,
+  // no hedge) it behaves exactly like a plain Client, and the flags buy
+  // reconnect + backoff + hedging without a separate code path.
+  ncpm::net::ResilientClientConfig rcfg;
+  rcfg.max_attempts = opts.retries + 1;
+  rcfg.backoff.initial = std::chrono::milliseconds(opts.backoff_ms);
+  rcfg.hedge_delay = std::chrono::milliseconds(opts.hedge_ms);
+  ncpm::net::ResilientClient client(hostport.substr(0, colon), static_cast<std::uint16_t>(port),
+                                    rcfg);
+  return print_response(client.call(*mode, inst, std::chrono::milliseconds(opts.deadline_ms)));
 }
 
 std::atomic<int> g_signal{0};
@@ -472,8 +497,10 @@ int run_serve(const Options& opts) {
   cfg.bind_address = opts.bind;
   cfg.port = static_cast<std::uint16_t>(opts.port);
   cfg.max_in_flight_per_connection = static_cast<std::size_t>(opts.max_in_flight);
+  cfg.max_in_flight_global = static_cast<std::size_t>(opts.max_in_flight_global);
   cfg.core = *ncpm::net::parse_server_core(opts.core);  // validated in parse_flags
   cfg.idle_timeout = std::chrono::milliseconds(opts.idle_timeout_ms);
+  cfg.hello_timeout = std::chrono::milliseconds(opts.hello_timeout_ms);
   cfg.engine.num_workers = opts.workers > 0 ? opts.workers : ncpm::pram::default_lanes();
   cfg.engine.lanes_per_worker = opts.threads > 0 ? opts.threads : 1;
 

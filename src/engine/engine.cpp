@@ -179,7 +179,10 @@ void Engine::shutdown(ShutdownMode mode) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
-    if (mode == ShutdownMode::kAbandon) abandoned.swap(queue_);
+    if (mode == ShutdownMode::kAbandon) {
+      abandoned.swap(queue_);
+      queue_depth_.fetch_sub(abandoned.size(), std::memory_order_relaxed);
+    }
   }
   cv_.notify_all();
   for (auto& task : abandoned) {
@@ -197,6 +200,8 @@ void Engine::shutdown(ShutdownMode mode) {
 void Engine::enqueue_locked(Task&& task) {
   if (stopping_) throw std::runtime_error("engine: submit after shutdown");
   queue_.push_back(std::move(task));
+  queue_depth_.fetch_add(1, std::memory_order_relaxed);
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     ++stats_.submitted;
@@ -287,6 +292,10 @@ void Engine::record(const Result& result) {
 
 void Engine::fulfill(Task& task, Result&& result) {
   record(result);
+  // Decrement before fulfilling: a caller woken by the promise (or the
+  // callback) must observe the admission counters already released, or a
+  // submit raced right after a completed .get() could still be shed.
+  outstanding_.fetch_sub(1, std::memory_order_relaxed);
   if (task.callback) {
     task.callback(std::move(result));
   } else if (task.promise.has_value()) {
@@ -312,6 +321,7 @@ void Engine::worker_main(int worker_id) {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_.fetch_sub(1, std::memory_order_relaxed);
       ++active_;
     }
 

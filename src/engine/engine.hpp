@@ -287,6 +287,18 @@ class Engine {
   EngineStats stats() const;
   int num_workers() const noexcept { return static_cast<int>(workers_.size()); }
 
+  /// Requests queued but not yet picked up by a worker. Lock-free relaxed
+  /// read — cheap enough for per-frame admission checks in the serving
+  /// path; momentarily stale by design (stats() gives the locked snapshot).
+  std::size_t queue_depth() const noexcept {
+    return queue_depth_.load(std::memory_order_relaxed);
+  }
+  /// Requests submitted whose promise/callback has not yet been fulfilled
+  /// (queued + mid-solve). Same lock-free relaxed contract as queue_depth().
+  std::size_t outstanding() const noexcept {
+    return outstanding_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Task {
     Request request;
@@ -317,6 +329,10 @@ class Engine {
   std::deque<Task> queue_;
   int active_ = 0;
   bool stopping_ = false;
+  /// Lock-free mirrors for admission control (see queue_depth() /
+  /// outstanding()); the mutex-guarded fields above stay authoritative.
+  std::atomic<std::size_t> queue_depth_{0};
+  std::atomic<std::size_t> outstanding_{0};
 
   std::mutex shutdown_mu_;  ///< serialises concurrent shutdown() calls
 

@@ -39,6 +39,19 @@ ResponseFrame Client::call(engine::Mode mode, const core::Instance& inst,
   return resp;
 }
 
+void Client::ping() {
+  const std::uint64_t token = next_id_++;
+  const auto frame = encode_keepalive_frame(FrameType::kPing, token);
+  sock_.send_all(frame.data(), frame.size());
+  if (!read_frame_body(sock_, body_)) {
+    throw NetError(NetErrc::kClosed, "server closed the connection awaiting pong");
+  }
+  const auto echoed = parse_keepalive_body(body_.data(), body_.size(), FrameType::kPong);
+  if (!echoed.has_value() || *echoed != token) {
+    throw NetError(NetErrc::kProtocol, "ping was not answered by a matching pong");
+  }
+}
+
 std::vector<ResponseFrame> Client::call_batch(const std::vector<RpcCall>& calls) {
   std::vector<ResponseFrame> results(calls.size());
   std::unordered_map<std::uint64_t, std::size_t> slot_of;

@@ -29,8 +29,11 @@ namespace ncpm::net {
 
 struct ClientConfig {
   std::chrono::milliseconds connect_timeout{5000};
-  /// Applied to every response wait; zero blocks indefinitely.
-  std::chrono::milliseconds recv_timeout{0};
+  /// Applied to every response wait. Finite by default so a server that
+  /// stalls mid-response surfaces as NetError(kTimeout) instead of hanging
+  /// the caller forever; zero is the explicit escape hatch meaning block
+  /// indefinitely (batch jobs that tolerate arbitrarily slow solves).
+  std::chrono::milliseconds recv_timeout{30000};
   /// Max requests in flight during call_batch. Keep <= the server's
   /// max_in_flight_per_connection or a large batch can deadlock on TCP
   /// buffers (both sides blocked in send).
@@ -60,6 +63,13 @@ class Client {
   /// Pipelined batch; results come back in input order regardless of the
   /// order the server solved them (matched by request id).
   std::vector<ResponseFrame> call_batch(const std::vector<RpcCall>& calls);
+
+  /// Wire-level liveness probe: send a keepalive ping and block for the
+  /// echoed pong (the server answers at the protocol layer, so this works
+  /// even when every engine worker is busy). Call only between requests —
+  /// a ping with responses outstanding would desynchronise the stream.
+  /// Throws NetError on a dead connection or a mismatched echo.
+  void ping();
 
   void close() noexcept { sock_.close(); }
   Socket& socket() noexcept { return sock_; }

@@ -132,6 +132,7 @@ std::string_view rpc_status_name(RpcStatus status) {
     case RpcStatus::kRejected: return "rejected";
     case RpcStatus::kMalformedFrame: return "malformed-frame";
     case RpcStatus::kUnsupportedMode: return "unsupported-mode";
+    case RpcStatus::kOverloaded: return "overloaded";
   }
   return "unknown";
 }
@@ -246,7 +247,7 @@ ResponseFrame decode_response_frame(const std::uint8_t* body, std::size_t size) 
   resp.request_id = cur.u64("request id");
   resp.mode_raw = cur.u8("mode tag");
   const auto status_raw = cur.u8("status");
-  if (status_raw > static_cast<std::uint8_t>(RpcStatus::kUnsupportedMode)) {
+  if (status_raw > static_cast<std::uint8_t>(RpcStatus::kOverloaded)) {
     fail("unknown status code " + std::to_string(status_raw));
   }
   resp.status = static_cast<RpcStatus>(status_raw);
@@ -284,6 +285,23 @@ ResponseFrame decode_response_frame(const std::uint8_t* body, std::size_t size) 
       break;
   }
   return resp;
+}
+
+std::string encode_keepalive_frame(FrameType type, std::uint64_t token) {
+  std::string body;
+  put_u8(body, static_cast<std::uint8_t>(type));
+  put_u64(body, token);
+  return with_length_prefix(body);
+}
+
+std::optional<std::uint64_t> parse_keepalive_body(const std::uint8_t* body, std::size_t size,
+                                                  FrameType type) noexcept {
+  if (size != kKeepaliveBodySize || body[0] != static_cast<std::uint8_t>(type)) {
+    return std::nullopt;
+  }
+  std::uint64_t token = 0;
+  for (int i = 0; i < 8; ++i) token |= static_cast<std::uint64_t>(body[1 + i]) << (8 * i);
+  return token;
 }
 
 void send_hello(Socket& sock) {

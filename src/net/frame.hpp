@@ -11,6 +11,9 @@
 //   response : u8 type = 2, u64 request_id, u8 mode (echoed; 0xff when the
 //              request was unparseable), u8 status, u64 queue_ns,
 //              u64 solve_ns, then a status/mode-dependent payload
+//   ping     : u8 type = 3, u64 token (client -> server liveness probe)
+//   pong     : u8 type = 4, u64 token echoed verbatim; answered at the
+//              protocol layer, before the engine, without taking a slot
 //
 // request_id is chosen by the client and echoed verbatim — responses may
 // come back in any order (the server writes each one as its solve
@@ -56,10 +59,13 @@ inline constexpr std::uint8_t kModeUnknown = 0xff;
 enum class FrameType : std::uint8_t {
   kRequest = 1,
   kResponse = 2,
+  kPing = 3,  ///< keepalive probe (client -> server): u8 type + u64 token
+  kPong = 4,  ///< keepalive answer (server -> client): token echoed verbatim
 };
 
 /// Wire status of one response. The first six mirror engine::Status; the
-/// rest are protocol-level failures that never reached the engine.
+/// rest are protocol-level failures that never reached the engine. The
+/// retryability taxonomy lives in docs/ncpm-rpc-v1.md, "Failure semantics".
 enum class RpcStatus : std::uint8_t {
   kOk = 0,
   kNoSolution = 1,
@@ -70,6 +76,7 @@ enum class RpcStatus : std::uint8_t {
   kRejected = 6,         ///< server shutting down before the request ran
   kMalformedFrame = 7,   ///< request frame or instance payload failed to parse
   kUnsupportedMode = 8,  ///< mode tag unknown or not served over rpc
+  kOverloaded = 9,       ///< admission control shed the request; server is live — retry
 };
 
 std::string_view rpc_status_name(RpcStatus status);
@@ -85,6 +92,8 @@ struct RequestHead {
 inline constexpr std::size_t kRequestHeadSize = 1 + 8 + 1 + 8;
 /// type + request_id + mode + status + queue_ns + solve_ns.
 inline constexpr std::size_t kResponseHeadSize = 1 + 8 + 1 + 1 + 8 + 8;
+/// type + token — a complete ping/pong body.
+inline constexpr std::size_t kKeepaliveBodySize = 1 + 8;
 
 /// One decoded response. Which optionals are populated follows the status
 /// and mode: matching for kOk matching modes, count for kOk count, check
@@ -127,6 +136,15 @@ ResponseFrame make_error_response(std::uint64_t request_id, std::uint8_t mode_ra
 RequestHead decode_request_head(const std::uint8_t* body, std::size_t size);
 core::Instance decode_request_instance(const std::uint8_t* body, std::size_t size);
 ResponseFrame decode_response_frame(const std::uint8_t* body, std::size_t size);
+
+/// Complete wire bytes (length prefix included) of a ping/pong keepalive
+/// frame. `type` must be kPing or kPong.
+std::string encode_keepalive_frame(FrameType type, std::uint64_t token);
+/// The token when `body` is exactly a keepalive body of `type`; nullopt for
+/// anything else (the server uses this to recognise pings without touching
+/// the request decoder; it never throws).
+std::optional<std::uint64_t> parse_keepalive_body(const std::uint8_t* body, std::size_t size,
+                                                  FrameType type) noexcept;
 
 /// Hello exchange. expect_hello returns false on a clean EOF before any
 /// hello byte and throws NetError(kProtocol) on a magic/version mismatch.

@@ -93,7 +93,7 @@ void EventLoop::remove_fd(int fd) {
 
 EventLoop::TimerId EventLoop::arm_timer(std::chrono::milliseconds delay,
                                         std::function<void()> on_fire) {
-  const TimerId id = wheel_.schedule(delay);
+  const TimerId id = wheel_.schedule(TimerWheel::Clock::now(), delay);
   timer_callbacks_[id] = std::move(on_fire);
   return id;
 }

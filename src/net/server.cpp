@@ -30,7 +30,7 @@ std::optional<ServerCoreKind> parse_server_core(std::string_view name) {
 namespace detail {
 
 void dispatch_request(engine::Engine& engine, ServerCounters& counters,
-                      const std::vector<std::uint8_t>& body,
+                      const ServerConfig& config, const std::vector<std::uint8_t>& body,
                       std::chrono::steady_clock::time_point receipt,
                       std::function<void(std::string)> deliver) {
   RequestHead head;
@@ -49,6 +49,30 @@ void dispatch_request(engine::Engine& engine, ServerCounters& counters,
     deliver(encode_response_frame(make_error_response(
         head.request_id, head.mode_raw, RpcStatus::kUnsupportedMode,
         "mode tag " + std::to_string(head.mode_raw) + " is not served over ncpm-rpc v1")));
+    return;
+  }
+
+  // Shedding gates, after the head (we need the request id to answer) but
+  // before the instance payload decodes — an overloaded server must not pay
+  // instance validation for work it is about to refuse.
+  if (head.deadline_ns > 0 &&
+      std::chrono::steady_clock::now() >= receipt + std::chrono::nanoseconds(head.deadline_ns)) {
+    counters.deadline_shed.fetch_add(1, std::memory_order_relaxed);
+    deliver(encode_response_frame(
+        make_error_response(head.request_id, head.mode_raw, RpcStatus::kDeadlineExpired,
+                            "deadline expired before dispatch")));
+    return;
+  }
+  const bool over_cap = config.max_in_flight_global > 0 &&
+                        engine.outstanding() >= config.max_in_flight_global;
+  const bool over_watermark = config.overload_queue_watermark > 0 &&
+                              engine.queue_depth() >= config.overload_queue_watermark;
+  if (over_cap || over_watermark) {
+    counters.overloaded_shed.fetch_add(1, std::memory_order_relaxed);
+    deliver(encode_response_frame(make_error_response(
+        head.request_id, head.mode_raw, RpcStatus::kOverloaded,
+        over_cap ? "server at its global in-flight cap; back off and retry"
+                 : "engine queue past the overload watermark; back off and retry")));
     return;
   }
 
@@ -106,6 +130,14 @@ class ThreadsCore final : public ServerCoreImpl {
   // Lifetime: shared_ptr copies live in the reader/writer closures and in
   // every pending engine callback, so a Connection outlives its last
   // response even if the server's list drops it first.
+  /// One outbound frame. Response frames count (slot release +
+  /// responses_sent when written); pong frames ride the same queue but
+  /// count as neither — keepalives are protocol-level traffic.
+  struct OutMsg {
+    std::string bytes;
+    bool counts = true;
+  };
+
   struct Connection {
     explicit Connection(Socket s) : sock(std::move(s)) {}
 
@@ -116,7 +148,7 @@ class ThreadsCore final : public ServerCoreImpl {
     std::mutex mu;
     std::condition_variable write_cv;      ///< writer wakeup
     std::condition_variable in_flight_cv;  ///< backpressure + reader drain
-    std::deque<std::string> write_queue;
+    std::deque<OutMsg> write_queue;
     /// Admitted frames whose response has not yet been sent (or discarded on
     /// a broken connection). Invariant: every queued frame holds one slot,
     /// released by the writer after send_all — so the bound caps engine work
@@ -134,7 +166,8 @@ class ThreadsCore final : public ServerCoreImpl {
   void handle_frame(const std::shared_ptr<Connection>& conn,
                     const std::vector<std::uint8_t>& body,
                     std::chrono::steady_clock::time_point receipt);
-  void enqueue_frame(const std::shared_ptr<Connection>& conn, std::string frame);
+  void enqueue_frame(const std::shared_ptr<Connection>& conn, std::string frame,
+                     bool counts = true);
   void reap_finished_locked();
 
   Socket listener_;
@@ -237,22 +270,24 @@ void ThreadsCore::reap_finished_locked() {
   }
 }
 
-/// Queue one response frame (the caller holds an in_flight slot for it).
-/// On a broken connection the frame will never be sent, so the slot is
-/// released here instead of by the writer.
-void ThreadsCore::enqueue_frame(const std::shared_ptr<Connection>& conn, std::string frame) {
+/// Queue one outbound frame. For a response (`counts`) the caller holds an
+/// in_flight slot; on a broken connection the frame will never be sent, so
+/// the slot is released here instead of by the writer. Pongs
+/// (counts=false) hold no slot and are simply dropped when broken.
+void ThreadsCore::enqueue_frame(const std::shared_ptr<Connection>& conn, std::string frame,
+                                bool counts) {
   bool dropped = false;
   {
     std::lock_guard<std::mutex> lock(conn->mu);
     if (conn->broken) {
-      --conn->in_flight;
+      if (counts) --conn->in_flight;
       dropped = true;
     } else {
-      conn->write_queue.push_back(std::move(frame));
+      conn->write_queue.push_back(OutMsg{std::move(frame), counts});
     }
   }
   if (dropped) {
-    conn->in_flight_cv.notify_all();
+    if (counts) conn->in_flight_cv.notify_all();
   } else {
     conn->write_cv.notify_one();
   }
@@ -277,23 +312,50 @@ void ThreadsCore::handle_frame(const std::shared_ptr<Connection>& conn,
     if (conn->broken) return;  // client is gone; drop the frame
     ++conn->in_flight;
   }
-  dispatch_request(engine_, counters_, body, receipt,
+  dispatch_request(engine_, counters_, config_, body, receipt,
                    [this, conn](std::string frame) { enqueue_frame(conn, std::move(frame)); });
 }
 
 void ThreadsCore::reader_loop(std::shared_ptr<Connection> conn) {
   try {
-    if (expect_hello(conn->sock)) {
+    // Handshake liveness: the hello phase alone runs under a recv timeout,
+    // so a connect()-and-say-nothing client cannot pin this thread forever.
+    // Restored to blocking-forever once the stream is up — mid-stream
+    // silence is legitimate (an idle client), and send_timeout still bounds
+    // the write side.
+    bool hello_ok;
+    try {
+      if (config_.hello_timeout.count() > 0) conn->sock.set_recv_timeout(config_.hello_timeout);
+      hello_ok = expect_hello(conn->sock);
+      if (config_.hello_timeout.count() > 0) {
+        conn->sock.set_recv_timeout(std::chrono::milliseconds(0));
+      }
+    } catch (const NetError& e) {
+      if (e.code() == NetErrc::kTimeout) {
+        counters_.hello_timeouts.fetch_add(1, std::memory_order_relaxed);
+      }
+      throw;
+    }
+    if (hello_ok) {
       send_hello(conn->sock);
       std::vector<std::uint8_t> body;
       while (!stopping_.load(std::memory_order_acquire)) {
         if (!read_frame_body(conn->sock, body)) break;  // clean EOF
+        // Keepalive pings are answered at the protocol layer: no dispatch,
+        // no slot, not counted as a received request frame.
+        if (const auto token = parse_keepalive_body(body.data(), body.size(), FrameType::kPing)) {
+          counters_.pings_answered.fetch_add(1, std::memory_order_relaxed);
+          enqueue_frame(conn, encode_keepalive_frame(FrameType::kPong, *token),
+                        /*counts=*/false);
+          continue;
+        }
         handle_frame(conn, body, std::chrono::steady_clock::now());
       }
     }
   } catch (const std::exception&) {
-    // Broken framing or socket failure: the stream cannot be resynced, so
-    // fall through to teardown. Well-framed garbage never lands here.
+    // Broken framing, hello timeout, or socket failure: the stream cannot
+    // be resynced, so fall through to teardown. Well-framed garbage never
+    // lands here.
   }
 
   // Drain: every admitted frame's response must be sent (or discarded on a
@@ -320,7 +382,7 @@ void ThreadsCore::reader_loop(std::shared_ptr<Connection> conn) {
 
 void ThreadsCore::writer_loop(std::shared_ptr<Connection> conn) {
   for (;;) {
-    std::string frame;
+    OutMsg msg;
     {
       std::unique_lock<std::mutex> lock(conn->mu);
       // Once broken, only `closing` ends the loop (the queue stays empty).
@@ -331,24 +393,28 @@ void ThreadsCore::writer_loop(std::shared_ptr<Connection> conn) {
         if (conn->closing) return;
         continue;
       }
-      frame = std::move(conn->write_queue.front());
+      msg = std::move(conn->write_queue.front());
       conn->write_queue.pop_front();
     }
     try {
-      conn->sock.send_all(frame.data(), frame.size());
-      counters_.responses_sent.fetch_add(1, std::memory_order_relaxed);
-      {
+      conn->sock.send_all(msg.bytes.data(), msg.bytes.size());
+      if (msg.counts) {
+        counters_.responses_sent.fetch_add(1, std::memory_order_relaxed);
         std::lock_guard<std::mutex> lock(conn->mu);
         --conn->in_flight;  // response delivered; the slot opens
       }
     } catch (const std::exception&) {
       // Client gone, or it stopped reading past the send timeout. Discard
-      // everything queued — releasing every held slot, current frame
-      // included — and let the reader's waits (and future enqueues)
-      // observe `broken`.
+      // everything queued — releasing every held slot (counting frames
+      // only; pongs never took one) — and let the reader's waits (and
+      // future enqueues) observe `broken`.
       std::lock_guard<std::mutex> lock(conn->mu);
       conn->broken = true;
-      conn->in_flight -= 1 + conn->write_queue.size();
+      std::size_t held = msg.counts ? 1 : 0;
+      for (const auto& queued : conn->write_queue) {
+        if (queued.counts) ++held;
+      }
+      conn->in_flight -= held;
       conn->write_queue.clear();
     }
     conn->in_flight_cv.notify_all();
@@ -410,6 +476,10 @@ ServerStats Server::stats() const {
   s.frames_received = counters_->frames_received.load(std::memory_order_relaxed);
   s.responses_sent = counters_->responses_sent.load(std::memory_order_relaxed);
   s.malformed_frames = counters_->malformed_frames.load(std::memory_order_relaxed);
+  s.overloaded_shed = counters_->overloaded_shed.load(std::memory_order_relaxed);
+  s.deadline_shed = counters_->deadline_shed.load(std::memory_order_relaxed);
+  s.pings_answered = counters_->pings_answered.load(std::memory_order_relaxed);
+  s.hello_timeouts = counters_->hello_timeouts.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -73,6 +73,23 @@ struct ServerConfig {
   /// partial frame, nothing in flight, nothing to write) this long.
   /// Zero = never (the threads-core behavior).
   std::chrono::milliseconds idle_timeout{0};
+  /// Handshake liveness bound, both cores: a connection that has not
+  /// completed its 12-byte client hello this long after accept is closed
+  /// (counted in ServerStats::hello_timeouts). Without it a connect()-and-
+  /// say-nothing client pins a reader thread (threads core) or an fd (epoll
+  /// core) forever. Zero = wait indefinitely.
+  std::chrono::milliseconds hello_timeout{10000};
+  /// Global admission cap: when the engine's unfulfilled requests (queued +
+  /// mid-solve) reach this bound, further requests are shed with
+  /// RpcStatus::kOverloaded *before* touching the engine — the server is
+  /// live and the client should back off and retry (kRejected, in
+  /// contrast, means the server is going away). Zero = no cap.
+  std::size_t max_in_flight_global = 0;
+  /// Queue-depth watermark, same shedding path: requests are shed while
+  /// the engine queue alone (work not yet on a worker) is at or beyond
+  /// this depth, bounding worst-case queue latency under overload even
+  /// when max_in_flight_global still has headroom. Zero = no watermark.
+  std::size_t overload_queue_watermark = 0;
   engine::EngineConfig engine{};
 };
 
@@ -81,7 +98,11 @@ struct ServerStats {
   std::uint64_t connections_active = 0;
   std::uint64_t frames_received = 0;
   std::uint64_t responses_sent = 0;
-  std::uint64_t malformed_frames = 0;  ///< error responses that never reached the engine
+  std::uint64_t malformed_frames = 0;   ///< error responses that never reached the engine
+  std::uint64_t overloaded_shed = 0;    ///< requests shed kOverloaded by admission control
+  std::uint64_t deadline_shed = 0;      ///< requests already expired before dispatch
+  std::uint64_t pings_answered = 0;     ///< keepalive pings answered (no engine, no slot)
+  std::uint64_t hello_timeouts = 0;     ///< connections reaped before completing their hello
 };
 
 class Server {

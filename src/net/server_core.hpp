@@ -31,6 +31,10 @@ struct ServerCounters {
   std::atomic<std::uint64_t> frames_received{0};
   std::atomic<std::uint64_t> responses_sent{0};
   std::atomic<std::uint64_t> malformed_frames{0};
+  std::atomic<std::uint64_t> overloaded_shed{0};
+  std::atomic<std::uint64_t> deadline_shed{0};
+  std::atomic<std::uint64_t> pings_answered{0};
+  std::atomic<std::uint64_t> hello_timeouts{0};
 };
 
 class ServerCoreImpl {
@@ -61,14 +65,20 @@ class ServerCoreImpl {
 /// Decode one request frame body and route it: protocol errors produce an
 /// immediate error frame; everything else goes into the engine. `deliver`
 /// receives the complete encoded response frame exactly once — possibly
-/// synchronously (malformed payloads, unknown modes, engine rejection) or
-/// later from an engine worker thread, so it must be safe to call from any
-/// thread. Increments malformed_frames; the caller owns frames_received
+/// synchronously (malformed payloads, unknown modes, shed requests, engine
+/// rejection) or later from an engine worker thread, so it must be safe to
+/// call from any thread. Two shedding gates run after the head decodes but
+/// before the (comparatively expensive) instance payload does: a request
+/// whose relative deadline already elapsed between receipt and dispatch is
+/// answered kDeadlineExpired, and when config's global in-flight cap or
+/// queue watermark is breached the request is answered kOverloaded — both
+/// without touching the engine. Increments malformed_frames /
+/// overloaded_shed / deadline_shed; the caller owns frames_received
 /// (counted at receipt, before any slot wait — PR 5 counted frames a broken
 /// connection later dropped) and responses_sent (a response only counts
 /// once it is on the wire).
 void dispatch_request(engine::Engine& engine, ServerCounters& counters,
-                      const std::vector<std::uint8_t>& body,
+                      const ServerConfig& config, const std::vector<std::uint8_t>& body,
                       std::chrono::steady_clock::time_point receipt,
                       std::function<void(std::string)> deliver);
 

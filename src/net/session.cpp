@@ -37,6 +37,18 @@ void Session::open() {
   counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
   counters_.connections_active.fetch_add(1, std::memory_order_relaxed);
   if (config_.idle_timeout.count() > 0) arm_idle_timer(config_.idle_timeout);
+  if (config_.hello_timeout.count() > 0) {
+    // Armed exactly once per connection; cancelled the moment the hello
+    // completes (apply() sees hello_ok). If it fires first the FSM closes
+    // the session — or rejects the event as stale, in which case the
+    // handshake won the race and nothing re-arms.
+    auto self = shared_from_this();
+    hello_timer_ = loop_.arm_timer(config_.hello_timeout, [self] {
+      self->hello_timer_ = 0;
+      if (self->finished_) return;
+      self->apply(self->fsm_.on_event(SessionEvent::kHelloTimeout));
+    });
+  }
 }
 
 void Session::begin_drain() {
@@ -112,16 +124,26 @@ void Session::sync_interest() {
 
 void Session::apply(SessionActions acts) {
   if (acts.rejected) return;  // stale event (e.g. a timer racing a close in the same batch)
+  if (acts.hello_ok && hello_timer_ != 0) {
+    loop_.cancel_timer(hello_timer_);
+    hello_timer_ = 0;
+  }
   for (const auto& body : acts.dispatch) {
     // Received == dispatched here: the FSM pauses reads at the in-flight
     // bound instead of holding read-but-unadmitted frames, so every
     // complete frame off the wire dispatches immediately.
     counters_.frames_received.fetch_add(1, std::memory_order_relaxed);
     auto self = shared_from_this();
-    detail::dispatch_request(engine_, counters_, body, std::chrono::steady_clock::now(),
+    detail::dispatch_request(engine_, counters_, config_, body, std::chrono::steady_clock::now(),
                              [self](std::string frame) { self->deliver(std::move(frame)); });
   }
   counters_.responses_sent.fetch_add(acts.responses_completed, std::memory_order_relaxed);
+  if (acts.pings_answered > 0) {
+    counters_.pings_answered.fetch_add(acts.pings_answered, std::memory_order_relaxed);
+  }
+  if (acts.close && acts.close_reason == SessionCloseReason::kHelloTimeout) {
+    counters_.hello_timeouts.fetch_add(1, std::memory_order_relaxed);
+  }
   if (acts.disarm_send_timer && send_timer_ != 0) {
     loop_.cancel_timer(send_timer_);
     send_timer_ = 0;
@@ -193,6 +215,10 @@ void Session::finish() {
   if (idle_timer_ != 0) {
     loop_.cancel_timer(idle_timer_);
     idle_timer_ = 0;
+  }
+  if (hello_timer_ != 0) {
+    loop_.cancel_timer(hello_timer_);
+    hello_timer_ = 0;
   }
   if (registered_) {
     loop_.remove_fd(sock_.fd());

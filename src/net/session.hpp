@@ -70,6 +70,9 @@ class Session : public FdHandler, public std::enable_shared_from_this<Session> {
   bool finished_ = false;  ///< socket closed, fd/timers gone, on_closed_ ran
   EventLoop::TimerId send_timer_ = 0;
   EventLoop::TimerId idle_timer_ = 0;
+  /// Armed once at open(), cancelled when the hello completes; its expiry
+  /// reaps a connection that never finished the handshake.
+  EventLoop::TimerId hello_timer_ = 0;
   std::chrono::steady_clock::time_point last_activity_{};
 };
 

@@ -14,6 +14,15 @@ namespace {
 // equality is pinned by tests/net/session_fsm_test.cpp.
 constexpr std::uint8_t kHello[12] = {'N', 'C', 'P', 'M', 'R', 'P', 'C', '1', 1, 0, 0, 0};
 
+// Keepalive recognition, same socket-free discipline as kHello: a ping is
+// exactly a 9-byte body whose first byte is the ping frame type; anything
+// else dispatches like any other frame (and earns a malformed-frame
+// response from the server). Mirrors net/frame.hpp (FrameType::kPing/kPong,
+// kKeepaliveBodySize); the equality is pinned by the conformance test.
+constexpr std::size_t kKeepaliveBody = 9;
+constexpr std::uint8_t kPingType = 3;
+constexpr std::uint8_t kPongType = 4;
+
 }  // namespace
 
 std::string_view session_state_name(SessionState state) {
@@ -40,6 +49,8 @@ std::string_view session_event_name(SessionEvent event) {
     case SessionEvent::kSendTimeout: return "send-timeout";
     case SessionEvent::kIdleTimeout: return "idle-timeout";
     case SessionEvent::kDrain: return "drain";
+    case SessionEvent::kPingFrame: return "ping-frame";
+    case SessionEvent::kHelloTimeout: return "hello-timeout";
   }
   return "unknown";
 }
@@ -53,6 +64,7 @@ std::string_view session_close_reason_name(SessionCloseReason reason) {
     case SessionCloseReason::kSendTimeout: return "send-timeout";
     case SessionCloseReason::kIdleTimeout: return "idle-timeout";
     case SessionCloseReason::kDrained: return "drained";
+    case SessionCloseReason::kHelloTimeout: return "hello-timeout";
   }
   return "unknown";
 }
@@ -186,6 +198,18 @@ void SessionFsm::pump_input(SessionActions& acts) {
                  input_.begin() + static_cast<std::ptrdiff_t>(input_pos_ + take));
     input_pos_ += take;
     if (body_.size() < body_needed_) break;
+    if (body_needed_ == kKeepaliveBody && body_[0] == kPingType) {
+      // Protocol-level liveness: answered right here, before the driver or
+      // the engine ever see it, without taking an in-flight slot.
+      std::uint64_t token = 0;
+      for (int i = 0; i < 8; ++i) {
+        token |= static_cast<std::uint64_t>(body_[1 + static_cast<std::size_t>(i)]) << (8 * i);
+      }
+      body_.clear();
+      reading_body_ = false;
+      answer_ping(token, acts);
+      continue;
+    }
     ++in_flight_;
     acts.dispatch.push_back(std::move(body_));
     body_ = {};
@@ -195,6 +219,27 @@ void SessionFsm::pump_input(SessionActions& acts) {
     input_.clear();
     input_pos_ = 0;
   }
+}
+
+void SessionFsm::answer_ping(std::uint64_t token, SessionActions& acts) {
+  std::string pong;
+  pong.reserve(4 + kKeepaliveBody);
+  for (int i = 0; i < 4; ++i) {
+    pong.push_back(static_cast<char>((kKeepaliveBody >> (8 * i)) & 0xff));
+  }
+  pong.push_back(static_cast<char>(kPongType));
+  for (int i = 0; i < 8; ++i) pong.push_back(static_cast<char>((token >> (8 * i)) & 0xff));
+  push_backlog(std::move(pong), /*counts=*/false, acts);
+  ++acts.pings_answered;
+}
+
+SessionActions SessionFsm::on_ping(std::uint64_t token) {
+  // Frames cannot precede the hello, and a closing session's read side is
+  // done for good — pump_input can only emit this event mid-stream.
+  if (phase_ != Phase::kStream) return reject();
+  SessionActions acts;
+  answer_ping(token, acts);
+  return acts;
 }
 
 SessionActions SessionFsm::on_bytes(const std::uint8_t* data, std::size_t size) {
@@ -260,6 +305,7 @@ SessionActions SessionFsm::on_event(SessionEvent event) {
     case SessionEvent::kBytesIn:
     case SessionEvent::kResponseReady:
     case SessionEvent::kWroteBytes:
+    case SessionEvent::kPingFrame:
       return reject();  // payload-carrying events use their typed methods
 
     case SessionEvent::kWriteBlocked: {
@@ -335,6 +381,16 @@ SessionActions SessionFsm::on_event(SessionEvent event) {
         return acts;
       }
       enter_closing_or_close(SessionCloseReason::kDrained, acts);
+      return acts;
+    }
+
+    case SessionEvent::kHelloTimeout: {
+      // Handshake liveness bound: reapable only while the hello (complete
+      // or partial) is still outstanding. Once the stream is up the timer
+      // is stale — the driver arms it once at accept and never re-arms.
+      if (phase_ != Phase::kHello) return reject();
+      SessionActions acts;
+      close_now(SessionCloseReason::kHelloTimeout, acts);
       return acts;
     }
   }

@@ -64,8 +64,10 @@ enum class SessionEvent : std::uint8_t {
   kSendTimeout,    ///< backlog stalled past the send bound  -> on_event()
   kIdleTimeout,    ///< idle reaper fired                    -> on_event()
   kDrain,          ///< server stop(): drain then close      -> on_event()
+  kPingFrame,      ///< a complete keepalive ping arrived    -> on_ping()
+  kHelloTimeout,   ///< hello never completed in time        -> on_event()
 };
-inline constexpr std::size_t kNumSessionEvents = 9;
+inline constexpr std::size_t kNumSessionEvents = 11;
 
 enum class SessionCloseReason : std::uint8_t {
   kNone = 0,
@@ -75,6 +77,7 @@ enum class SessionCloseReason : std::uint8_t {
   kSendTimeout,     ///< peer stopped reading past the send bound
   kIdleTimeout,     ///< idle reaper closed a quiescent connection
   kDrained,         ///< server-initiated drain completed
+  kHelloTimeout,    ///< connection never completed its hello within the bound
 };
 
 std::string_view session_state_name(SessionState state);
@@ -117,6 +120,10 @@ struct SessionActions {
   bool arm_send_timer = false;
   /// Stop the send-stall timer: the backlog fully drained.
   bool disarm_send_timer = false;
+  /// Keepalive pings answered by this event: each queued one pong frame in
+  /// the backlog. Pongs are protocol-level — no in-flight slot, and they do
+  /// not count as responses when written.
+  std::size_t pings_answered = 0;
   /// Human-readable detail for protocol_error / close.
   std::string error;
 };
@@ -152,9 +159,14 @@ class SessionFsm {
   SessionActions on_response(std::string frame);
   /// kWroteBytes: `n` bytes of next_write() reached the kernel.
   SessionActions on_wrote(std::size_t n);
+  /// kPingFrame: a complete keepalive ping carrying `token`. pump_input
+  /// recognises pings between frames and answers through this same
+  /// transition; valid in any stream state (the pong rides the backlog and
+  /// takes no slot), rejected before the hello and once closing.
+  SessionActions on_ping(std::uint64_t token);
   /// The payload-free events (kWriteBlocked, kReadEof, kPeerError,
-  /// kSendTimeout, kIdleTimeout, kDrain). Payload-carrying events passed
-  /// here are rejected.
+  /// kSendTimeout, kIdleTimeout, kDrain, kHelloTimeout). Payload-carrying
+  /// events passed here are rejected.
   SessionActions on_event(SessionEvent event);
 
   /// Contiguous view of the next unwritten backlog bytes (front frame from
@@ -174,6 +186,8 @@ class SessionFsm {
   /// Consume buffered input through the hello/header/body cursors until it
   /// runs out or the FSM pauses (bound reached, write blocked, closed).
   void pump_input(SessionActions& acts);
+  /// Queue the pong for one recognised ping (counts=false: no slot).
+  void answer_ping(std::uint64_t token, SessionActions& acts);
   void push_backlog(std::string bytes, bool counts, SessionActions& acts);
   void enter_closing_or_close(SessionCloseReason reason, SessionActions& acts);
   void close_now(SessionCloseReason reason, SessionActions& acts);

@@ -55,6 +55,7 @@ std::string_view net_errc_name(NetErrc code) {
     case NetErrc::kClosed: return "closed";
     case NetErrc::kProtocol: return "protocol";
     case NetErrc::kIo: return "io";
+    case NetErrc::kCircuitOpen: return "circuit-open";
   }
   return "unknown";
 }
@@ -222,6 +223,13 @@ std::uint16_t Socket::local_port() const {
   throw NetError(NetErrc::kIo, "unexpected socket family");
 }
 
+void Socket::set_recv_buffer(std::size_t bytes) {
+  const int value = static_cast<int>(bytes);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &value, sizeof(value)) < 0) {
+    fail(NetErrc::kIo, "setsockopt(SO_RCVBUF)");
+  }
+}
+
 void Socket::set_recv_timeout(std::chrono::milliseconds timeout) {
   timeval tv{};
   tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
@@ -288,8 +296,20 @@ void Socket::shutdown_read() noexcept {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
 }
 
+void Socket::shutdown_write() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
 void Socket::shutdown_both() noexcept {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::set_linger_reset() noexcept {
+  if (fd_ < 0) return;
+  linger lg{};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
 }
 
 void Socket::close() noexcept {

@@ -23,6 +23,7 @@ enum class NetErrc : std::uint8_t {
   kClosed,             ///< peer closed the connection mid-message
   kProtocol,           ///< peer spoke bytes that are not ncpm-rpc v1
   kIo,                 ///< any other socket-level failure
+  kCircuitOpen,        ///< ResilientClient's circuit breaker refused the call
 };
 
 std::string_view net_errc_name(NetErrc code);
@@ -69,6 +70,11 @@ class Socket {
   /// blocking I/O.
   void set_nonblocking(bool on);
 
+  /// Clamp the kernel receive buffer (SO_RCVBUF). Defeats receive-side
+  /// autotuning — the chaos proxy uses it so a stalled relay makes the
+  /// sender actually block instead of ballooning kernel buffers.
+  void set_recv_buffer(std::size_t bytes);
+
   /// Zero cancels a previously set timeout.
   void set_recv_timeout(std::chrono::milliseconds timeout);
   /// Bounds how long send_all may block on a full TCP buffer (a peer that
@@ -99,7 +105,14 @@ class Socket {
   /// (closing the fd alone does not). Read side only: in-flight writes
   /// still flush, which is what a draining server wants.
   void shutdown_read() noexcept;
+  /// Write side only: sends FIN while reads continue — the chaos proxy uses
+  /// this to propagate one direction's EOF without killing the other.
+  void shutdown_write() noexcept;
   void shutdown_both() noexcept;
+  /// SO_LINGER {on, 0}: the eventual close() aborts the connection (RST to
+  /// the peer) instead of the orderly FIN — the chaos proxy's "connection
+  /// reset mid-frame" fault.
+  void set_linger_reset() noexcept;
   void close() noexcept;
 
  private:

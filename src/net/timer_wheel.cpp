@@ -8,12 +8,21 @@ TimerWheel::TimerWheel(Clock::time_point now, std::chrono::milliseconds tick,
       slots_(slots < 2 ? 2 : slots),
       next_tick_time_(now + tick_) {}
 
-TimerWheel::TimerId TimerWheel::schedule(std::chrono::milliseconds delay) {
+TimerWheel::TimerId TimerWheel::schedule(Clock::time_point now, std::chrono::milliseconds delay) {
   if (delay.count() < 0) delay = std::chrono::milliseconds(0);
-  // Round up so a timer never fires early; minimum one tick keeps the entry
-  // out of the slot advance() is about to visit.
-  auto ticks = static_cast<std::uint64_t>((delay.count() + tick_.count() - 1) / tick_.count());
-  if (ticks == 0) ticks = 1;
+  // Slot `cursor_ + t` is visited at next_tick_time_ + (t-1) * tick_: pick
+  // the smallest t whose visit time is not before now + delay, rounding up
+  // so a timer never fires early. Minimum one tick keeps the entry out of
+  // the slot advance() is about to visit. Computed against the wheel's own
+  // time base, not the cursor, so ticks that elapsed but have not been
+  // advance()d yet (dispatch ran first) cannot eat into the delay.
+  const auto due = now + delay;
+  std::uint64_t ticks = 1;
+  if (due > next_tick_time_) {
+    const auto ahead =
+        std::chrono::duration_cast<std::chrono::milliseconds>(due - next_tick_time_);
+    ticks += static_cast<std::uint64_t>((ahead.count() + tick_.count() - 1) / tick_.count());
+  }
   const auto slot = (cursor_ + ticks) % slots_.size();
   const auto rounds = static_cast<std::uint32_t>(ticks / slots_.size());
   const TimerId id = next_id_++;

@@ -34,9 +34,14 @@ class TimerWheel {
                       std::chrono::milliseconds tick = std::chrono::milliseconds(20),
                       std::size_t slots = 512);
 
-  /// Arm a timer `delay` from the wheel's current position (minimum one
-  /// tick). Returns a nonzero id usable with cancel().
-  TimerId schedule(std::chrono::milliseconds delay);
+  /// Arm a timer due `delay` from `now` (minimum one tick out). Returns a
+  /// nonzero id usable with cancel(). Taking `now` matters: the cursor can
+  /// lag real time by many ticks (an event loop dispatches I/O before
+  /// advancing its wheel), and a timer hashed from the stale cursor alone
+  /// would fire up to that lag early — the entry is therefore placed
+  /// relative to the wheel's time base, so it never fires before
+  /// `now + delay` no matter how far behind the cursor is.
+  TimerId schedule(Clock::time_point now, std::chrono::milliseconds delay);
 
   /// Lazy cancel: the entry is dropped when its slot is next visited.
   /// Cancelling an unknown/already-fired id is a no-op.

@@ -63,6 +63,9 @@ expect_usage "serve bad workers"       -- serve --workers 0
 expect_usage "serve bad core"          -- serve --core bogus
 expect_usage "serve core missing"      -- serve --core
 expect_usage "serve bad idle timeout"  -- serve --idle-timeout-ms nope
+expect_usage "serve bad hello timeout" -- serve --hello-timeout-ms nope
+expect_usage "serve bad global cap"    -- serve --max-in-flight-global nope
+expect_usage "serve global cap missing" -- serve --max-in-flight-global
 expect_usage "rpc no args"             -- rpc
 expect_usage "rpc missing mode"        -- rpc localhost:7447
 expect_usage "rpc bad hostport"        -- rpc localhost seven solve
@@ -70,6 +73,10 @@ expect_usage "rpc bad port"            -- rpc localhost:0 solve
 expect_usage "rpc bad mode"            -- rpc localhost:7447 frobnicate
 expect_usage "rpc next-stable"         -- rpc localhost:7447 next-stable
 expect_usage "rpc bad deadline"        -- rpc localhost:7447 solve --deadline-ms nope
+expect_usage "rpc bad retries"         -- rpc localhost:7447 solve --retries nope
+expect_usage "rpc bad backoff"         -- rpc localhost:7447 solve --backoff-ms 0
+expect_usage "rpc bad hedge"           -- rpc localhost:7447 solve --hedge-ms 0
+expect_usage "rpc retries missing"     -- rpc localhost:7447 solve --retries
 
 expect_exit 0 "help exits 0"           -- help
 expect_exit 2 "missing input file"     -- solve /nonexistent/instance.txt

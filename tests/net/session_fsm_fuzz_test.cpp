@@ -121,7 +121,7 @@ void fuzz_session(std::uint64_t seed) {
 
   for (int step = 0; step < 120; ++step) {
     SessionActions acts;
-    switch (rng() % 8) {
+    switch (rng() % 9) {
       case 0:
       case 1:
       case 2: {  // feed a random-sized chunk of the (mutated) stream
@@ -143,12 +143,18 @@ void fuzz_session(std::uint64_t seed) {
         acts = fsm.on_wrote(n);
         break;
       }
+      case 5: {  // keepalive ping, valid mid-stream, rejected around it
+        acts = fsm.on_ping(rng());
+        break;
+      }
       default: {  // lifecycle / timer events, valid or not
         constexpr SessionEvent kEvents[] = {
             SessionEvent::kWriteBlocked, SessionEvent::kReadEof,   SessionEvent::kPeerError,
             SessionEvent::kSendTimeout,  SessionEvent::kIdleTimeout, SessionEvent::kDrain,
+            SessionEvent::kHelloTimeout,
             // Payload events through the wrong entry point must reject.
             SessionEvent::kBytesIn, SessionEvent::kResponseReady, SessionEvent::kWroteBytes,
+            SessionEvent::kPingFrame,
         };
         acts = fsm.on_event(kEvents[rng() % std::size(kEvents)]);
         break;
@@ -163,13 +169,15 @@ void fuzz_session(std::uint64_t seed) {
   if (model.closed) {
     for (const auto event :
          {SessionEvent::kWriteBlocked, SessionEvent::kReadEof, SessionEvent::kPeerError,
-          SessionEvent::kSendTimeout, SessionEvent::kIdleTimeout, SessionEvent::kDrain}) {
+          SessionEvent::kSendTimeout, SessionEvent::kIdleTimeout, SessionEvent::kDrain,
+          SessionEvent::kHelloTimeout}) {
       ASSERT_TRUE(fsm.on_event(event).rejected);
     }
     const std::uint8_t byte = 0;
     ASSERT_TRUE(fsm.on_bytes(&byte, 1).rejected);
     ASSERT_TRUE(fsm.on_response("late").rejected);
     ASSERT_TRUE(fsm.on_wrote(1).rejected);
+    ASSERT_TRUE(fsm.on_ping(0).rejected);
     ASSERT_EQ(fsm.close_reason(), model.reason);
   }
 }

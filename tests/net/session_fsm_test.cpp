@@ -137,6 +137,8 @@ SessionActions apply_event(SessionFsm& fsm, SessionEvent event) {
       return fsm.on_response("RESP");
     case SessionEvent::kWroteBytes:
       return fsm.on_wrote(1);
+    case SessionEvent::kPingFrame:
+      return fsm.on_ping(0x42);
     default:
       return fsm.on_event(event);
   }
@@ -155,6 +157,11 @@ const TableCase kTable[] = {
     {SessionState::kAwaitHello, SessionEvent::kIdleTimeout,
      closes(SessionCloseReason::kIdleTimeout)},
     {SessionState::kAwaitHello, SessionEvent::kDrain, closes(SessionCloseReason::kDrained)},
+    // Frames cannot precede the hello — a ping here is a driver bug.
+    {SessionState::kAwaitHello, SessionEvent::kPingFrame, kRejectedRow},
+    // The only state where the hello-timeout reaper has work to do.
+    {SessionState::kAwaitHello, SessionEvent::kHelloTimeout,
+     closes(SessionCloseReason::kHelloTimeout)},
 
     // kReadHeader: quiescent between frames (backlog flushed).
     {SessionState::kReadHeader, SessionEvent::kBytesIn, accepted(SessionState::kReadHeader)},
@@ -168,6 +175,11 @@ const TableCase kTable[] = {
     {SessionState::kReadHeader, SessionEvent::kIdleTimeout,
      closes(SessionCloseReason::kIdleTimeout)},
     {SessionState::kReadHeader, SessionEvent::kDrain, closes(SessionCloseReason::kDrained)},
+    // Pings are answered in every stream state: the pong rides the backlog
+    // and takes no in-flight slot.
+    {SessionState::kReadHeader, SessionEvent::kPingFrame, accepted(SessionState::kReadHeader)},
+    // Stale once the stream is up (the driver armed the timer at accept).
+    {SessionState::kReadHeader, SessionEvent::kHelloTimeout, kRejectedRow},
 
     // kReadBody: mid-frame. EOF here is a truncation; the idle reaper must
     // not fire; drain abandons the partial frame (nothing admitted yet).
@@ -181,6 +193,8 @@ const TableCase kTable[] = {
     {SessionState::kReadBody, SessionEvent::kSendTimeout, kRejectedRow},
     {SessionState::kReadBody, SessionEvent::kIdleTimeout, kRejectedRow},
     {SessionState::kReadBody, SessionEvent::kDrain, closes(SessionCloseReason::kDrained)},
+    {SessionState::kReadBody, SessionEvent::kPingFrame, accepted(SessionState::kReadBody)},
+    {SessionState::kReadBody, SessionEvent::kHelloTimeout, kRejectedRow},
 
     // kDispatched: at the in-flight bound. New bytes buffer; EOF and drain
     // enter kClosing so the admitted request's response still flushes.
@@ -195,6 +209,10 @@ const TableCase kTable[] = {
     {SessionState::kDispatched, SessionEvent::kSendTimeout, kRejectedRow},
     {SessionState::kDispatched, SessionEvent::kIdleTimeout, kRejectedRow},
     {SessionState::kDispatched, SessionEvent::kDrain, accepted(SessionState::kClosing)},
+    // At the in-flight bound a ping still answers — liveness works even
+    // when the engine is saturated (that is its whole point).
+    {SessionState::kDispatched, SessionEvent::kPingFrame, accepted(SessionState::kDispatched)},
+    {SessionState::kDispatched, SessionEvent::kHelloTimeout, kRejectedRow},
 
     // kWriteBacklog: the peer stopped draining. Write progress unblocks;
     // the send timeout may fire here (and only where a backlog exists).
@@ -213,6 +231,9 @@ const TableCase kTable[] = {
      closes(SessionCloseReason::kSendTimeout)},
     {SessionState::kWriteBacklog, SessionEvent::kIdleTimeout, kRejectedRow},
     {SessionState::kWriteBacklog, SessionEvent::kDrain, accepted(SessionState::kClosing)},
+    {SessionState::kWriteBacklog, SessionEvent::kPingFrame,
+     accepted(SessionState::kWriteBacklog)},
+    {SessionState::kWriteBacklog, SessionEvent::kHelloTimeout, kRejectedRow},
 
     // kClosing: reads are over; responses still arrive and flush. Repeated
     // EOF/drain signals are ignored no-ops, not errors.
@@ -225,6 +246,9 @@ const TableCase kTable[] = {
     {SessionState::kClosing, SessionEvent::kSendTimeout, kRejectedRow},
     {SessionState::kClosing, SessionEvent::kIdleTimeout, kRejectedRow},
     {SessionState::kClosing, SessionEvent::kDrain, accepted(SessionState::kClosing)},
+    // The read side is done for good; a late ping has no one to answer.
+    {SessionState::kClosing, SessionEvent::kPingFrame, kRejectedRow},
+    {SessionState::kClosing, SessionEvent::kHelloTimeout, kRejectedRow},
 
     // kClosed: terminal. Every event — double close included — is rejected.
     {SessionState::kClosed, SessionEvent::kBytesIn, kRejectedRow},
@@ -236,6 +260,8 @@ const TableCase kTable[] = {
     {SessionState::kClosed, SessionEvent::kSendTimeout, kRejectedRow},
     {SessionState::kClosed, SessionEvent::kIdleTimeout, kRejectedRow},
     {SessionState::kClosed, SessionEvent::kDrain, kRejectedRow},
+    {SessionState::kClosed, SessionEvent::kPingFrame, kRejectedRow},
+    {SessionState::kClosed, SessionEvent::kHelloTimeout, kRejectedRow},
 };
 
 TEST(SessionFsmTable, CoversEveryStateEventPair) {
@@ -571,6 +597,65 @@ TEST(SessionFsmClose, SendTimeoutDropsTheBacklogImmediately) {
   EXPECT_TRUE(acts.close);
   EXPECT_EQ(acts.close_reason, SessionCloseReason::kSendTimeout);
   EXPECT_EQ(fsm.backlog_bytes(), 0u);
+}
+
+// --- keepalive pings ---------------------------------------------------------
+
+/// The FSM keeps its own keepalive constants (socket-free discipline, like
+/// the hello); this pins the ping it recognises and the pong it queues to
+/// the wire encoders in net/frame.hpp.
+TEST(SessionFsmPing, PingFrameOffTheWireQueuesTheMatchingPong) {
+  SessionFsm fsm;
+  handshake_and_flush(fsm);
+
+  const std::uint64_t token = 0x0123456789abcdefULL;
+  const auto ping = encode_keepalive_frame(FrameType::kPing, token);
+  const auto acts =
+      fsm.on_bytes(reinterpret_cast<const std::uint8_t*>(ping.data()), ping.size());
+  ASSERT_FALSE(acts.rejected);
+  EXPECT_EQ(acts.pings_answered, 1u);
+  EXPECT_TRUE(acts.dispatch.empty());  // never dispatched to the server
+  EXPECT_EQ(fsm.in_flight(), 0u);      // and no slot taken
+
+  const auto pong = encode_keepalive_frame(FrameType::kPong, token);
+  ASSERT_EQ(fsm.write_size(), pong.size());
+  EXPECT_EQ(0, std::memcmp(fsm.write_data(), pong.data(), pong.size()));
+
+  // Writing the pong completes no "response": the slot accounting and the
+  // responses_sent counter must not see protocol-level traffic.
+  const auto wrote = fsm.on_wrote(pong.size());
+  ASSERT_FALSE(wrote.rejected);
+  EXPECT_EQ(wrote.responses_completed, 0u);
+}
+
+TEST(SessionFsmPing, PingAtTheInFlightBoundStillAnswers) {
+  SessionFsmConfig config;
+  config.max_in_flight = 1;
+  SessionFsm fsm(config);
+  handshake_and_flush(fsm);
+  feed(fsm, whole_frame(2));  // at the bound: reads paused
+  ASSERT_EQ(fsm.state(), SessionState::kDispatched);
+
+  const auto acts = fsm.on_ping(7);
+  ASSERT_FALSE(acts.rejected);
+  EXPECT_EQ(acts.pings_answered, 1u);
+  EXPECT_EQ(fsm.state(), SessionState::kDispatched);  // no slot consumed
+  EXPECT_GT(fsm.backlog_bytes(), 0u);
+}
+
+TEST(SessionFsmPing, NineByteNonPingBodyDispatchesNormally) {
+  // Only the exact ping shape is intercepted: a 9-byte body whose first
+  // byte is not the ping type is someone's (malformed) request and must
+  // reach the server for its one error response.
+  SessionFsm fsm;
+  handshake_and_flush(fsm);
+  auto frame = frame_header(9);
+  frame.push_back(1);  // FrameType::kRequest
+  for (int i = 0; i < 8; ++i) frame.push_back(0);
+  const auto acts = feed(fsm, frame);
+  ASSERT_EQ(acts.dispatch.size(), 1u);
+  EXPECT_EQ(acts.pings_answered, 0u);
+  EXPECT_EQ(fsm.in_flight(), 1u);
 }
 
 }  // namespace

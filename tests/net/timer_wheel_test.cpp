@@ -28,7 +28,7 @@ class TimerWheelTest : public ::testing::Test {
 
 TEST_F(TimerWheelTest, FiresAtTheScheduledTickNotBefore) {
   TimerWheel wheel(t0_, milliseconds(20), 512);
-  const auto id = wheel.schedule(milliseconds(100));
+  const auto id = wheel.schedule(t0_, milliseconds(100));
   EXPECT_EQ(wheel.armed(), 1u);
   EXPECT_TRUE(advance_to(wheel, milliseconds(80)).empty());
   const auto fired = advance_to(wheel, milliseconds(140));
@@ -39,8 +39,8 @@ TEST_F(TimerWheelTest, FiresAtTheScheduledTickNotBefore) {
 
 TEST_F(TimerWheelTest, SubTickDelayRoundsUpToOneTick) {
   TimerWheel wheel(t0_, milliseconds(20), 512);
-  wheel.schedule(milliseconds(0));
-  wheel.schedule(milliseconds(1));
+  wheel.schedule(t0_, milliseconds(0));
+  wheel.schedule(t0_, milliseconds(1));
   // Nothing fires at t0; both fire by one tick in.
   EXPECT_TRUE(advance_to(wheel, milliseconds(0)).empty());
   EXPECT_EQ(advance_to(wheel, milliseconds(40)).size(), 2u);
@@ -48,8 +48,8 @@ TEST_F(TimerWheelTest, SubTickDelayRoundsUpToOneTick) {
 
 TEST_F(TimerWheelTest, CancelledTimersNeverFire) {
   TimerWheel wheel(t0_, milliseconds(20), 512);
-  const auto keep = wheel.schedule(milliseconds(60));
-  const auto drop = wheel.schedule(milliseconds(60));
+  const auto keep = wheel.schedule(t0_, milliseconds(60));
+  const auto drop = wheel.schedule(t0_, milliseconds(60));
   wheel.cancel(drop);
   EXPECT_EQ(wheel.armed(), 1u);
   const auto fired = advance_to(wheel, milliseconds(200));
@@ -62,7 +62,7 @@ TEST_F(TimerWheelTest, CancelledTimersNeverFire) {
 TEST_F(TimerWheelTest, DelaysBeyondOneRevolutionSurvive) {
   // 8 slots x 20ms = 160ms revolution; 500ms rides the wheel 3 times.
   TimerWheel wheel(t0_, milliseconds(20), 8);
-  const auto id = wheel.schedule(milliseconds(500));
+  const auto id = wheel.schedule(t0_, milliseconds(500));
   EXPECT_TRUE(advance_to(wheel, milliseconds(160)).empty());
   EXPECT_TRUE(advance_to(wheel, milliseconds(320)).empty());
   EXPECT_TRUE(advance_to(wheel, milliseconds(480)).empty());
@@ -74,7 +74,7 @@ TEST_F(TimerWheelTest, DelaysBeyondOneRevolutionSurvive) {
 TEST_F(TimerWheelTest, NextWakeupIsEmptyOnlyWhenIdle) {
   TimerWheel wheel(t0_, milliseconds(20), 512);
   EXPECT_FALSE(wheel.next_wakeup(t0_).has_value());
-  wheel.schedule(milliseconds(100));
+  wheel.schedule(t0_, milliseconds(100));
   const auto wake = wheel.next_wakeup(t0_);
   ASSERT_TRUE(wake.has_value());
   // Conservative: never later than the scheduled expiry (+1 tick of slack),
@@ -85,11 +85,25 @@ TEST_F(TimerWheelTest, NextWakeupIsEmptyOnlyWhenIdle) {
   EXPECT_FALSE(wheel.next_wakeup(t0_ + milliseconds(140)).has_value());
 }
 
+TEST_F(TimerWheelTest, ArmingAgainstAStaleCursorNeverFiresEarly) {
+  TimerWheel wheel(t0_, milliseconds(20), 512);
+  // Real time runs a full second ahead of the cursor before anything is
+  // armed — exactly what happens in the reactor, which dispatches I/O and
+  // posted tasks before advancing its wheel. The timer armed "now" must not
+  // be swallowed by the catch-up advance that follows.
+  const auto id = wheel.schedule(t0_ + milliseconds(1000), milliseconds(250));
+  EXPECT_TRUE(advance_to(wheel, milliseconds(1000)).empty());
+  EXPECT_TRUE(advance_to(wheel, milliseconds(1240)).empty());
+  const auto fired = advance_to(wheel, milliseconds(1280));
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], id);
+}
+
 TEST_F(TimerWheelTest, ManyTimersFireInAmortizedSlotOrder) {
   TimerWheel wheel(t0_, milliseconds(20), 64);
   std::vector<TimerWheel::TimerId> ids;
   for (int i = 1; i <= 200; ++i) {
-    ids.push_back(wheel.schedule(milliseconds(20 * (i % 40) + 20)));
+    ids.push_back(wheel.schedule(t0_, milliseconds(20 * (i % 40) + 20)));
   }
   std::vector<TimerWheel::TimerId> fired;
   for (int step = 1; step <= 50; ++step) {
