@@ -18,6 +18,8 @@
 //                                             ncpm-rpc v1 server until SIGINT
 //   ncpm_cli rpc HOST:PORT MODE [file] [--deadline-ms N]
 //                                             one request over the wire
+//   ncpm_cli stats HOST:PORT [--watch SECS] [--format prom|json] [--traces]
+//                                             scrape a server's metrics snapshot
 //
 // Instances are read from the optional input file (stdin when omitted);
 // matchings / instances are written to stdout in the formats documented in
@@ -50,6 +52,8 @@
 #include "net/client.hpp"
 #include "net/resilient_client.hpp"
 #include "net/server.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "pram/executor.hpp"
 #include "stable/rotations.hpp"
 
@@ -57,7 +61,7 @@ namespace {
 
 constexpr const char* kTopUsage =
     "<solve|max-card|fair|rank-maximal|count|check|next-stable|rotations|batch|pack|"
-    "gen-popular|gen-stable|gen-batch|serve|rpc|help> ...";
+    "gen-popular|gen-stable|gen-batch|serve|rpc|stats|help> ...";
 
 /// One-line usage for the (sub)command at hand; always exits 2.
 int usage(const char* line = kTopUsage) {
@@ -76,21 +80,24 @@ constexpr const char* kGenBatchUsage = "gen-batch COUNT N_APPLICANTS N_POSTS SEE
 constexpr const char* kServeUsage =
     "serve [--port P] [--bind ADDR] [--workers W] [--threads LANES] [--max-in-flight K] "
     "[--max-in-flight-global G] [--core threads|epoll] [--idle-timeout-ms T] "
-    "[--hello-timeout-ms T]";
+    "[--hello-timeout-ms T] [--metrics-port P] [--trace-sample-n N] [--log-json]";
 constexpr const char* kRpcUsage =
     "rpc HOST:PORT MODE [file] [--deadline-ms N] [--retries R] [--backoff-ms B] "
     "[--hedge-ms H]";
+constexpr const char* kStatsUsage =
+    "stats HOST:PORT [--watch SECS] [--format prom|json] [--traces]";
 
 int help() {
   std::printf(
       "ncpm_cli — NC popular matching toolkit\n"
       "  ncpm_cli %s\n  ncpm_cli %s\n  ncpm_cli %s\n  ncpm_cli %s\n  ncpm_cli %s\n"
-      "  ncpm_cli %s\n  ncpm_cli %s\n  ncpm_cli %s\n  ncpm_cli %s\n"
+      "  ncpm_cli %s\n  ncpm_cli %s\n  ncpm_cli %s\n  ncpm_cli %s\n  ncpm_cli %s\n"
       "Instances are read from [file] or stdin; formats are documented in\n"
       "src/gen/io.hpp (text), src/gen/io_binary.hpp (ncpm-binary v1) and\n"
-      "docs/ncpm-rpc-v1.md (the serve/rpc wire protocol).\n",
+      "docs/ncpm-rpc-v1.md (the serve/rpc wire protocol; docs/observability.md\n"
+      "covers the stats subcommand and the serve metrics/tracing flags).\n",
       kSolveUsage, kRotationsUsage, kBatchUsage, kPackUsage, kGenPopularUsage,
-      kGenStableUsage, kGenBatchUsage, kServeUsage, kRpcUsage);
+      kGenStableUsage, kGenBatchUsage, kServeUsage, kRpcUsage, kStatsUsage);
   return 0;
 }
 
@@ -110,6 +117,12 @@ struct Options {
   int retries = 0;               // rpc: attempts beyond the first
   int backoff_ms = 50;           // rpc: initial retry backoff
   int hedge_ms = 0;              // rpc: 0 = no hedged second attempt
+  int metrics_port = -1;         // serve: -1 = no /metrics endpoint, 0 = ephemeral
+  int trace_sample_n = 0;        // serve: 0 = tracing off, N = every Nth request
+  bool log_json = false;         // serve: JSON-lines lifecycle logging to stderr
+  int watch = 0;                 // stats: 0 = one-shot, N = rescrape every N s
+  std::string format = "prom";   // stats: prom|json
+  bool traces = false;           // stats: include sampled trace spans (json only)
 };
 
 /// Parse one nonnegative integer flag value; returns false on junk.
@@ -155,6 +168,22 @@ bool parse_flags(int argc, char** argv, Options& opts) {
       if (++i >= argc || !parse_int(argv[i], 1, opts.backoff_ms)) return false;
     } else if (arg == "--hedge-ms") {
       if (++i >= argc || !parse_int(argv[i], 1, opts.hedge_ms)) return false;
+    } else if (arg == "--metrics-port") {
+      if (++i >= argc || !parse_int(argv[i], 0, opts.metrics_port) || opts.metrics_port > 65535) {
+        return false;
+      }
+    } else if (arg == "--trace-sample-n") {
+      if (++i >= argc || !parse_int(argv[i], 1, opts.trace_sample_n)) return false;
+    } else if (arg == "--log-json") {
+      opts.log_json = true;
+    } else if (arg == "--watch") {
+      if (++i >= argc || !parse_int(argv[i], 1, opts.watch)) return false;
+    } else if (arg == "--format") {
+      if (++i >= argc) return false;
+      opts.format = argv[i];
+      if (opts.format != "prom" && opts.format != "json") return false;
+    } else if (arg == "--traces") {
+      opts.traces = true;
     } else if (arg.rfind("--", 0) == 0) {
       return false;
     } else {
@@ -491,6 +520,48 @@ int run_rpc(const Options& opts) {
 std::atomic<int> g_signal{0};
 void on_signal(int sig) { g_signal.store(sig); }
 
+int run_stats(const Options& opts) {
+  if (opts.positional.size() != 1) return usage(kStatsUsage);
+  // Trace spans only exist in the JSON rendering; Prometheus text has no
+  // place for them, so reject the combination instead of dropping data.
+  if (opts.traces && opts.format != "json") return usage(kStatsUsage);
+  const auto& hostport = opts.positional[0];
+  const auto colon = hostport.rfind(':');
+  int port = 0;
+  if (colon == std::string::npos || colon == 0 ||
+      !parse_int(hostport.c_str() + colon + 1, 1, port) || port > 65535) {
+    return usage(kStatsUsage);
+  }
+  auto client = ncpm::net::Client::connect(hostport.substr(0, colon),
+                                           static_cast<std::uint16_t>(port));
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (true) {
+    const auto reply = client.stats(opts.traces);
+    if (opts.format == "prom") {
+      std::fputs(ncpm::obs::render_prometheus(reply.snapshot).c_str(), stdout);
+    } else {
+      auto line = ncpm::obs::render_json(reply.snapshot);
+      if (opts.traces) {
+        // Splice the spans into the snapshot object: {...} -> {...,"spans":[...]}
+        line.pop_back();
+        line += ",\"spans\":";
+        line += ncpm::obs::render_spans_json(reply.spans);
+        line += "}";
+      }
+      line += "\n";
+      std::fputs(line.c_str(), stdout);
+    }
+    std::fflush(stdout);
+    if (opts.watch == 0) return 0;
+    for (int waited = 0; waited < opts.watch * 10; ++waited) {
+      if (g_signal.load() != 0) return 0;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    if (g_signal.load() != 0) return 0;
+  }
+}
+
 int run_serve(const Options& opts) {
   if (!opts.positional.empty()) return usage(kServeUsage);
   ncpm::net::ServerConfig cfg;
@@ -503,6 +574,9 @@ int run_serve(const Options& opts) {
   cfg.hello_timeout = std::chrono::milliseconds(opts.hello_timeout_ms);
   cfg.engine.num_workers = opts.workers > 0 ? opts.workers : ncpm::pram::default_lanes();
   cfg.engine.lanes_per_worker = opts.threads > 0 ? opts.threads : 1;
+  if (opts.metrics_port >= 0) cfg.metrics_port = static_cast<std::uint16_t>(opts.metrics_port);
+  cfg.trace_sample_n = static_cast<std::uint64_t>(opts.trace_sample_n);
+  cfg.log_json = opts.log_json;
 
   ncpm::net::Server server(cfg);
   server.start();
@@ -513,21 +587,41 @@ int run_serve(const Options& opts) {
               std::string(ncpm::net::server_core_name(cfg.core)).c_str(),
               cfg.engine.num_workers, cfg.engine.lanes_per_worker);
   std::fflush(stdout);
+  // Startup summary: one stderr line with everything an operator needs to
+  // know about how this process is configured.
+  std::string extras;
+  if (server.metrics_port() != 0) {
+    extras += " metrics-port=" + std::to_string(server.metrics_port());
+  }
+  if (cfg.trace_sample_n > 0) {
+    extras += " trace-sample-n=" + std::to_string(cfg.trace_sample_n);
+  }
+  if (cfg.log_json) extras += " log-json=on";
+  std::fprintf(stderr,
+               "ncpm_cli serve: up port=%u core=%s workers=%d lanes=%d "
+               "max-in-flight=%zu max-in-flight-global=%zu%s\n",
+               server.port(), std::string(ncpm::net::server_core_name(cfg.core)).c_str(),
+               cfg.engine.num_workers, cfg.engine.lanes_per_worker,
+               cfg.max_in_flight_per_connection, cfg.max_in_flight_global, extras.c_str());
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
   while (g_signal.load() == 0 && server.running()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
+  const double uptime_s =
+      static_cast<double>(server.registry().uptime_ns()) / 1e9;
   std::fprintf(stderr, "ncpm_cli serve: draining\n");
   server.stop();
   const auto stats = server.stats();
+  // Drain summary: mirrors the startup line so the two bracket the run.
   std::fprintf(stderr,
-               "ncpm_cli serve: %llu connection(s), %llu frame(s), %llu response(s), "
-               "%llu malformed\n",
-               static_cast<unsigned long long>(stats.connections_accepted),
+               "ncpm_cli serve: down uptime=%.1fs connections=%llu frames=%llu "
+               "responses=%llu shed=%llu malformed=%llu\n",
+               uptime_s, static_cast<unsigned long long>(stats.connections_accepted),
                static_cast<unsigned long long>(stats.frames_received),
                static_cast<unsigned long long>(stats.responses_sent),
+               static_cast<unsigned long long>(stats.overloaded_shed + stats.deadline_shed),
                static_cast<unsigned long long>(stats.malformed_frames));
   return 0;
 }
@@ -571,6 +665,7 @@ int main(int argc, char** argv) {
       if (mode == "pack") return usage(kPackUsage);
       if (mode == "serve") return usage(kServeUsage);
       if (mode == "rpc") return usage(kRpcUsage);
+      if (mode == "stats") return usage(kStatsUsage);
       if (mode == "rotations") return usage(kRotationsUsage);
       return usage(ncpm::engine::parse_mode(mode).has_value() ? kSolveUsage : kTopUsage);
     }
@@ -578,6 +673,7 @@ int main(int argc, char** argv) {
     if (mode == "pack") return run_pack(opts);
     if (mode == "serve") return run_serve(opts);
     if (mode == "rpc") return run_rpc(opts);
+    if (mode == "stats") return run_stats(opts);
     if (mode == "rotations") {
       if (opts.positional.size() > 1) return usage(kRotationsUsage);
       return run_rotations(opts);

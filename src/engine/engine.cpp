@@ -8,6 +8,7 @@
 #include "core/switching_graph.hpp"
 #include "core/ties.hpp"
 #include "core/verify.hpp"
+#include "obs/registry.hpp"
 #include "pram/executor.hpp"
 #include "pram/workspace.hpp"
 #include "stable/gale_shapley.hpp"
@@ -153,11 +154,48 @@ std::string_view status_name(Status status) {
   return "unknown";
 }
 
+/// Registry handles live here (not the header) so engine.hpp only needs a
+/// forward declaration of obs::Registry.
+struct Engine::ObsHandles {
+  obs::Counter* submitted[kNumModes];
+  obs::Counter* completed[kNumModes];
+  obs::Counter* rejected;
+  obs::Histogram* queue_ns[kNumModes];
+  obs::Histogram* solve_ns[kNumModes];
+};
+
 Engine::Engine(EngineConfig config) : config_(config), start_(std::chrono::steady_clock::now()) {
   if (config_.num_workers < 1) config_.num_workers = 1;
   if (config_.lanes_per_worker < 1) config_.lanes_per_worker = 1;
   stats_.num_workers = config_.num_workers;
   stats_.lanes_per_worker = config_.lanes_per_worker;
+  if (config_.registry != nullptr) {
+    obs::Registry& reg = *config_.registry;
+    obs_ = std::make_unique<ObsHandles>();
+    for (std::size_t m = 0; m < kNumModes; ++m) {
+      const obs::Labels labels{{"mode", std::string(kModeNames[m])}};
+      obs_->submitted[m] = &reg.counter("ncpm_engine_submitted_total",
+                                        "Requests accepted into the engine queue", labels);
+      obs_->completed[m] = &reg.counter(
+          "ncpm_engine_completed_total",
+          "Requests that reached a worker and produced any status", labels);
+      obs_->queue_ns[m] = &reg.histogram(
+          "ncpm_engine_queue_ns", "Submit-to-dequeue latency in nanoseconds", labels);
+      obs_->solve_ns[m] = &reg.histogram(
+          "ncpm_engine_solve_ns", "Dequeue-to-result latency in nanoseconds", labels);
+    }
+    obs_->rejected = &reg.counter("ncpm_engine_rejected_total",
+                                  "Requests abandoned at shutdown without a worker");
+    reg.gauge("ncpm_engine_workers", "Worker thread count").set(config_.num_workers);
+    reg.gauge("ncpm_engine_lanes_per_worker", "Executor lanes inside each worker")
+        .set(config_.lanes_per_worker);
+    reg.gauge_callback(this, "ncpm_engine_queue_depth",
+                       "Requests queued but not yet picked up", {},
+                       [this] { return static_cast<std::int64_t>(queue_depth()); });
+    reg.gauge_callback(this, "ncpm_engine_outstanding",
+                       "Requests submitted but not yet fulfilled (queued + mid-solve)", {},
+                       [this] { return static_cast<std::int64_t>(outstanding()); });
+  }
   workers_.reserve(static_cast<std::size_t>(config_.num_workers));
   for (int i = 0; i < config_.num_workers; ++i) {
     workers_.push_back(std::make_unique<Worker>());
@@ -169,7 +207,12 @@ Engine::Engine(EngineConfig config) : config_(config), start_(std::chrono::stead
   }
 }
 
-Engine::~Engine() { shutdown(ShutdownMode::kDrain); }
+Engine::~Engine() {
+  shutdown(ShutdownMode::kDrain);
+  // The callback gauges capture `this`; drop them before the engine's
+  // storage goes away (the registry itself outlives the engine by contract).
+  if (config_.registry != nullptr) config_.registry->remove_callbacks(this);
+}
 
 void Engine::shutdown(ShutdownMode mode) {
   // Serialise concurrent shutdown() calls (including the destructor): only
@@ -199,6 +242,7 @@ void Engine::shutdown(ShutdownMode mode) {
 
 void Engine::enqueue_locked(Task&& task) {
   if (stopping_) throw std::runtime_error("engine: submit after shutdown");
+  if (obs_) obs_->submitted[static_cast<std::size_t>(task.request.mode)]->add(1);
   queue_.push_back(std::move(task));
   queue_depth_.fetch_add(1, std::memory_order_relaxed);
   outstanding_.fetch_add(1, std::memory_order_relaxed);
@@ -263,6 +307,16 @@ void Engine::wait_idle() {
 void Engine::record(const Result& result) {
   const auto queue_ns = static_cast<std::uint64_t>(result.queue_latency.count());
   const auto solve_ns = static_cast<std::uint64_t>(result.solve_time.count());
+  if (obs_) {
+    const auto m = static_cast<std::size_t>(result.mode);
+    if (result.status == Status::kRejected) {
+      obs_->rejected->add(1);
+    } else {
+      obs_->completed[m]->add(1);
+      obs_->queue_ns[m]->observe(queue_ns);
+      obs_->solve_ns[m]->observe(solve_ns);
+    }
+  }
   std::lock_guard<std::mutex> lock(stats_mu_);
   auto& mode = stats_.per_mode[static_cast<std::size_t>(result.mode)];
   if (result.status == Status::kRejected) {

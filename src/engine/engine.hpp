@@ -51,6 +51,10 @@
 #include "stable/instance.hpp"
 #include "stable/next_stable.hpp"
 
+namespace ncpm::obs {
+class Registry;
+}  // namespace ncpm::obs
+
 namespace ncpm::engine {
 
 /// Every mode ncpm_cli serves, as a typed request kind.
@@ -196,6 +200,11 @@ struct ThreadBudget {
 struct EngineConfig {
   int num_workers = 1;      ///< clamped to >= 1
   int lanes_per_worker = 1; ///< width of each worker's private Executor (clamped to >= 1)
+  /// Optional metrics registry. When set, the engine registers per-mode
+  /// submitted/completed counters, queue/solve latency histograms, and
+  /// queue-depth/outstanding callback gauges (removed again on destruction).
+  /// The registry must outlive the engine.
+  obs::Registry* registry = nullptr;
 
   EngineConfig() = default;
   EngineConfig(int workers, int lanes) : num_workers(workers), lanes_per_worker(lanes) {}
@@ -314,6 +323,9 @@ class Engine {
     std::atomic<std::uint64_t> workspace_allocs{0};
   };
 
+  /// Registry handles resolved once at construction (engine.cpp).
+  struct ObsHandles;
+
   void worker_main(int worker_id);
   void record(const Result& result);
   /// record() + hand the result to the task's promise or callback.
@@ -322,6 +334,7 @@ class Engine {
 
   EngineConfig config_;
   std::chrono::steady_clock::time_point start_;
+  std::unique_ptr<ObsHandles> obs_;  ///< null when config_.registry is null
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -52,6 +52,21 @@ void Client::ping() {
   }
 }
 
+StatsReply Client::stats(bool include_traces) {
+  const std::uint64_t token = next_id_++;
+  const std::uint8_t flags = include_traces ? kStatsFlagTraces : std::uint8_t{0};
+  const auto frame = encode_stats_request_frame(token, flags);
+  sock_.send_all(frame.data(), frame.size());
+  if (!read_frame_body(sock_, body_)) {
+    throw NetError(NetErrc::kClosed, "server closed the connection awaiting stats");
+  }
+  auto reply = decode_stats_response_body(body_.data(), body_.size());
+  if (reply.token != token) {
+    throw NetError(NetErrc::kProtocol, "stats reply token does not match the request");
+  }
+  return reply;
+}
+
 std::vector<ResponseFrame> Client::call_batch(const std::vector<RpcCall>& calls) {
   std::vector<ResponseFrame> results(calls.size());
   std::unordered_map<std::uint64_t, std::size_t> slot_of;

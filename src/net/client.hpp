@@ -24,6 +24,7 @@
 #include "engine/engine.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "net/stats_frame.hpp"
 
 namespace ncpm::net {
 
@@ -70,6 +71,15 @@ class Client {
   /// a ping with responses outstanding would desynchronise the stream.
   /// Throws NetError on a dead connection or a mismatched echo.
   void ping();
+
+  /// Fetch the server's metrics snapshot (frame types 5/6). Like ping(),
+  /// answered at the protocol layer — it works even when every engine
+  /// worker is busy and never consumes a backpressure slot — and must only
+  /// be called between requests. `include_traces` asks for the sampled
+  /// trace spans as well (off by default; spans cost wire bytes). Throws
+  /// NetError on a dead connection, a mismatched token, or a snapshot
+  /// version this client does not speak.
+  StatsReply stats(bool include_traces = false);
 
   void close() noexcept { sock_.close(); }
   Socket& socket() noexcept { return sock_; }

@@ -14,6 +14,10 @@
 //   ping     : u8 type = 3, u64 token (client -> server liveness probe)
 //   pong     : u8 type = 4, u64 token echoed verbatim; answered at the
 //              protocol layer, before the engine, without taking a slot
+//   stats    : u8 type = 5, u64 token, u8 flags (client -> server metrics
+//              probe); answered like ping — inline, slot-free
+//   stats-r  : u8 type = 6, u64 token, then a versioned metrics snapshot
+//              (net/stats_frame.hpp carries the codec)
 //
 // request_id is chosen by the client and echoed verbatim — responses may
 // come back in any order (the server writes each one as its solve
@@ -61,6 +65,8 @@ enum class FrameType : std::uint8_t {
   kResponse = 2,
   kPing = 3,  ///< keepalive probe (client -> server): u8 type + u64 token
   kPong = 4,  ///< keepalive answer (server -> client): token echoed verbatim
+  kStatsRequest = 5,   ///< metrics probe (client -> server): type + token + flags
+  kStatsResponse = 6,  ///< metrics snapshot (server -> client), token echoed
 };
 
 /// Wire status of one response. The first six mirror engine::Status; the

@@ -1,0 +1,184 @@
+#include "net/metrics_http.hpp"
+
+#include <sys/epoll.h>
+
+#include <cstddef>
+#include <utility>
+
+#include "obs/registry.hpp"
+
+namespace ncpm::net {
+
+namespace {
+
+/// Request bytes past this without a blank line are not a scrape; the
+/// connection is dropped rather than buffered.
+constexpr std::size_t kMaxRequestBytes = 8192;
+constexpr std::size_t kReadChunk = 2048;
+
+std::string http_response(int status, const char* reason, std::string body,
+                          const char* content_type) {
+  std::string out = "HTTP/1.0 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += reason;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+/// True when `request` is `GET /metrics` (any HTTP version, query strings
+/// rejected — a scraper sends none).
+bool is_metrics_get(const std::string& request) {
+  const auto line_end = request.find("\r\n");
+  const std::string line = request.substr(0, line_end);
+  const auto sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return false;
+  const auto sp2 = line.find(' ', sp1 + 1);
+  const std::string method = line.substr(0, sp1);
+  const std::string path =
+      sp2 == std::string::npos ? line.substr(sp1 + 1) : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  return method == "GET" && path == "/metrics";
+}
+
+}  // namespace
+
+struct MetricsHttpServer::Conn final : FdHandler {
+  Conn(MetricsHttpServer& owner_in, Socket sock_in)
+      : owner(owner_in), sock(std::move(sock_in)) {}
+  void on_io(std::uint32_t events) override { owner.conn_ready(this, events); }
+
+  MetricsHttpServer& owner;
+  Socket sock;
+  std::string request;    ///< accumulating until the blank line
+  std::string response;   ///< set once the request parsed; then write-only
+  std::size_t written = 0;
+  bool responding = false;
+};
+
+class MetricsHttpServer::ListenerHandler final : public FdHandler {
+ public:
+  explicit ListenerHandler(MetricsHttpServer& owner) : owner_(owner) {}
+  void on_io(std::uint32_t /*events*/) override { owner_.accept_ready(); }
+
+ private:
+  MetricsHttpServer& owner_;
+};
+
+MetricsHttpServer::MetricsHttpServer(std::string bind_address, std::uint16_t port,
+                                     obs::Registry& registry)
+    : bind_address_(std::move(bind_address)), requested_port_(port), registry_(registry) {}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+void MetricsHttpServer::start() {
+  if (started_) return;
+  listener_ = Socket::listen_on(bind_address_, requested_port_, /*backlog=*/16);
+  port_ = listener_.local_port();
+  listener_.set_nonblocking(true);
+  listener_handler_ = std::make_unique<ListenerHandler>(*this);
+  loop_.start();
+  loop_.post([this] { loop_.add_fd(listener_.fd(), EPOLLIN, listener_handler_.get()); });
+  started_ = true;
+}
+
+void MetricsHttpServer::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  loop_.stop();  // joins the loop thread; from here everything is single-threaded
+  conns_.clear();
+  listener_.close();
+}
+
+void MetricsHttpServer::accept_ready() {
+  for (;;) {
+    Socket sock;
+    try {
+      sock = listener_.try_accept();
+    } catch (const std::exception&) {
+      return;  // listener failure: stop accepting; existing scrapes finish
+    }
+    if (!sock.valid()) return;  // drained the pending queue
+    try {
+      sock.set_nonblocking(true);
+      const int fd = sock.fd();
+      auto conn = std::make_unique<Conn>(*this, std::move(sock));
+      loop_.add_fd(fd, EPOLLIN, conn.get());
+      conns_.emplace(fd, std::move(conn));
+    } catch (const std::exception&) {
+      // Setup failure costs this one connection (socket closes on scope exit).
+    }
+  }
+}
+
+void MetricsHttpServer::conn_ready(Conn* conn, std::uint32_t events) {
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0 && !conn->responding) {
+    close_conn(conn);
+    return;
+  }
+  if (!conn->responding && (events & EPOLLIN) != 0) {
+    char buf[kReadChunk];
+    for (;;) {
+      std::ptrdiff_t n = 0;
+      try {
+        n = conn->sock.recv_some(buf, sizeof(buf));
+      } catch (const std::exception&) {
+        close_conn(conn);
+        return;
+      }
+      if (n < 0) break;  // would-block: wait for more bytes
+      if (n == 0) {
+        close_conn(conn);  // EOF before a complete request
+        return;
+      }
+      conn->request.append(buf, static_cast<std::size_t>(n));
+      if (conn->request.size() > kMaxRequestBytes) {
+        close_conn(conn);
+        return;
+      }
+      if (conn->request.find("\r\n\r\n") != std::string::npos ||
+          conn->request.find("\n\n") != std::string::npos) {
+        if (is_metrics_get(conn->request)) {
+          conn->response =
+              http_response(200, "OK", obs::render_prometheus(registry_.snapshot()),
+                            "text/plain; version=0.0.4; charset=utf-8");
+        } else {
+          conn->response = http_response(404, "Not Found", "", "text/plain; charset=utf-8");
+        }
+        conn->responding = true;
+        loop_.modify_fd(conn->sock.fd(), EPOLLOUT);
+        break;
+      }
+    }
+  }
+  if (conn->responding) pump_write(conn);
+}
+
+void MetricsHttpServer::pump_write(Conn* conn) {
+  while (conn->written < conn->response.size()) {
+    std::ptrdiff_t n = 0;
+    try {
+      n = conn->sock.send_some(conn->response.data() + conn->written,
+                               conn->response.size() - conn->written);
+    } catch (const std::exception&) {
+      close_conn(conn);
+      return;
+    }
+    if (n < 0) return;  // send buffer full: EPOLLOUT re-fires
+    conn->written += static_cast<std::size_t>(n);
+  }
+  close_conn(conn);  // HTTP/1.0, Connection: close — one scrape per socket
+}
+
+void MetricsHttpServer::close_conn(Conn* conn) {
+  const int fd = conn->sock.fd();
+  loop_.remove_fd(fd);
+  loop_.defer_close(std::move(conn->sock));
+  conns_.erase(fd);
+}
+
+}  // namespace ncpm::net

@@ -1,0 +1,67 @@
+#pragma once
+// Minimal HTTP/1.0 `GET /metrics` endpoint: Prometheus text exposition of
+// one obs::Registry, on its own port so scrapers never speak ncpm-rpc.
+//
+// Deliberately tiny — one EventLoop (the same reactor the epoll core
+// uses), nonblocking sockets, one response per connection, `Connection:
+// close`. It understands exactly enough HTTP to serve a scrape: a request
+// line plus headers terminated by a blank line, answered 200 (for GET
+// /metrics) or 404, then the connection closes. Anything that is not that
+// — an oversized request, EOF mid-request, a write failure — costs that
+// connection only.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "net/reactor.hpp"
+#include "net/socket.hpp"
+
+namespace ncpm::obs {
+class Registry;
+}  // namespace ncpm::obs
+
+namespace ncpm::net {
+
+class MetricsHttpServer {
+ public:
+  /// Binds nothing yet; start() binds `bind_address`:`port` (0 =
+  /// ephemeral, read the outcome back with port()).
+  MetricsHttpServer(std::string bind_address, std::uint16_t port, obs::Registry& registry);
+  ~MetricsHttpServer();
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Bind + listen + start the loop thread. Throws NetError(kConnectFailed)
+  /// when the port cannot be bound.
+  void start();
+  /// Stop the loop and close every connection. Idempotent.
+  void stop();
+  /// Bound port, valid after start().
+  std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  struct Conn;
+  class ListenerHandler;
+
+  // Loop-thread-only.
+  void accept_ready();
+  void conn_ready(Conn* conn, std::uint32_t events);
+  void pump_write(Conn* conn);
+  void close_conn(Conn* conn);
+
+  std::string bind_address_;
+  std::uint16_t requested_port_;
+  obs::Registry& registry_;
+
+  Socket listener_;
+  std::uint16_t port_ = 0;
+  EventLoop loop_;
+  std::unique_ptr<ListenerHandler> listener_handler_;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;  ///< loop thread only
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace ncpm::net

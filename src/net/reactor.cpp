@@ -233,7 +233,7 @@ class EpollCore final : public ServerCoreImpl, public FdHandler {
       auto sock_box = std::make_shared<Socket>(std::move(sock));
       ls->loop.post([this, ls, sock_box] {
         auto session = std::make_shared<Session>(
-            std::move(*sock_box), ls->loop, config_, engine_, counters_,
+            std::move(*sock_box), ls->loop, config_, engine_, obs_,
             [this, ls](const std::shared_ptr<Session>& closed) {
               ls->sessions.erase(closed);
               std::lock_guard<std::mutex> lock(live_mu_);
@@ -266,9 +266,8 @@ class EpollCore final : public ServerCoreImpl, public FdHandler {
 }  // namespace
 
 std::unique_ptr<ServerCoreImpl> make_epoll_core(const ServerConfig& config,
-                                                engine::Engine& engine,
-                                                ServerCounters& counters) {
-  return std::make_unique<EpollCore>(config, engine, counters);
+                                                engine::Engine& engine, ServerObs& obs) {
+  return std::make_unique<EpollCore>(config, engine, obs);
 }
 
 }  // namespace detail

@@ -8,8 +8,10 @@
 #include <vector>
 
 #include "net/frame.hpp"
+#include "net/metrics_http.hpp"
 #include "net/server_core.hpp"
 #include "net/socket.hpp"
+#include "net/stats_frame.hpp"
 
 namespace ncpm::net {
 
@@ -29,15 +31,80 @@ std::optional<ServerCoreKind> parse_server_core(std::string_view name) {
 
 namespace detail {
 
-void dispatch_request(engine::Engine& engine, ServerCounters& counters,
-                      const ServerConfig& config, const std::vector<std::uint8_t>& body,
-                      std::chrono::steady_clock::time_point receipt,
+ServerObs::ServerObs(obs::Registry& registry_in, obs::Log& log_in, obs::TraceRing& traces_in)
+    : registry(registry_in),
+      log(log_in),
+      traces(traces_in),
+      connections_accepted(registry.counter("ncpm_server_connections_accepted_total",
+                                            "Connections accepted since start")),
+      connections_active(
+          registry.gauge("ncpm_server_connections_active", "Connections currently open")),
+      frames_received(registry.counter("ncpm_server_frames_received_total",
+                                       "Request frames read off the wire")),
+      responses_sent(registry.counter("ncpm_server_responses_sent_total",
+                                      "Response frames fully written")),
+      malformed_frames(registry.counter("ncpm_server_malformed_frames_total",
+                                        "Error responses that never reached the engine")),
+      overloaded_shed(registry.counter("ncpm_server_overloaded_shed_total",
+                                       "Requests shed kOverloaded by admission control")),
+      deadline_shed(registry.counter("ncpm_server_deadline_shed_total",
+                                     "Requests already expired before dispatch")),
+      pings_answered(registry.counter("ncpm_server_pings_answered_total",
+                                      "Keepalive pings answered inline")),
+      hello_timeouts(registry.counter("ncpm_server_hello_timeouts_total",
+                                      "Connections reaped before completing the hello")),
+      stats_frames_answered(registry.counter("ncpm_server_stats_frames_total",
+                                             "Stats probes answered inline")) {}
+
+namespace {
+
+std::uint64_t steady_ns(std::chrono::steady_clock::time_point tp) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(tp.time_since_epoch()).count());
+}
+
+}  // namespace
+
+void dispatch_request(engine::Engine& engine, ServerObs& obs, const ServerConfig& config,
+                      const std::vector<std::uint8_t>& body,
+                      std::chrono::steady_clock::time_point receipt, std::uint64_t conn_id,
+                      std::chrono::steady_clock::time_point accepted,
                       std::function<void(std::string)> deliver) {
+  // Sampling decision per request, taken before the outcome is known so a
+  // shed or malformed request is as likely to be traced as a served one.
+  const bool sampled = obs.traces.should_sample();
+  const std::uint64_t accept_ns = steady_ns(accepted);
+  const std::uint64_t frame_read_ns = steady_ns(receipt);
+
+  // Span for requests answered right here (no solve window: dispatch and
+  // response collapse to "now").
+  const auto commit_inline_span = [&](std::uint64_t request_id, std::uint8_t mode_raw,
+                                      RpcStatus status) {
+    if (!sampled) return;
+    obs::TraceSpan span;
+    span.request_id = request_id;
+    span.conn_id = conn_id;
+    span.mode = mode_raw;
+    span.status = static_cast<std::uint8_t>(status);
+    span.accept_ns = accept_ns;
+    span.frame_read_ns = frame_read_ns;
+    const std::uint64_t now = steady_ns(std::chrono::steady_clock::now());
+    span.dispatch_ns = now;
+    span.response_ns = now;
+    obs.traces.commit(span);
+  };
+
   RequestHead head;
   try {
     head = decode_request_head(body.data(), body.size());
   } catch (const std::exception& e) {
-    counters.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+    obs.malformed_frames.add(1);
+    if (obs.log.enabled()) {
+      obs.log.event("malformed_frame", {{"conn_id", conn_id},
+                                        {"request_id", std::uint64_t{0}},
+                                        {"error", e.what()}});
+    }
+    commit_inline_span(0, kModeUnknown, RpcStatus::kMalformedFrame);
     deliver(encode_response_frame(
         make_error_response(0, kModeUnknown, RpcStatus::kMalformedFrame, e.what())));
     return;
@@ -45,7 +112,13 @@ void dispatch_request(engine::Engine& engine, ServerCounters& counters,
 
   if (head.mode_raw >= engine::kNumModes ||
       static_cast<engine::Mode>(head.mode_raw) == engine::Mode::kNextStable) {
-    counters.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+    obs.malformed_frames.add(1);
+    if (obs.log.enabled()) {
+      obs.log.event("malformed_frame", {{"conn_id", conn_id},
+                                        {"request_id", head.request_id},
+                                        {"error", "unsupported mode tag"}});
+    }
+    commit_inline_span(head.request_id, head.mode_raw, RpcStatus::kUnsupportedMode);
     deliver(encode_response_frame(make_error_response(
         head.request_id, head.mode_raw, RpcStatus::kUnsupportedMode,
         "mode tag " + std::to_string(head.mode_raw) + " is not served over ncpm-rpc v1")));
@@ -57,7 +130,12 @@ void dispatch_request(engine::Engine& engine, ServerCounters& counters,
   // instance validation for work it is about to refuse.
   if (head.deadline_ns > 0 &&
       std::chrono::steady_clock::now() >= receipt + std::chrono::nanoseconds(head.deadline_ns)) {
-    counters.deadline_shed.fetch_add(1, std::memory_order_relaxed);
+    obs.deadline_shed.add(1);
+    if (obs.log.enabled()) {
+      obs.log.event("shed_deadline",
+                    {{"conn_id", conn_id}, {"request_id", head.request_id}});
+    }
+    commit_inline_span(head.request_id, head.mode_raw, RpcStatus::kDeadlineExpired);
     deliver(encode_response_frame(
         make_error_response(head.request_id, head.mode_raw, RpcStatus::kDeadlineExpired,
                             "deadline expired before dispatch")));
@@ -68,7 +146,13 @@ void dispatch_request(engine::Engine& engine, ServerCounters& counters,
   const bool over_watermark = config.overload_queue_watermark > 0 &&
                               engine.queue_depth() >= config.overload_queue_watermark;
   if (over_cap || over_watermark) {
-    counters.overloaded_shed.fetch_add(1, std::memory_order_relaxed);
+    obs.overloaded_shed.add(1);
+    if (obs.log.enabled()) {
+      obs.log.event("shed_overload", {{"conn_id", conn_id},
+                                      {"request_id", head.request_id},
+                                      {"gate", over_cap ? "in-flight-cap" : "queue-watermark"}});
+    }
+    commit_inline_span(head.request_id, head.mode_raw, RpcStatus::kOverloaded);
     deliver(encode_response_frame(make_error_response(
         head.request_id, head.mode_raw, RpcStatus::kOverloaded,
         over_cap ? "server at its global in-flight cap; back off and retry"
@@ -82,7 +166,13 @@ void dispatch_request(engine::Engine& engine, ServerCounters& counters,
   } catch (const std::exception& e) {
     // A malformed payload inside a well-delimited frame costs exactly one
     // error response; the connection (and its other requests) live on.
-    counters.malformed_frames.fetch_add(1, std::memory_order_relaxed);
+    obs.malformed_frames.add(1);
+    if (obs.log.enabled()) {
+      obs.log.event("malformed_frame", {{"conn_id", conn_id},
+                                        {"request_id", head.request_id},
+                                        {"error", e.what()}});
+    }
+    commit_inline_span(head.request_id, head.mode_raw, RpcStatus::kMalformedFrame);
     deliver(encode_response_frame(make_error_response(head.request_id, head.mode_raw,
                                                       RpcStatus::kMalformedFrame, e.what())));
     return;
@@ -96,14 +186,42 @@ void dispatch_request(engine::Engine& engine, ServerCounters& counters,
 
   const auto request_id = head.request_id;
   const auto mode_raw = head.mode_raw;
-  auto on_complete = [deliver, request_id, mode_raw](engine::Result result) {
-    deliver(encode_response_frame(make_response(request_id, mode_raw, std::move(result))));
+  detail::ServerObs* obs_ptr = &obs;  // outlives every engine callback (facade member)
+  auto on_complete = [deliver, request_id, mode_raw, sampled, obs_ptr, conn_id, accept_ns,
+                      frame_read_ns](engine::Result result) {
+    // The engine records no per-request milestones; the span is
+    // reconstructed here from the result's own timings: the callback runs
+    // at (approximately) solve end, so solve_start = end - solve_time and
+    // dispatch = solve_start - queue_latency.
+    obs::TraceSpan span;
+    if (sampled) {
+      const std::uint64_t end_ns = steady_ns(std::chrono::steady_clock::now());
+      const auto solve_ns = static_cast<std::uint64_t>(result.solve_time.count());
+      const auto queue_ns = static_cast<std::uint64_t>(result.queue_latency.count());
+      span.request_id = request_id;
+      span.conn_id = conn_id;
+      span.mode = mode_raw;
+      span.status = static_cast<std::uint8_t>(to_rpc_status(result.status));
+      span.accept_ns = accept_ns;
+      span.frame_read_ns = frame_read_ns;
+      span.solve_end_ns = end_ns;
+      span.solve_start_ns = end_ns - solve_ns;
+      span.dispatch_ns = span.solve_start_ns - queue_ns;
+    }
+    std::string frame =
+        encode_response_frame(make_response(request_id, mode_raw, std::move(result)));
+    if (sampled) {
+      span.response_ns = steady_ns(std::chrono::steady_clock::now());
+      obs_ptr->traces.commit(span);
+    }
+    deliver(std::move(frame));
   };
 
   try {
     engine.submit(std::move(request), std::move(on_complete));
   } catch (const std::exception& e) {
     // Engine already shut down underneath us (external shutdown).
+    commit_inline_span(request_id, mode_raw, RpcStatus::kRejected);
     deliver(encode_response_frame(
         make_error_response(request_id, mode_raw, RpcStatus::kRejected, e.what())));
   }
@@ -142,6 +260,8 @@ class ThreadsCore final : public ServerCoreImpl {
     explicit Connection(Socket s) : sock(std::move(s)) {}
 
     Socket sock;
+    std::uint64_t id = 0;  ///< from ServerObs::next_conn_id; log/trace correlation key
+    std::chrono::steady_clock::time_point accepted{};
     std::thread reader;  ///< joined by the core (stop() or the reaper)
     std::thread writer;  ///< joined by the reader on its way out
 
@@ -231,6 +351,8 @@ void ThreadsCore::accept_loop() {
     try {
       if (config_.send_timeout.count() > 0) sock.set_send_timeout(config_.send_timeout);
       auto conn = std::make_shared<Connection>(std::move(sock));
+      conn->id = obs_.next_conn_id.fetch_add(1, std::memory_order_relaxed);
+      conn->accepted = std::chrono::steady_clock::now();
       conn->writer = std::thread([this, conn] { writer_loop(conn); });
       try {
         conn->reader = std::thread([this, conn] { reader_loop(conn); });
@@ -244,8 +366,11 @@ void ThreadsCore::accept_loop() {
         conn->writer.join();
         throw;
       }
-      counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
-      counters_.connections_active.fetch_add(1, std::memory_order_relaxed);
+      obs_.connections_accepted.add(1);
+      obs_.connections_active.add(1);
+      if (obs_.log.enabled()) {
+        obs_.log.event("conn_open", {{"conn_id", conn->id}, {"core", "threads"}});
+      }
       std::lock_guard<std::mutex> lock(conn_mu_);
       reap_finished_locked();
       connections_.push_back(std::move(conn));
@@ -298,7 +423,7 @@ void ThreadsCore::handle_frame(const std::shared_ptr<Connection>& conn,
                                std::chrono::steady_clock::time_point receipt) {
   // Counted at receipt, before the slot wait — a frame read off the wire is
   // "received" even when a broken connection later drops it undispatched.
-  counters_.frames_received.fetch_add(1, std::memory_order_relaxed);
+  obs_.frames_received.add(1);
 
   // Backpressure: every admitted frame — engine work or protocol error —
   // takes a slot the writer releases only after its response is sent. At
@@ -312,7 +437,7 @@ void ThreadsCore::handle_frame(const std::shared_ptr<Connection>& conn,
     if (conn->broken) return;  // client is gone; drop the frame
     ++conn->in_flight;
   }
-  dispatch_request(engine_, counters_, config_, body, receipt,
+  dispatch_request(engine_, obs_, config_, body, receipt, conn->id, conn->accepted,
                    [this, conn](std::string frame) { enqueue_frame(conn, std::move(frame)); });
 }
 
@@ -332,7 +457,7 @@ void ThreadsCore::reader_loop(std::shared_ptr<Connection> conn) {
       }
     } catch (const NetError& e) {
       if (e.code() == NetErrc::kTimeout) {
-        counters_.hello_timeouts.fetch_add(1, std::memory_order_relaxed);
+        obs_.hello_timeouts.add(1);
       }
       throw;
     }
@@ -344,8 +469,20 @@ void ThreadsCore::reader_loop(std::shared_ptr<Connection> conn) {
         // Keepalive pings are answered at the protocol layer: no dispatch,
         // no slot, not counted as a received request frame.
         if (const auto token = parse_keepalive_body(body.data(), body.size(), FrameType::kPing)) {
-          counters_.pings_answered.fetch_add(1, std::memory_order_relaxed);
+          obs_.pings_answered.add(1);
           enqueue_frame(conn, encode_keepalive_frame(FrameType::kPong, *token),
+                        /*counts=*/false);
+          continue;
+        }
+        // Stats requests likewise: answered inline from a registry snapshot,
+        // no dispatch, no slot — a scrape cannot be starved by backpressure.
+        if (const auto sreq = parse_stats_request_body(body.data(), body.size())) {
+          obs_.stats_frames_answered.add(1);
+          std::vector<obs::TraceSpan> spans;
+          if ((sreq->flags & kStatsFlagTraces) != 0) spans = obs_.traces.snapshot();
+          enqueue_frame(conn,
+                        encode_stats_response_frame(sreq->token, obs_.registry.snapshot(),
+                                                    spans),
                         /*counts=*/false);
           continue;
         }
@@ -376,7 +513,8 @@ void ThreadsCore::reader_loop(std::shared_ptr<Connection> conn) {
     conn->sock.shutdown_both();
     conn->sock.close();
   }
-  counters_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+  obs_.connections_active.add(-1);
+  if (obs_.log.enabled()) obs_.log.event("conn_close", {{"conn_id", conn->id}});
   conn->done.store(true, std::memory_order_release);
 }
 
@@ -399,7 +537,7 @@ void ThreadsCore::writer_loop(std::shared_ptr<Connection> conn) {
     try {
       conn->sock.send_all(msg.bytes.data(), msg.bytes.size());
       if (msg.counts) {
-        counters_.responses_sent.fetch_add(1, std::memory_order_relaxed);
+        obs_.responses_sent.add(1);
         std::lock_guard<std::mutex> lock(conn->mu);
         --conn->in_flight;  // response delivered; the slot opens
       }
@@ -424,9 +562,8 @@ void ThreadsCore::writer_loop(std::shared_ptr<Connection> conn) {
 }  // namespace
 
 std::unique_ptr<ServerCoreImpl> make_threads_core(const ServerConfig& config,
-                                                  engine::Engine& engine,
-                                                  ServerCounters& counters) {
-  return std::make_unique<ThreadsCore>(config, engine, counters);
+                                                  engine::Engine& engine, ServerObs& obs) {
+  return std::make_unique<ThreadsCore>(config, engine, obs);
 }
 
 }  // namespace detail
@@ -435,16 +572,36 @@ std::unique_ptr<ServerCoreImpl> make_threads_core(const ServerConfig& config,
 // Facade
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// The engine registers its own metrics into whatever registry its config
+/// points at; the server points it at the server's.
+engine::EngineConfig with_registry(engine::EngineConfig ec, obs::Registry* registry) {
+  ec.registry = registry;
+  return ec;
+}
+
+}  // namespace
+
 Server::Server(ServerConfig config)
     : config_(std::move(config)),
-      engine_(config_.engine),
-      counters_(std::make_unique<detail::ServerCounters>()) {
+      registry_(std::make_unique<obs::Registry>()),
+      log_(std::make_unique<obs::Log>()),
+      traces_(std::make_unique<obs::TraceRing>(config_.trace_ring_capacity,
+                                               config_.trace_sample_n)),
+      engine_(with_registry(config_.engine, registry_.get())),
+      obs_(std::make_unique<detail::ServerObs>(*registry_, *log_, *traces_)) {
   if (config_.max_in_flight_per_connection < 1) config_.max_in_flight_per_connection = 1;
+  if (config_.log_json) log_->enable(config_.log_sink);
 }
 
 Server::~Server() { stop(); }
 
 std::uint16_t Server::port() const noexcept { return core_ ? core_->port() : 0; }
+
+std::uint16_t Server::metrics_port() const noexcept { return metrics_ ? metrics_->port() : 0; }
+
+obs::Registry& Server::registry() noexcept { return *registry_; }
 
 void Server::start() {
   if (running_.load(std::memory_order_acquire)) return;
@@ -453,9 +610,29 @@ void Server::start() {
     throw NetError(NetErrc::kConnectFailed, "server is single-use; cannot restart after stop()");
   }
   core_ = config_.core == ServerCoreKind::kThreads
-              ? detail::make_threads_core(config_, engine_, *counters_)
-              : detail::make_epoll_core(config_, engine_, *counters_);
+              ? detail::make_threads_core(config_, engine_, *obs_)
+              : detail::make_epoll_core(config_, engine_, *obs_);
   core_->start();
+  if (config_.metrics_port.has_value()) {
+    try {
+      metrics_ = std::make_unique<MetricsHttpServer>(config_.bind_address, *config_.metrics_port,
+                                                     *registry_);
+      metrics_->start();
+    } catch (...) {
+      // The rpc port is already live; unwind it so a metrics bind failure
+      // leaves nothing half-started.
+      core_->stop();
+      core_.reset();
+      metrics_.reset();
+      throw;
+    }
+  }
+  if (log_->enabled()) {
+    log_->event("server_start",
+                {{"port", std::uint64_t{port()}},
+                 {"core", server_core_name(config_.core)},
+                 {"metrics_port", std::uint64_t{metrics_port()}}});
+  }
   running_.store(true, std::memory_order_release);
 }
 
@@ -463,23 +640,34 @@ void Server::stop() {
   std::lock_guard<std::mutex> stop_lock(stop_mu_);
   if (!running_.load(std::memory_order_acquire)) return;
   stopping_.store(true, std::memory_order_release);
+  if (log_->enabled()) {
+    log_->event("drain_begin", {{"uptime_ns", registry_->uptime_ns()}});
+  }
   core_->stop();
+  if (metrics_) metrics_->stop();
   // Nothing can submit anymore; drain whatever the engine still holds.
   engine_.shutdown(engine::Engine::ShutdownMode::kDrain);
+  if (log_->enabled()) {
+    log_->event("drain_end", {{"uptime_ns", registry_->uptime_ns()},
+                              {"responses_sent", obs_->responses_sent.value()},
+                              {"overloaded_shed", obs_->overloaded_shed.value()},
+                              {"deadline_shed", obs_->deadline_shed.value()}});
+  }
   running_.store(false, std::memory_order_release);
 }
 
 ServerStats Server::stats() const {
   ServerStats s;
-  s.connections_accepted = counters_->connections_accepted.load(std::memory_order_relaxed);
-  s.connections_active = counters_->connections_active.load(std::memory_order_relaxed);
-  s.frames_received = counters_->frames_received.load(std::memory_order_relaxed);
-  s.responses_sent = counters_->responses_sent.load(std::memory_order_relaxed);
-  s.malformed_frames = counters_->malformed_frames.load(std::memory_order_relaxed);
-  s.overloaded_shed = counters_->overloaded_shed.load(std::memory_order_relaxed);
-  s.deadline_shed = counters_->deadline_shed.load(std::memory_order_relaxed);
-  s.pings_answered = counters_->pings_answered.load(std::memory_order_relaxed);
-  s.hello_timeouts = counters_->hello_timeouts.load(std::memory_order_relaxed);
+  s.connections_accepted = obs_->connections_accepted.value();
+  s.connections_active = static_cast<std::uint64_t>(obs_->connections_active.value());
+  s.frames_received = obs_->frames_received.value();
+  s.responses_sent = obs_->responses_sent.value();
+  s.malformed_frames = obs_->malformed_frames.value();
+  s.overloaded_shed = obs_->overloaded_shed.value();
+  s.deadline_shed = obs_->deadline_shed.value();
+  s.pings_answered = obs_->pings_answered.value();
+  s.hello_timeouts = obs_->hello_timeouts.value();
+  s.stats_frames_answered = obs_->stats_frames_answered.value();
   return s;
 }
 

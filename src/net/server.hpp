@@ -24,7 +24,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -33,10 +35,18 @@
 
 #include "engine/engine.hpp"
 
+namespace ncpm::obs {
+class Registry;
+class Log;
+class TraceRing;
+}  // namespace ncpm::obs
+
 namespace ncpm::net {
 
+class MetricsHttpServer;
+
 namespace detail {
-struct ServerCounters;
+struct ServerObs;
 class ServerCoreImpl;
 }  // namespace detail
 
@@ -90,6 +100,22 @@ struct ServerConfig {
   /// this depth, bounding worst-case queue latency under overload even
   /// when max_in_flight_global still has headroom. Zero = no watermark.
   std::size_t overload_queue_watermark = 0;
+  /// Optional HTTP/1.0 `GET /metrics` Prometheus-text endpoint on its own
+  /// port (same bind address). nullopt = off; 0 = ephemeral, read the
+  /// outcome back with Server::metrics_port().
+  std::optional<std::uint16_t> metrics_port;
+  /// Per-request trace sampling: every Nth request across the server gets a
+  /// TraceSpan in the ring (retrievable via the stats frame). 0 = off.
+  std::uint64_t trace_sample_n = 0;
+  /// Trace ring capacity (spans retained; older ones are overwritten).
+  std::size_t trace_ring_capacity = 256;
+  /// Structured JSON-lines logging of connection lifecycle, sheds,
+  /// malformed frames and drain events (obs::Log). Off by default — the
+  /// serving path emits nothing.
+  bool log_json = false;
+  /// Log destination when log_json is on; null writes lines to stderr.
+  /// Called under the log's mutex — keep it cheap (tests capture lines).
+  std::function<void(std::string_view)> log_sink;
   engine::EngineConfig engine{};
 };
 
@@ -103,6 +129,7 @@ struct ServerStats {
   std::uint64_t deadline_shed = 0;      ///< requests already expired before dispatch
   std::uint64_t pings_answered = 0;     ///< keepalive pings answered (no engine, no slot)
   std::uint64_t hello_timeouts = 0;     ///< connections reaped before completing their hello
+  std::uint64_t stats_frames_answered = 0;  ///< stats probes answered (no engine, no slot)
 };
 
 class Server {
@@ -120,6 +147,8 @@ class Server {
   void start();
   /// Bound port, valid after start() (resolves config port 0).
   std::uint16_t port() const noexcept;
+  /// Bound /metrics port, valid after start(); 0 when the endpoint is off.
+  std::uint16_t metrics_port() const noexcept;
   bool running() const noexcept { return running_.load(std::memory_order_acquire); }
 
   /// Graceful drain, idempotent: stop accepting, stop reading on every
@@ -132,12 +161,23 @@ class Server {
   /// The underlying engine (tests compare rpc results against direct
   /// submits on an identically configured engine, not this one).
   engine::Engine& engine() noexcept { return engine_; }
+  /// The metrics registry every server and engine series lives in (what
+  /// /metrics and the stats frame expose; in-process callers snapshot it
+  /// directly).
+  obs::Registry& registry() noexcept;
 
  private:
   ServerConfig config_;
+  // Observability state outlives the engine (declared first): the engine's
+  // callback gauges deregister in its destructor, which must still find the
+  // registry alive.
+  std::unique_ptr<obs::Registry> registry_;
+  std::unique_ptr<obs::Log> log_;
+  std::unique_ptr<obs::TraceRing> traces_;
   engine::Engine engine_;
-  std::unique_ptr<detail::ServerCounters> counters_;
+  std::unique_ptr<detail::ServerObs> obs_;
   std::unique_ptr<detail::ServerCoreImpl> core_;
+  std::unique_ptr<MetricsHttpServer> metrics_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::mutex stop_mu_;  ///< serialises concurrent stop() calls

@@ -1,15 +1,15 @@
 #pragma once
 // Internal seam between the net::Server facade and its two cores.
 //
-// The facade owns the engine, the config, and the stats counters; a core
-// owns the listener and the connection machinery. Two cores implement the
-// same contract (docs/ncpm-rpc-v1.md): the PR 5 thread-per-connection core
-// (server.cpp) and the epoll reactor core (reactor.cpp). The loopback /
+// The facade owns the engine, the config, and the observability state; a
+// core owns the listener and the connection machinery. Two cores implement
+// the same contract (docs/ncpm-rpc-v1.md): the PR 5 thread-per-connection
+// core (server.cpp) and the epoll reactor core (reactor.cpp). The loopback /
 // shutdown / backpressure tests in tests/net/ are parameterized over both,
 // which is what keeps the contract byte-identical between them.
 //
-// Not installed, not included by client code — server.cpp and reactor.cpp
-// only.
+// Not installed, not included by client code — server.cpp, reactor.cpp and
+// session.cpp only.
 
 #include <atomic>
 #include <chrono>
@@ -21,26 +21,45 @@
 
 #include "engine/engine.hpp"
 #include "net/server.hpp"
+#include "obs/log.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace ncpm::net::detail {
 
-/// Shared atomic stats, written by whichever core is live.
-struct ServerCounters {
-  std::atomic<std::uint64_t> connections_accepted{0};
-  std::atomic<std::uint64_t> connections_active{0};
-  std::atomic<std::uint64_t> frames_received{0};
-  std::atomic<std::uint64_t> responses_sent{0};
-  std::atomic<std::uint64_t> malformed_frames{0};
-  std::atomic<std::uint64_t> overloaded_shed{0};
-  std::atomic<std::uint64_t> deadline_shed{0};
-  std::atomic<std::uint64_t> pings_answered{0};
-  std::atomic<std::uint64_t> hello_timeouts{0};
+/// The facade's observability surface, shared with whichever core is live.
+/// The counters/gauge are handles into the facade's obs::Registry (so the
+/// same series serve ServerStats, the /metrics endpoint, and stats frames);
+/// log and traces are the facade's event log and trace ring.
+struct ServerObs {
+  ServerObs(obs::Registry& registry_in, obs::Log& log_in, obs::TraceRing& traces_in);
+  ServerObs(const ServerObs&) = delete;
+  ServerObs& operator=(const ServerObs&) = delete;
+
+  obs::Registry& registry;
+  obs::Log& log;
+  obs::TraceRing& traces;
+
+  obs::Counter& connections_accepted;
+  obs::Gauge& connections_active;
+  obs::Counter& frames_received;
+  obs::Counter& responses_sent;
+  obs::Counter& malformed_frames;
+  obs::Counter& overloaded_shed;
+  obs::Counter& deadline_shed;
+  obs::Counter& pings_answered;
+  obs::Counter& hello_timeouts;
+  obs::Counter& stats_frames_answered;
+
+  /// Monotone connection id source, both cores: the correlation key tying
+  /// log lines and trace spans to one accepted socket.
+  std::atomic<std::uint64_t> next_conn_id{1};
 };
 
 class ServerCoreImpl {
  public:
-  ServerCoreImpl(const ServerConfig& config, engine::Engine& engine, ServerCounters& counters)
-      : config_(config), engine_(engine), counters_(counters) {}
+  ServerCoreImpl(const ServerConfig& config, engine::Engine& engine, ServerObs& obs)
+      : config_(config), engine_(engine), obs_(obs) {}
   virtual ~ServerCoreImpl() = default;
   ServerCoreImpl(const ServerCoreImpl&) = delete;
   ServerCoreImpl& operator=(const ServerCoreImpl&) = delete;
@@ -58,7 +77,7 @@ class ServerCoreImpl {
  protected:
   const ServerConfig& config_;
   engine::Engine& engine_;
-  ServerCounters& counters_;
+  ServerObs& obs_;
   std::uint16_t port_ = 0;
 };
 
@@ -73,20 +92,21 @@ class ServerCoreImpl {
 /// answered kDeadlineExpired, and when config's global in-flight cap or
 /// queue watermark is breached the request is answered kOverloaded — both
 /// without touching the engine. Increments malformed_frames /
-/// overloaded_shed / deadline_shed; the caller owns frames_received
-/// (counted at receipt, before any slot wait — PR 5 counted frames a broken
-/// connection later dropped) and responses_sent (a response only counts
-/// once it is on the wire).
-void dispatch_request(engine::Engine& engine, ServerCounters& counters,
-                      const ServerConfig& config, const std::vector<std::uint8_t>& body,
-                      std::chrono::steady_clock::time_point receipt,
+/// overloaded_shed / deadline_shed, emits shed/malformed log events, and
+/// commits a trace span when this request was sampled; the caller owns
+/// frames_received (counted at receipt, before any slot wait — PR 5 counted
+/// frames a broken connection later dropped) and responses_sent (a response
+/// only counts once it is on the wire). `conn_id` and `accepted` identify
+/// the connection for log correlation and the span's accept timestamp.
+void dispatch_request(engine::Engine& engine, ServerObs& obs, const ServerConfig& config,
+                      const std::vector<std::uint8_t>& body,
+                      std::chrono::steady_clock::time_point receipt, std::uint64_t conn_id,
+                      std::chrono::steady_clock::time_point accepted,
                       std::function<void(std::string)> deliver);
 
 std::unique_ptr<ServerCoreImpl> make_threads_core(const ServerConfig& config,
-                                                  engine::Engine& engine,
-                                                  ServerCounters& counters);
+                                                  engine::Engine& engine, ServerObs& obs);
 std::unique_ptr<ServerCoreImpl> make_epoll_core(const ServerConfig& config,
-                                                engine::Engine& engine,
-                                                ServerCounters& counters);
+                                                engine::Engine& engine, ServerObs& obs);
 
 }  // namespace ncpm::net::detail

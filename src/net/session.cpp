@@ -3,8 +3,10 @@
 #include <sys/epoll.h>
 
 #include <utility>
+#include <vector>
 
 #include "net/frame.hpp"
+#include "net/stats_frame.hpp"
 
 namespace ncpm::net {
 
@@ -18,13 +20,13 @@ constexpr std::size_t kReadChunk = 16 * 1024;
 }  // namespace
 
 Session::Session(Socket sock, EventLoop& loop, const ServerConfig& config,
-                 engine::Engine& engine, detail::ServerCounters& counters,
+                 engine::Engine& engine, detail::ServerObs& obs,
                  std::function<void(const std::shared_ptr<Session>&)> on_closed)
     : sock_(std::move(sock)),
       loop_(loop),
       config_(config),
       engine_(engine),
-      counters_(counters),
+      obs_(obs),
       on_closed_(std::move(on_closed)),
       fsm_(SessionFsmConfig{config.max_in_flight_per_connection, kMaxFrameBody}) {}
 
@@ -34,8 +36,13 @@ void Session::open() {
   loop_.add_fd(sock_.fd(), interest_, this);
   registered_ = true;
   last_activity_ = std::chrono::steady_clock::now();
-  counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
-  counters_.connections_active.fetch_add(1, std::memory_order_relaxed);
+  conn_id_ = obs_.next_conn_id.fetch_add(1, std::memory_order_relaxed);
+  accepted_ = last_activity_;
+  obs_.connections_accepted.add(1);
+  obs_.connections_active.add(1);
+  if (obs_.log.enabled()) {
+    obs_.log.event("conn_open", {{"conn_id", conn_id_}, {"core", "epoll"}});
+  }
   if (config_.idle_timeout.count() > 0) arm_idle_timer(config_.idle_timeout);
   if (config_.hello_timeout.count() > 0) {
     // Armed exactly once per connection; cancelled the moment the hello
@@ -132,17 +139,29 @@ void Session::apply(SessionActions acts) {
     // Received == dispatched here: the FSM pauses reads at the in-flight
     // bound instead of holding read-but-unadmitted frames, so every
     // complete frame off the wire dispatches immediately.
-    counters_.frames_received.fetch_add(1, std::memory_order_relaxed);
+    obs_.frames_received.add(1);
     auto self = shared_from_this();
-    detail::dispatch_request(engine_, counters_, config_, body, std::chrono::steady_clock::now(),
+    detail::dispatch_request(engine_, obs_, config_, body, std::chrono::steady_clock::now(),
+                             conn_id_, accepted_,
                              [self](std::string frame) { self->deliver(std::move(frame)); });
   }
-  counters_.responses_sent.fetch_add(acts.responses_completed, std::memory_order_relaxed);
-  if (acts.pings_answered > 0) {
-    counters_.pings_answered.fetch_add(acts.pings_answered, std::memory_order_relaxed);
+  if (acts.responses_completed > 0) obs_.responses_sent.add(acts.responses_completed);
+  if (acts.pings_answered > 0) obs_.pings_answered.add(acts.pings_answered);
+  // Stats requests are answered at the protocol layer, like pings: a
+  // registry snapshot rides the write backlog with no in-flight slot, so a
+  // scrape cannot be starved by request backpressure. The reply is queued
+  // through the FSM (on_protocol_reply) and may be rejected when the
+  // session is already closing — the probe's answer dies with it.
+  for (const auto& sreq : acts.stats_requests) {
+    obs_.stats_frames_answered.add(1);
+    std::vector<obs::TraceSpan> spans;
+    if ((sreq.flags & kStatsFlagTraces) != 0) spans = obs_.traces.snapshot();
+    auto reply = fsm_.on_protocol_reply(
+        encode_stats_response_frame(sreq.token, obs_.registry.snapshot(), spans));
+    if (!reply.rejected) apply(std::move(reply));
   }
   if (acts.close && acts.close_reason == SessionCloseReason::kHelloTimeout) {
-    counters_.hello_timeouts.fetch_add(1, std::memory_order_relaxed);
+    obs_.hello_timeouts.add(1);
   }
   if (acts.disarm_send_timer && send_timer_ != 0) {
     loop_.cancel_timer(send_timer_);
@@ -227,7 +246,12 @@ void Session::finish() {
   // Deferred so the kernel cannot hand this fd number to a new connection
   // while readiness events from the current batch are still in flight.
   loop_.defer_close(std::move(sock_));
-  counters_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+  obs_.connections_active.add(-1);
+  if (obs_.log.enabled()) {
+    obs_.log.event("conn_close",
+                   {{"conn_id", conn_id_},
+                    {"reason", session_close_reason_name(fsm_.close_reason())}});
+  }
   on_closed_(shared_from_this());
 }
 

@@ -29,7 +29,7 @@ class Session : public FdHandler, public std::enable_shared_from_this<Session> {
   /// closed and the fd/timers are deregistered — the core uses it to drop
   /// its owning shared_ptr and decrement the live-session count.
   Session(Socket sock, EventLoop& loop, const ServerConfig& config, engine::Engine& engine,
-          detail::ServerCounters& counters,
+          detail::ServerObs& obs,
           std::function<void(const std::shared_ptr<Session>&)> on_closed);
   ~Session() override = default;
 
@@ -61,9 +61,12 @@ class Session : public FdHandler, public std::enable_shared_from_this<Session> {
   EventLoop& loop_;
   const ServerConfig& config_;
   engine::Engine& engine_;
-  detail::ServerCounters& counters_;
+  detail::ServerObs& obs_;
   std::function<void(const std::shared_ptr<Session>&)> on_closed_;
   SessionFsm fsm_;
+
+  std::uint64_t conn_id_ = 0;  ///< assigned at open(); log/trace correlation key
+  std::chrono::steady_clock::time_point accepted_{};
 
   std::uint32_t interest_ = 0;  ///< epoll events currently registered
   bool registered_ = false;

@@ -23,6 +23,12 @@ constexpr std::size_t kKeepaliveBody = 9;
 constexpr std::uint8_t kPingType = 3;
 constexpr std::uint8_t kPongType = 4;
 
+// Stats probes (frame type 5) get the same inline recognition: exactly a
+// 10-byte body whose first byte is the stats-request type. Mirrors
+// net/stats_frame.hpp (kStatsRequestBodySize / FrameType::kStatsRequest).
+constexpr std::size_t kStatsBody = 10;
+constexpr std::uint8_t kStatsRequestType = 5;
+
 }  // namespace
 
 std::string_view session_state_name(SessionState state) {
@@ -51,6 +57,7 @@ std::string_view session_event_name(SessionEvent event) {
     case SessionEvent::kDrain: return "drain";
     case SessionEvent::kPingFrame: return "ping-frame";
     case SessionEvent::kHelloTimeout: return "hello-timeout";
+    case SessionEvent::kStatsFrame: return "stats-frame";
   }
   return "unknown";
 }
@@ -210,6 +217,21 @@ void SessionFsm::pump_input(SessionActions& acts) {
       answer_ping(token, acts);
       continue;
     }
+    if (body_needed_ == kStatsBody && body_[0] == kStatsRequestType) {
+      // Stats probes are protocol-level like pings, but the snapshot lives
+      // with the driver (the FSM owns no registry): surface the request and
+      // let the driver answer via on_protocol_reply.
+      SessionStatsRequest req;
+      for (int i = 0; i < 8; ++i) {
+        req.token |= static_cast<std::uint64_t>(body_[1 + static_cast<std::size_t>(i)])
+                     << (8 * i);
+      }
+      req.flags = body_[9];
+      body_.clear();
+      reading_body_ = false;
+      acts.stats_requests.push_back(req);
+      continue;
+    }
     ++in_flight_;
     acts.dispatch.push_back(std::move(body_));
     body_ = {};
@@ -239,6 +261,24 @@ SessionActions SessionFsm::on_ping(std::uint64_t token) {
   if (phase_ != Phase::kStream) return reject();
   SessionActions acts;
   answer_ping(token, acts);
+  return acts;
+}
+
+SessionActions SessionFsm::on_stats(std::uint64_t token, std::uint8_t flags) {
+  // Same validity window as on_ping: stats requests only exist mid-stream.
+  if (phase_ != Phase::kStream) return reject();
+  SessionActions acts;
+  acts.stats_requests.push_back(SessionStatsRequest{token, flags});
+  return acts;
+}
+
+SessionActions SessionFsm::on_protocol_reply(std::string frame) {
+  // A stats reply rides the backlog with a pong's accounting: no slot, not
+  // a response. A closing/closed session drops the reply — the probe's
+  // connection is already dying and the scrape simply fails.
+  if (phase_ != Phase::kStream) return reject();
+  SessionActions acts;
+  push_backlog(std::move(frame), /*counts=*/false, acts);
   return acts;
 }
 
@@ -306,6 +346,7 @@ SessionActions SessionFsm::on_event(SessionEvent event) {
     case SessionEvent::kResponseReady:
     case SessionEvent::kWroteBytes:
     case SessionEvent::kPingFrame:
+    case SessionEvent::kStatsFrame:
       return reject();  // payload-carrying events use their typed methods
 
     case SessionEvent::kWriteBlocked: {

@@ -66,8 +66,9 @@ enum class SessionEvent : std::uint8_t {
   kDrain,          ///< server stop(): drain then close      -> on_event()
   kPingFrame,      ///< a complete keepalive ping arrived    -> on_ping()
   kHelloTimeout,   ///< hello never completed in time        -> on_event()
+  kStatsFrame,     ///< a complete stats request arrived     -> on_stats()
 };
-inline constexpr std::size_t kNumSessionEvents = 11;
+inline constexpr std::size_t kNumSessionEvents = 12;
 
 enum class SessionCloseReason : std::uint8_t {
   kNone = 0,
@@ -83,6 +84,14 @@ enum class SessionCloseReason : std::uint8_t {
 std::string_view session_state_name(SessionState state);
 std::string_view session_event_name(SessionEvent event);
 std::string_view session_close_reason_name(SessionCloseReason reason);
+
+/// One stats request (frame type 5) recognised in the input stream. The
+/// driver answers it with an encoded stats-response frame via
+/// SessionFsm::on_protocol_reply — socket- and registry-free here.
+struct SessionStatsRequest {
+  std::uint64_t token = 0;
+  std::uint8_t flags = 0;
+};
 
 struct SessionFsmConfig {
   /// Dispatched bodies whose response frame is not yet fully written. At
@@ -124,6 +133,10 @@ struct SessionActions {
   /// the backlog. Pongs are protocol-level — no in-flight slot, and they do
   /// not count as responses when written.
   std::size_t pings_answered = 0;
+  /// Stats requests recognised by this event, in arrival order. The FSM
+  /// cannot build the snapshot itself (it owns no registry); the driver
+  /// answers each via on_protocol_reply(). Like pings: no in-flight slot.
+  std::vector<SessionStatsRequest> stats_requests;
   /// Human-readable detail for protocol_error / close.
   std::string error;
 };
@@ -164,9 +177,20 @@ class SessionFsm {
   /// transition; valid in any stream state (the pong rides the backlog and
   /// takes no slot), rejected before the hello and once closing.
   SessionActions on_ping(std::uint64_t token);
+  /// kStatsFrame: a complete stats request (type 5). pump_input recognises
+  /// stats bodies between frames like pings; the request is surfaced in
+  /// SessionActions::stats_requests for the driver to answer. Valid in any
+  /// stream state, rejected before the hello and once closing.
+  SessionActions on_stats(std::uint64_t token, std::uint8_t flags);
+  /// Queue one protocol-level reply frame (a stats response) in the write
+  /// backlog: no in-flight slot, not counted in responses_completed when
+  /// written — exactly a pong's accounting. Valid in the stream states
+  /// only; rejected before the hello and once closing (the probe's reply
+  /// may be dropped when the connection is already dying).
+  SessionActions on_protocol_reply(std::string frame);
   /// The payload-free events (kWriteBlocked, kReadEof, kPeerError,
   /// kSendTimeout, kIdleTimeout, kDrain, kHelloTimeout). Payload-carrying
-  /// events passed here are rejected.
+  /// events passed here (including kStatsFrame) are rejected.
   SessionActions on_event(SessionEvent event);
 
   /// Contiguous view of the next unwritten backlog bytes (front frame from

@@ -1,0 +1,96 @@
+#include "obs/log.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace ncpm::obs {
+
+namespace {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_field(std::string& out, const Field& f) {
+  out += ",\"";
+  append_json_escaped(out, f.key);
+  out += "\":";
+  switch (f.kind) {
+    case Field::Kind::kU64:
+      out += std::to_string(f.u64);
+      break;
+    case Field::Kind::kI64:
+      out += std::to_string(f.i64);
+      break;
+    case Field::Kind::kF64: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", f.f64);
+      out += buf;
+      break;
+    }
+    case Field::Kind::kBool:
+      out += f.b ? "true" : "false";
+      break;
+    case Field::Kind::kStr:
+      out += '"';
+      append_json_escaped(out, f.str);
+      out += '"';
+      break;
+  }
+}
+
+}  // namespace
+
+void Log::enable(Sink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void Log::disable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_relaxed);
+  sink_ = nullptr;
+}
+
+void Log::event(std::string_view name, std::initializer_list<Field> fields) {
+  if (!enabled()) return;
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const auto ts_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(now).count();
+
+  std::string line;
+  line.reserve(128);
+  line += "{\"ts_ns\":";
+  line += std::to_string(ts_ns);
+  line += ",\"event\":\"";
+  append_json_escaped(line, name);
+  line += '"';
+  for (const Field& f : fields) append_field(line, f);
+  line += "}\n";
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  if (sink_) {
+    sink_(line);
+  } else {
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
+}
+
+}  // namespace ncpm::obs

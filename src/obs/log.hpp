@@ -1,0 +1,65 @@
+#pragma once
+// obs::Log — structured JSON-lines event log.
+//
+// One JSON object per line: {"ts_ns":...,"event":"conn_open",...fields}.
+// Disabled by default; when disabled, event() is a single relaxed atomic
+// load. The sink is pluggable (default: stderr) so tests can capture lines.
+// Emission serializes under a mutex — logging is for lifecycle edges
+// (connections, sheds, drains), not per-request hot paths.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace ncpm::obs {
+
+/// A typed key/value pair for one log event.
+struct Field {
+  enum class Kind { kU64, kI64, kF64, kBool, kStr };
+
+  Field(std::string_view k, std::uint64_t v) : key(k), kind(Kind::kU64), u64(v) {}
+  Field(std::string_view k, std::int64_t v) : key(k), kind(Kind::kI64), i64(v) {}
+  Field(std::string_view k, double v) : key(k), kind(Kind::kF64), f64(v) {}
+  Field(std::string_view k, bool v) : key(k), kind(Kind::kBool), b(v) {}
+  Field(std::string_view k, std::string_view v) : key(k), kind(Kind::kStr), str(v) {}
+  Field(std::string_view k, const char* v) : key(k), kind(Kind::kStr), str(v) {}
+
+  std::string_view key;
+  Kind kind;
+  std::uint64_t u64 = 0;
+  std::int64_t i64 = 0;
+  double f64 = 0.0;
+  bool b = false;
+  std::string_view str;
+};
+
+class Log {
+ public:
+  using Sink = std::function<void(std::string_view line)>;
+
+  Log() = default;
+  Log(const Log&) = delete;
+  Log& operator=(const Log&) = delete;
+
+  /// Enables emission. A null sink writes lines to stderr.
+  void enable(Sink sink = {});
+  void disable();
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Emits one event line (no-op when disabled). The "ts_ns" (system clock,
+  /// nanoseconds) and "event" keys are always present and come first.
+  void event(std::string_view name, std::initializer_list<Field> fields);
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::mutex mu_;
+  Sink sink_;
+};
+
+}  // namespace ncpm::obs

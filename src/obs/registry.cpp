@@ -1,0 +1,431 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace ncpm::obs {
+
+namespace {
+
+/// Stable per-thread stripe index. Threads are spread round-robin; two
+/// threads sharing a stripe is a throughput detail, never a correctness one.
+std::size_t thread_stripe() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t mine = next.fetch_add(1, std::memory_order_relaxed);
+  return mine;
+}
+
+std::string labels_key(const Labels& labels) {
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    key += k;
+    key += '\x1f';
+    key += v;
+    key += '\x1e';
+  }
+  return key;
+}
+
+bool same_series(const Labels& a, const Labels& b) { return a == b; }
+
+/// Escapes a Prometheus label value (backslash, double-quote, newline).
+void append_label_value(std::string& out, const std::string& v) {
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+void append_labels(std::string& out, const Labels& labels) {
+  if (labels.empty()) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    append_label_value(out, v);
+    out += '"';
+  }
+  out += '}';
+}
+
+/// Labels with an extra `le` pair appended (histogram bucket series).
+void append_bucket_labels(std::string& out, const Labels& labels, const std::string& le) {
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    append_label_value(out, v);
+    out += '"';
+  }
+  if (!first) out += ',';
+  out += "le=\"";
+  out += le;
+  out += "\"}";
+}
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_json_labels(std::string& out, const Labels& labels) {
+  out += "\"labels\":{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, k);
+    out += ':';
+    append_json_string(out, v);
+  }
+  out += '}';
+}
+
+/// Fixed-format double without trailing-zero noise; Prometheus accepts
+/// integer-looking floats, so quantiles render with up to 3 decimals.
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  std::string s = buf;
+  while (s.size() > 1 && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+template <typename Sample>
+void sort_samples(std::vector<Sample>& v) {
+  std::sort(v.begin(), v.end(), [](const Sample& a, const Sample& b) {
+    if (a.name != b.name) return a.name < b.name;
+    return labels_key(a.labels) < labels_key(b.labels);
+  });
+}
+
+}  // namespace
+
+unsigned histogram_bucket(std::uint64_t value) noexcept {
+  return static_cast<unsigned>(std::bit_width(value));
+}
+
+std::uint64_t histogram_bucket_bound(unsigned bucket) noexcept {
+  if (bucket == 0) return 0;
+  if (bucket >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << bucket) - 1;
+}
+
+void Counter::add(std::uint64_t n) noexcept {
+  stripes_[thread_stripe() % kStripes].v.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const Stripe& s : stripes_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Histogram::observe(std::uint64_t value) noexcept {
+  Stripe& s = stripes_[thread_stripe() % kStripes];
+  s.count[histogram_bucket(value)].fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const Stripe& s : stripes_)
+    for (const auto& c : s.count) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Histogram::sum() const noexcept {
+  std::uint64_t total = 0;
+  for (const Stripe& s : stripes_) total += s.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::array<std::uint64_t, kHistogramBuckets> Histogram::buckets() const noexcept {
+  std::array<std::uint64_t, kHistogramBuckets> out{};
+  for (const Stripe& s : stripes_)
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i)
+      out[i] += s.count[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+double HistogramSample::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (unsigned i = 0; i < kHistogramBuckets; ++i) {
+    const std::uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= rank) {
+      const double lo = i == 0 ? 0.0 : static_cast<double>(std::uint64_t{1} << (i - 1));
+      const double hi = static_cast<double>(histogram_bucket_bound(i));
+      const double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * frac;
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(histogram_bucket_bound(kHistogramBuckets - 1));
+}
+
+Registry::Registry() : start_(std::chrono::steady_clock::now()) {}
+
+Counter& Registry::counter(std::string name, std::string help, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : counters_)
+    if (e.meta.name == name && same_series(e.meta.labels, labels)) return e.value;
+  // emplace + assign: the instruments hold atomics and are not movable.
+  auto& entry = counters_.emplace_back();
+  entry.meta = Meta{std::move(name), std::move(help), std::move(labels)};
+  return entry.value;
+}
+
+Gauge& Registry::gauge(std::string name, std::string help, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : gauges_)
+    if (e.meta.name == name && same_series(e.meta.labels, labels)) return e.value;
+  auto& entry = gauges_.emplace_back();
+  entry.meta = Meta{std::move(name), std::move(help), std::move(labels)};
+  return entry.value;
+}
+
+Histogram& Registry::histogram(std::string name, std::string help, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : histograms_)
+    if (e.meta.name == name && same_series(e.meta.labels, labels)) return e.value;
+  auto& entry = histograms_.emplace_back();
+  entry.meta = Meta{std::move(name), std::move(help), std::move(labels)};
+  return entry.value;
+}
+
+void Registry::gauge_callback(const void* owner, std::string name, std::string help,
+                              Labels labels, std::function<std::int64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callbacks_.push_back(
+      CallbackEntry{{std::move(name), std::move(help), std::move(labels)}, owner,
+                    std::move(fn)});
+}
+
+void Registry::remove_callbacks(const void* owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callbacks_.erase(std::remove_if(callbacks_.begin(), callbacks_.end(),
+                                  [owner](const CallbackEntry& e) {
+                                    return e.owner == owner;
+                                  }),
+                   callbacks_.end());
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  snap.uptime_ns = uptime_ns();
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& e : counters_)
+    snap.counters.push_back({e.meta.name, e.meta.help, e.meta.labels, e.value.value()});
+  snap.gauges.reserve(gauges_.size() + callbacks_.size());
+  for (const auto& e : gauges_)
+    snap.gauges.push_back({e.meta.name, e.meta.help, e.meta.labels, e.value.value()});
+  for (const auto& e : callbacks_)
+    snap.gauges.push_back({e.meta.name, e.meta.help, e.meta.labels, e.fn()});
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& e : histograms_) {
+    HistogramSample h;
+    h.name = e.meta.name;
+    h.help = e.meta.help;
+    h.labels = e.meta.labels;
+    h.buckets = e.value.buckets();
+    h.sum = e.value.sum();
+    for (std::uint64_t c : h.buckets) h.count += c;
+    snap.histograms.push_back(std::move(h));
+  }
+  sort_samples(snap.counters);
+  sort_samples(snap.gauges);
+  sort_samples(snap.histograms);
+  return snap;
+}
+
+std::uint64_t Registry::uptime_ns() const noexcept {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - start_)
+                                        .count());
+}
+
+std::string render_prometheus(const Snapshot& snap) {
+  std::string out;
+  out.reserve(4096);
+
+  const std::string* last_name = nullptr;
+  auto emit_header = [&](const std::string& name, const std::string& help,
+                         const char* type) {
+    if (last_name != nullptr && *last_name == name) return;
+    last_name = &name;
+    if (!help.empty()) {
+      out += "# HELP ";
+      out += name;
+      out += ' ';
+      out += help;
+      out += '\n';
+    }
+    out += "# TYPE ";
+    out += name;
+    out += ' ';
+    out += type;
+    out += '\n';
+  };
+
+  for (const auto& c : snap.counters) {
+    emit_header(c.name, c.help, "counter");
+    out += c.name;
+    append_labels(out, c.labels);
+    out += ' ';
+    out += std::to_string(c.value);
+    out += '\n';
+  }
+  last_name = nullptr;
+  for (const auto& g : snap.gauges) {
+    emit_header(g.name, g.help, "gauge");
+    out += g.name;
+    append_labels(out, g.labels);
+    out += ' ';
+    out += std::to_string(g.value);
+    out += '\n';
+  }
+  last_name = nullptr;
+  for (const auto& h : snap.histograms) {
+    emit_header(h.name, h.help, "histogram");
+    unsigned highest = 0;
+    for (unsigned i = 0; i < kHistogramBuckets; ++i)
+      if (h.buckets[i] != 0) highest = i;
+    std::uint64_t cumulative = 0;
+    for (unsigned i = 0; i <= highest; ++i) {
+      cumulative += h.buckets[i];
+      out += h.name;
+      out += "_bucket";
+      append_bucket_labels(out, h.labels, std::to_string(histogram_bucket_bound(i)));
+      out += ' ';
+      out += std::to_string(cumulative);
+      out += '\n';
+    }
+    out += h.name;
+    out += "_bucket";
+    append_bucket_labels(out, h.labels, "+Inf");
+    out += ' ';
+    out += std::to_string(h.count);
+    out += '\n';
+    out += h.name;
+    out += "_sum";
+    append_labels(out, h.labels);
+    out += ' ';
+    out += std::to_string(h.sum);
+    out += '\n';
+    out += h.name;
+    out += "_count";
+    append_labels(out, h.labels);
+    out += ' ';
+    out += std::to_string(h.count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_json(const Snapshot& snap) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"uptime_ns\":";
+  out += std::to_string(snap.uptime_ns);
+  out += ",\"counters\":[";
+  bool first = true;
+  for (const auto& c : snap.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, c.name);
+    out += ',';
+    append_json_labels(out, c.labels);
+    out += ",\"value\":";
+    out += std::to_string(c.value);
+    out += '}';
+  }
+  out += "],\"gauges\":[";
+  first = true;
+  for (const auto& g : snap.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, g.name);
+    out += ',';
+    append_json_labels(out, g.labels);
+    out += ",\"value\":";
+    out += std::to_string(g.value);
+    out += '}';
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const auto& h : snap.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, h.name);
+    out += ',';
+    append_json_labels(out, h.labels);
+    out += ",\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"sum\":";
+    out += std::to_string(h.sum);
+    out += ",\"p50\":";
+    out += format_double(h.quantile(0.50));
+    out += ",\"p90\":";
+    out += format_double(h.quantile(0.90));
+    out += ",\"p99\":";
+    out += format_double(h.quantile(0.99));
+    out += ",\"buckets\":[";
+    std::uint64_t cumulative = 0;
+    bool first_bucket = true;
+    for (unsigned i = 0; i < kHistogramBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      cumulative += h.buckets[i];
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      out += "[";
+      out += std::to_string(histogram_bucket_bound(i));
+      out += ',';
+      out += std::to_string(cumulative);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ncpm::obs

@@ -1,0 +1,204 @@
+#pragma once
+// obs::Registry — process-local metrics with a wait-free hot path.
+//
+// Three instrument kinds:
+//   Counter   — monotone u64, striped across cache lines so concurrent
+//               workers do not contend on one atomic.
+//   Gauge     — instantaneous i64 (set/add), single relaxed atomic.
+//   Histogram — log2-bucketed latency distribution; observe() touches two
+//               striped atomics; quantiles are derived from snapshots by
+//               interpolating inside the hit bucket.
+//
+// Registration takes a mutex and is expected at startup; the returned
+// references stay valid for the registry's lifetime (deque storage, never
+// moved). Re-registering the same (name, labels) returns the same handle.
+//
+// snapshot() is safe to call from any thread at any time. It reads the
+// relaxed atomics without stopping writers, so a snapshot is a consistent
+// *per-instrument* view, not a cross-instrument transaction.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ncpm::obs {
+
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket i (i >= 1)
+/// holds values in [2^(i-1), 2^i - 1]. 64-bit values need 65 buckets.
+inline constexpr std::size_t kHistogramBuckets = 65;
+
+/// Sorted-insertion not required; labels are compared as given.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Returns the bucket index for a value (== std::bit_width(value)).
+unsigned histogram_bucket(std::uint64_t value) noexcept;
+
+/// Inclusive upper bound of a bucket (2^i - 1; bucket 0 -> 0).
+std::uint64_t histogram_bucket_bound(unsigned bucket) noexcept;
+
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) noexcept;
+  std::uint64_t value() const noexcept;
+
+ private:
+  static constexpr std::size_t kStripes = 16;
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Stripe stripes_[kStripes];
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) noexcept { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void observe(std::uint64_t value) noexcept;
+
+  std::uint64_t count() const noexcept;
+  std::uint64_t sum() const noexcept;
+  std::array<std::uint64_t, kHistogramBuckets> buckets() const noexcept;
+
+ private:
+  static constexpr std::size_t kStripes = 4;
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> count[kHistogramBuckets] = {};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  Stripe stripes_[kStripes];
+};
+
+// ---------------------------------------------------------------------------
+// Snapshots
+
+struct CounterSample {
+  std::string name;
+  std::string help;
+  Labels labels;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::string help;
+  Labels labels;
+  std::int64_t value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::string help;
+  Labels labels;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  /// Quantile estimate (q in [0, 1]) by linear interpolation inside the
+  /// bucket containing the rank. Returns 0 for an empty histogram.
+  double quantile(double q) const noexcept;
+};
+
+struct Snapshot {
+  std::uint64_t uptime_ns = 0;
+  std::vector<CounterSample> counters;      // sorted by (name, labels)
+  std::vector<GaugeSample> gauges;          // sorted by (name, labels)
+  std::vector<HistogramSample> histograms;  // sorted by (name, labels)
+};
+
+/// Prometheus text exposition (format 0.0.4): # HELP / # TYPE once per metric
+/// name, histogram buckets as cumulative `le` series up to the highest
+/// non-empty bucket plus +Inf, then `_sum` and `_count`.
+std::string render_prometheus(const Snapshot& snap);
+
+/// Single-object JSON rendering (counters/gauges/histograms with p50/p90/p99
+/// and cumulative non-empty buckets). One line, no trailing newline.
+std::string render_json(const Snapshot& snap);
+
+// ---------------------------------------------------------------------------
+// Registry
+
+class Registry {
+ public:
+  Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string name, std::string help, Labels labels = {});
+  Gauge& gauge(std::string name, std::string help, Labels labels = {});
+  Histogram& histogram(std::string name, std::string help, Labels labels = {});
+
+  /// Registers a gauge whose value is computed by `fn` at snapshot time.
+  /// `owner` tags the callback so it can be removed before whatever `fn`
+  /// captures is destroyed (see remove_callbacks).
+  void gauge_callback(const void* owner, std::string name, std::string help,
+                      Labels labels, std::function<std::int64_t()> fn);
+
+  /// Drops every callback gauge registered under `owner`.
+  void remove_callbacks(const void* owner);
+
+  Snapshot snapshot() const;
+
+  /// Nanoseconds since the registry was constructed (steady clock).
+  std::uint64_t uptime_ns() const noexcept;
+
+ private:
+  struct Meta {
+    std::string name;
+    std::string help;
+    Labels labels;
+  };
+  struct CounterEntry {
+    Meta meta;
+    Counter value;
+  };
+  struct GaugeEntry {
+    Meta meta;
+    Gauge value;
+  };
+  struct HistogramEntry {
+    Meta meta;
+    Histogram value;
+  };
+  struct CallbackEntry {
+    Meta meta;
+    const void* owner;
+    std::function<std::int64_t()> fn;
+  };
+
+  mutable std::mutex mu_;
+  std::deque<CounterEntry> counters_;
+  std::deque<GaugeEntry> gauges_;
+  std::deque<HistogramEntry> histograms_;
+  std::vector<CallbackEntry> callbacks_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ncpm::obs

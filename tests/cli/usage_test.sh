@@ -66,6 +66,11 @@ expect_usage "serve bad idle timeout"  -- serve --idle-timeout-ms nope
 expect_usage "serve bad hello timeout" -- serve --hello-timeout-ms nope
 expect_usage "serve bad global cap"    -- serve --max-in-flight-global nope
 expect_usage "serve global cap missing" -- serve --max-in-flight-global
+expect_usage "serve bad metrics port"  -- serve --metrics-port 99999
+expect_usage "serve metrics port junk" -- serve --metrics-port nope
+expect_usage "serve metrics port missing" -- serve --metrics-port
+expect_usage "serve bad trace sample"  -- serve --trace-sample-n 0
+expect_usage "serve trace sample junk" -- serve --trace-sample-n nope
 expect_usage "rpc no args"             -- rpc
 expect_usage "rpc missing mode"        -- rpc localhost:7447
 expect_usage "rpc bad hostport"        -- rpc localhost seven solve
@@ -77,11 +82,21 @@ expect_usage "rpc bad retries"         -- rpc localhost:7447 solve --retries nop
 expect_usage "rpc bad backoff"         -- rpc localhost:7447 solve --backoff-ms 0
 expect_usage "rpc bad hedge"           -- rpc localhost:7447 solve --hedge-ms 0
 expect_usage "rpc retries missing"     -- rpc localhost:7447 solve --retries
+expect_usage "stats no args"           -- stats
+expect_usage "stats two positionals"   -- stats a:1 b:2
+expect_usage "stats bad hostport"      -- stats localhost
+expect_usage "stats bad port"          -- stats localhost:0
+expect_usage "stats bad watch"         -- stats localhost:7447 --watch 0
+expect_usage "stats watch junk"        -- stats localhost:7447 --watch nope
+expect_usage "stats bad format"        -- stats localhost:7447 --format xml
+expect_usage "stats format missing"    -- stats localhost:7447 --format
+expect_usage "stats traces need json"  -- stats localhost:7447 --traces
 
 expect_exit 0 "help exits 0"           -- help
 expect_exit 2 "missing input file"     -- solve /nonexistent/instance.txt
 expect_exit 2 "batch missing file"     -- batch /nonexistent/batch.bin
 expect_exit 2 "rpc connection refused" -- rpc 127.0.0.1:1 solve  # port 1: nothing listens
+expect_exit 2 "stats connection refused" -- stats 127.0.0.1:1
 
 # End-to-end sanity: generated instance solves with exit 0 through a pipe.
 tmp=$(mktemp -d)

@@ -1,0 +1,147 @@
+// Concurrent stats scraping during a pipelined submit storm (a TSan
+// target in CI): Engine::stats() and Registry::snapshot() are hammered
+// from reader threads while submitter threads keep the queue full.
+// Properties: no data race (TSan), counters only move forward, every
+// intermediate snapshot satisfies submitted >= completed + rejected, and
+// at quiesce the books balance exactly: submitted == completed + rejected
+// and nothing is outstanding.
+
+#include "engine/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "obs/registry.hpp"
+
+namespace ncpm::engine {
+namespace {
+
+std::uint64_t counter_sum(const obs::Snapshot& snap, const std::string& name) {
+  std::uint64_t total = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name == name) total += c.value;
+  }
+  return total;
+}
+
+TEST(EngineStatsRace, ConcurrentScrapesDuringSubmitStormStayConsistent) {
+  constexpr int kSubmitters = 3;
+  constexpr int kScrapers = 2;
+  constexpr std::uint64_t kPerSubmitter = 60;
+  constexpr std::uint64_t kTotal = kSubmitters * kPerSubmitter;
+
+  obs::Registry registry;
+  EngineConfig cfg{2, 1};
+  cfg.registry = &registry;
+  Engine engine(cfg);
+
+  gen::SolvableConfig icfg;
+  icfg.num_applicants = 24;
+  icfg.num_posts = 60;
+  icfg.seed = 11;
+  const auto inst = gen::solvable_strict_instance(icfg);
+
+  std::atomic<bool> storm_done{false};
+
+  std::vector<std::thread> scrapers;
+  for (int s = 0; s < kScrapers; ++s) {
+    scrapers.emplace_back([&] {
+      std::uint64_t last_submitted = 0;
+      std::uint64_t last_completed = 0;
+      while (!storm_done.load(std::memory_order_acquire)) {
+        // Both scrape surfaces, interleaved: the locked EngineStats and the
+        // wait-free registry counters.
+        const EngineStats stats = engine.stats();
+        ASSERT_GE(stats.submitted, stats.completed + stats.rejected);
+        ASSERT_GE(stats.submitted, last_submitted);
+        ASSERT_GE(stats.completed, last_completed);
+        ASSERT_LE(stats.submitted, kTotal);
+        last_submitted = stats.submitted;
+        last_completed = stats.completed;
+
+        const obs::Snapshot snap = registry.snapshot();
+        ASSERT_GE(counter_sum(snap, "ncpm_engine_submitted_total"),
+                  counter_sum(snap, "ncpm_engine_completed_total") +
+                      counter_sum(snap, "ncpm_engine_rejected_total"));
+        // The lock-free mirrors never report impossible depths.
+        ASSERT_LE(engine.queue_depth(), static_cast<std::size_t>(kTotal));
+        ASSERT_LE(engine.outstanding(), static_cast<std::size_t>(kTotal));
+      }
+    });
+  }
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      constexpr Mode kModes[] = {Mode::kSolve, Mode::kMaxCard, Mode::kCount};
+      std::vector<std::future<Result>> futures;
+      futures.reserve(kPerSubmitter);
+      for (std::uint64_t i = 0; i < kPerSubmitter; ++i) {
+        futures.push_back(
+            engine.submit(Request::popular(kModes[(t + static_cast<int>(i)) % 3], inst)));
+      }
+      for (auto& f : futures) {
+        const Result r = f.get();
+        ASSERT_TRUE(r.status == Status::kOk || r.status == Status::kNoSolution);
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  storm_done.store(true, std::memory_order_release);
+  for (auto& t : scrapers) t.join();
+
+  // Quiesce: every future resolved, so record() already ran for every
+  // request (counters update before the promise is fulfilled).
+  const EngineStats final_stats = engine.stats();
+  EXPECT_EQ(final_stats.submitted, kTotal);
+  EXPECT_EQ(final_stats.submitted, final_stats.completed + final_stats.rejected);
+  EXPECT_EQ(final_stats.rejected, 0u);
+  EXPECT_EQ(engine.outstanding(), 0u);
+  EXPECT_EQ(engine.queue_depth(), 0u);
+
+  const obs::Snapshot snap = registry.snapshot();
+  EXPECT_EQ(counter_sum(snap, "ncpm_engine_submitted_total"), kTotal);
+  EXPECT_EQ(counter_sum(snap, "ncpm_engine_completed_total"), kTotal);
+  EXPECT_EQ(counter_sum(snap, "ncpm_engine_rejected_total"), 0u);
+  // Histograms are registered for every mode; only the three exercised
+  // ones carry observations, and their quantiles must be sane.
+  std::uint64_t observed = 0;
+  for (const auto& h : snap.histograms) {
+    if (h.name != "ncpm_engine_solve_ns" || h.count == 0) continue;
+    observed += h.count;
+    EXPECT_GT(h.quantile(0.5), 0.0);
+    EXPECT_GE(h.quantile(0.99), h.quantile(0.5));
+  }
+  EXPECT_EQ(observed, kTotal);
+
+  engine.shutdown();
+}
+
+TEST(EngineStatsRace, CallbackGaugesDeregisterBeforeTheEngineDies) {
+  obs::Registry registry;
+  {
+    EngineConfig cfg{1, 1};
+    cfg.registry = &registry;
+    Engine engine(cfg);
+    const auto snap = registry.snapshot();
+    EXPECT_EQ(counter_sum(snap, "ncpm_engine_submitted_total"), 0u);
+    bool found = false;
+    for (const auto& g : snap.gauges) found |= g.name == "ncpm_engine_outstanding";
+    EXPECT_TRUE(found);
+  }
+  // The engine is gone; snapshotting must not touch its dead callbacks.
+  const auto snap = registry.snapshot();
+  for (const auto& g : snap.gauges) {
+    EXPECT_NE(g.name, "ncpm_engine_outstanding");
+    EXPECT_NE(g.name, "ncpm_engine_queue_depth");
+  }
+}
+
+}  // namespace
+}  // namespace ncpm::engine

@@ -1,0 +1,361 @@
+// Observability integration over real sockets, parameterized over both
+// connection cores: the stats frame answers inline with a coherent
+// registry snapshot, concurrent scrapes during a pipelined submit storm
+// only ever see monotone counters and a consistent quiesce, trace spans
+// are sampled and retrievable, the optional HTTP /metrics endpoint speaks
+// Prometheus text, and --log-json lifecycle events reach the sink.
+
+#include "net/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/generators.hpp"
+#include "net/client.hpp"
+#include "net/socket.hpp"
+#include "net/stats_frame.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace ncpm::net {
+namespace {
+
+using engine::Mode;
+
+core::Instance small_instance(std::uint64_t seed) {
+  gen::SolvableConfig cfg;
+  cfg.num_applicants = 16;
+  cfg.num_posts = 40;
+  cfg.seed = seed;
+  return gen::solvable_strict_instance(cfg);
+}
+
+/// Sum of a counter across every label set (mode-split engine counters
+/// collapse to a total this way).
+std::uint64_t counter_sum(const obs::Snapshot& snap, const std::string& name) {
+  std::uint64_t total = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name == name) total += c.value;
+  }
+  return total;
+}
+
+std::int64_t gauge_value(const obs::Snapshot& snap, const std::string& name) {
+  for (const auto& g : snap.gauges) {
+    if (g.name == name) return g.value;
+  }
+  ADD_FAILURE() << "gauge " << name << " missing from snapshot";
+  return 0;
+}
+
+class ServerObsLoopback : public ::testing::TestWithParam<ServerCoreKind> {
+ protected:
+  ServerConfig make_config() const {
+    ServerConfig cfg;
+    cfg.core = GetParam();
+    cfg.engine = engine::EngineConfig{2, 1};
+    return cfg;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Cores, ServerObsLoopback,
+                         ::testing::Values(ServerCoreKind::kThreads, ServerCoreKind::kEpoll),
+                         [](const ::testing::TestParamInfo<ServerCoreKind>& info) {
+                           return std::string(server_core_name(info.param));
+                         });
+
+TEST_P(ServerObsLoopback, StatsFrameReflectsServedTraffic) {
+  Server server{make_config()};
+  server.start();
+
+  auto client = Client::connect("127.0.0.1", server.port());
+  constexpr std::uint64_t kCalls = 6;
+  for (std::uint64_t i = 0; i < kCalls; ++i) {
+    const auto resp = client.call(Mode::kSolve, small_instance(i));
+    ASSERT_EQ(resp.status, RpcStatus::kOk);
+  }
+  client.ping();
+
+  const StatsReply reply = client.stats();
+  EXPECT_EQ(reply.version, kStatsSnapshotVersion);
+  EXPECT_GT(reply.snapshot.uptime_ns, 0u);
+
+  const auto& snap = reply.snapshot;
+  EXPECT_EQ(counter_sum(snap, "ncpm_server_connections_accepted_total"), 1u);
+  EXPECT_EQ(gauge_value(snap, "ncpm_server_connections_active"), 1);
+  EXPECT_EQ(counter_sum(snap, "ncpm_server_frames_received_total"), kCalls);
+  EXPECT_EQ(counter_sum(snap, "ncpm_server_responses_sent_total"), kCalls);
+  EXPECT_EQ(counter_sum(snap, "ncpm_server_pings_answered_total"), 1u);
+  // The probe that produced this snapshot counted itself before snapshotting.
+  EXPECT_EQ(counter_sum(snap, "ncpm_server_stats_frames_total"), 1u);
+  EXPECT_EQ(counter_sum(snap, "ncpm_server_malformed_frames_total"), 0u);
+
+  // Engine series ride the same registry, split by mode label.
+  EXPECT_EQ(counter_sum(snap, "ncpm_engine_submitted_total"), kCalls);
+  EXPECT_EQ(counter_sum(snap, "ncpm_engine_completed_total"), kCalls);
+  bool found_solve_hist = false;
+  for (const auto& h : snap.histograms) {
+    if (h.name == "ncpm_engine_solve_ns" &&
+        h.labels == obs::Labels{{"mode", "solve"}}) {
+      found_solve_hist = true;
+      EXPECT_EQ(h.count, kCalls);
+      EXPECT_GT(h.sum, 0u);
+      EXPECT_GT(h.quantile(0.99), 0.0);
+    }
+  }
+  EXPECT_TRUE(found_solve_hist);
+  EXPECT_EQ(gauge_value(snap, "ncpm_engine_workers"), 2);
+  EXPECT_EQ(gauge_value(snap, "ncpm_engine_outstanding"), 0);
+
+  server.stop();
+}
+
+TEST_P(ServerObsLoopback, ConcurrentScrapesStayMonotoneThroughASubmitStorm) {
+  ServerConfig cfg = make_config();
+  Server server(cfg);
+  server.start();
+
+  constexpr int kClients = 3;
+  constexpr std::size_t kRequestsPerClient = 40;
+  const auto inst = small_instance(7);
+
+  std::atomic<bool> storm_done{false};
+  std::vector<std::string> failures(kClients + 1);
+
+  // Scraper: its own connection, back-to-back stats probes for the whole
+  // storm. Every counter in every successive snapshot must be monotone.
+  std::thread scraper([&] {
+    try {
+      auto client = Client::connect("127.0.0.1", server.port());
+      std::map<std::string, std::uint64_t> last;
+      std::uint64_t last_uptime = 0;
+      while (!storm_done.load(std::memory_order_acquire)) {
+        const StatsReply reply = client.stats();
+        ASSERT_GE(reply.snapshot.uptime_ns, last_uptime);
+        last_uptime = reply.snapshot.uptime_ns;
+        for (const auto& c : reply.snapshot.counters) {
+          std::string key = c.name;
+          for (const auto& [k, v] : c.labels) key += "|" + k + "=" + v;
+          auto [it, inserted] = last.try_emplace(key, c.value);
+          if (!inserted) {
+            ASSERT_GE(c.value, it->second) << key << " went backwards";
+            it->second = c.value;
+          }
+        }
+        // Cross-counter sanity on every single scrape: the engine never
+        // completes more than was submitted, the server never answers more
+        // than it read.
+        const auto& snap = reply.snapshot;
+        ASSERT_GE(counter_sum(snap, "ncpm_engine_submitted_total"),
+                  counter_sum(snap, "ncpm_engine_completed_total"));
+        ASSERT_GE(counter_sum(snap, "ncpm_server_frames_received_total"),
+                  counter_sum(snap, "ncpm_server_responses_sent_total"));
+      }
+    } catch (const std::exception& e) {
+      failures[kClients] = e.what();
+    }
+  });
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        std::vector<RpcCall> calls(kRequestsPerClient, RpcCall{Mode::kSolve, inst, 0});
+        auto client = Client::connect("127.0.0.1", server.port());
+        const auto responses = client.call_batch(calls);
+        for (const auto& resp : responses) ASSERT_EQ(resp.status, RpcStatus::kOk);
+      } catch (const std::exception& e) {
+        failures[static_cast<std::size_t>(c)] = e.what();
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  // Quiesce: all client traffic answered. Scrape until responses_sent
+  // settles (the writer increments it just *after* the bytes leave, so the
+  // clients can finish a beat ahead of the counter), then everything must
+  // add up exactly — submitted == completed, no residue in flight.
+  {
+    auto client = Client::connect("127.0.0.1", server.port());
+    constexpr std::uint64_t kTotal = kClients * kRequestsPerClient;
+    obs::Snapshot snap;
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (true) {
+      snap = client.stats().snapshot;
+      const auto sent = counter_sum(snap, "ncpm_server_responses_sent_total");
+      ASSERT_LE(sent, kTotal);
+      if (sent == kTotal) break;
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "responses_sent never reached " << kTotal;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(counter_sum(snap, "ncpm_server_frames_received_total"), kTotal);
+    EXPECT_EQ(counter_sum(snap, "ncpm_engine_submitted_total"), kTotal);
+    EXPECT_EQ(counter_sum(snap, "ncpm_engine_submitted_total"),
+              counter_sum(snap, "ncpm_engine_completed_total") +
+                  counter_sum(snap, "ncpm_engine_rejected_total"));
+    EXPECT_EQ(gauge_value(snap, "ncpm_engine_outstanding"), 0);
+    EXPECT_EQ(gauge_value(snap, "ncpm_engine_queue_depth"), 0);
+  }
+
+  storm_done.store(true, std::memory_order_release);
+  scraper.join();
+  for (const auto& f : failures) EXPECT_TRUE(f.empty()) << f;
+  server.stop();
+}
+
+TEST_P(ServerObsLoopback, TraceSpansAreSampledAndRetrievable) {
+  ServerConfig cfg = make_config();
+  cfg.trace_sample_n = 1;  // sample every request
+  Server server(cfg);
+  server.start();
+
+  auto client = Client::connect("127.0.0.1", server.port());
+  constexpr std::uint64_t kCalls = 5;
+  for (std::uint64_t i = 0; i < kCalls; ++i) {
+    ASSERT_EQ(client.call(Mode::kSolve, small_instance(i)).status, RpcStatus::kOk);
+  }
+
+  const StatsReply reply = client.stats(/*include_traces=*/true);
+  ASSERT_EQ(reply.spans.size(), kCalls);
+  for (const auto& span : reply.spans) {
+    EXPECT_GT(span.request_id, 0u);
+    EXPECT_GT(span.conn_id, 0u);
+    EXPECT_EQ(span.mode, static_cast<std::uint8_t>(Mode::kSolve));
+    EXPECT_EQ(span.status, static_cast<std::uint8_t>(RpcStatus::kOk));
+    // Milestones are ordered: accept <= frame read <= dispatch <= solve
+    // start <= solve end <= response handed to the writer.
+    EXPECT_LE(span.accept_ns, span.frame_read_ns);
+    EXPECT_LE(span.frame_read_ns, span.dispatch_ns);
+    EXPECT_LE(span.dispatch_ns, span.solve_start_ns);
+    EXPECT_LE(span.solve_start_ns, span.solve_end_ns);
+    EXPECT_LE(span.solve_end_ns, span.response_ns);
+  }
+
+  // Without the flag the reply carries no spans (and stays much smaller).
+  EXPECT_TRUE(client.stats().spans.empty());
+  server.stop();
+}
+
+TEST_P(ServerObsLoopback, TracingOffMeansNoSpansEver) {
+  Server server{make_config()};  // trace_sample_n defaults to 0
+  server.start();
+  auto client = Client::connect("127.0.0.1", server.port());
+  ASSERT_EQ(client.call(Mode::kSolve, small_instance(1)).status, RpcStatus::kOk);
+  EXPECT_TRUE(client.stats(/*include_traces=*/true).spans.empty());
+  server.stop();
+}
+
+TEST_P(ServerObsLoopback, HttpMetricsEndpointServesPrometheusText) {
+  ServerConfig cfg = make_config();
+  cfg.metrics_port = 0;  // ephemeral
+  Server server(cfg);
+  server.start();
+  ASSERT_GT(server.metrics_port(), 0);
+  ASSERT_NE(server.metrics_port(), server.port());
+
+  auto client = Client::connect("127.0.0.1", server.port());
+  ASSERT_EQ(client.call(Mode::kSolve, small_instance(3)).status, RpcStatus::kOk);
+
+  const auto http_get = [&](const std::string& target) {
+    Socket sock =
+        Socket::connect_to("127.0.0.1", server.metrics_port(), std::chrono::seconds(5));
+    const std::string req = "GET " + target + " HTTP/1.0\r\n\r\n";
+    sock.send_all(req.data(), req.size());
+    std::string response;
+    char buf[4096];
+    while (true) {
+      const auto n = sock.recv_some(buf, sizeof(buf));
+      if (n == 0) break;  // blocking socket: only EOF stops the read
+      if (n > 0) response.append(buf, static_cast<std::size_t>(n));
+    }
+    return response;
+  };
+
+  const std::string ok = http_get("/metrics");
+  EXPECT_EQ(ok.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << ok.substr(0, 120);
+  EXPECT_NE(ok.find("Content-Type: text/plain; version=0.0.4"), std::string::npos);
+  const auto body_at = ok.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const std::string body = ok.substr(body_at + 4);
+  EXPECT_NE(body.find("# TYPE ncpm_server_responses_sent_total counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("ncpm_server_responses_sent_total 1\n"), std::string::npos);
+  EXPECT_NE(body.find("# TYPE ncpm_engine_solve_ns histogram"), std::string::npos);
+  EXPECT_NE(body.find("ncpm_engine_solve_ns_count{mode=\"solve\"} 1\n"),
+            std::string::npos);
+
+  // Anything but GET /metrics is a 404; the rpc port stays untouched.
+  const std::string missing = http_get("/other");
+  EXPECT_EQ(missing.rfind("HTTP/1.0 404 Not Found\r\n", 0), 0u);
+
+  EXPECT_EQ(client.call(Mode::kSolve, small_instance(4)).status, RpcStatus::kOk);
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST_P(ServerObsLoopback, JsonLogCapturesLifecycleEvents) {
+  ServerConfig cfg = make_config();
+  cfg.log_json = true;
+  std::mutex mu;
+  std::vector<std::string> lines;
+  cfg.log_sink = [&](std::string_view line) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.emplace_back(line);
+  };
+  Server server(cfg);
+  server.start();
+  {
+    auto client = Client::connect("127.0.0.1", server.port());
+    ASSERT_EQ(client.call(Mode::kSolve, small_instance(2)).status, RpcStatus::kOk);
+  }
+  server.stop();
+
+  std::lock_guard<std::mutex> lock(mu);
+  const auto has_event = [&](const std::string& name) {
+    const std::string needle = "\"event\":\"" + name + "\"";
+    return std::any_of(lines.begin(), lines.end(), [&](const std::string& line) {
+      return line.find(needle) != std::string::npos;
+    });
+  };
+  EXPECT_TRUE(has_event("server_start"));
+  EXPECT_TRUE(has_event("conn_open"));
+  EXPECT_TRUE(has_event("conn_close"));
+  EXPECT_TRUE(has_event("drain_begin"));
+  EXPECT_TRUE(has_event("drain_end"));
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '\n');
+    EXPECT_NE(line.find("\"ts_ns\":"), std::string::npos);
+  }
+}
+
+TEST_P(ServerObsLoopback, ServerStatsStructMirrorsTheRegistry) {
+  Server server{make_config()};
+  server.start();
+  auto client = Client::connect("127.0.0.1", server.port());
+  ASSERT_EQ(client.call(Mode::kSolve, small_instance(9)).status, RpcStatus::kOk);
+  client.ping();
+  const auto snap = client.stats().snapshot;
+
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.connections_accepted,
+            counter_sum(snap, "ncpm_server_connections_accepted_total"));
+  EXPECT_EQ(s.frames_received, counter_sum(snap, "ncpm_server_frames_received_total"));
+  EXPECT_EQ(s.responses_sent, counter_sum(snap, "ncpm_server_responses_sent_total"));
+  EXPECT_EQ(s.pings_answered, counter_sum(snap, "ncpm_server_pings_answered_total"));
+  EXPECT_EQ(s.stats_frames_answered, counter_sum(snap, "ncpm_server_stats_frames_total"));
+  server.stop();
+}
+
+}  // namespace
+}  // namespace ncpm::net

@@ -147,6 +147,14 @@ void fuzz_session(std::uint64_t seed) {
         acts = fsm.on_ping(rng());
         break;
       }
+      case 6: {  // stats probe / its protocol reply, same validity window
+        if (rng() % 2 == 0) {
+          acts = fsm.on_stats(rng(), static_cast<std::uint8_t>(rng() % 2));
+        } else {
+          acts = fsm.on_protocol_reply(std::string(1 + rng() % 24, 's'));
+        }
+        break;
+      }
       default: {  // lifecycle / timer events, valid or not
         constexpr SessionEvent kEvents[] = {
             SessionEvent::kWriteBlocked, SessionEvent::kReadEof,   SessionEvent::kPeerError,
@@ -154,7 +162,7 @@ void fuzz_session(std::uint64_t seed) {
             SessionEvent::kHelloTimeout,
             // Payload events through the wrong entry point must reject.
             SessionEvent::kBytesIn, SessionEvent::kResponseReady, SessionEvent::kWroteBytes,
-            SessionEvent::kPingFrame,
+            SessionEvent::kPingFrame, SessionEvent::kStatsFrame,
         };
         acts = fsm.on_event(kEvents[rng() % std::size(kEvents)]);
         break;
@@ -178,6 +186,8 @@ void fuzz_session(std::uint64_t seed) {
     ASSERT_TRUE(fsm.on_response("late").rejected);
     ASSERT_TRUE(fsm.on_wrote(1).rejected);
     ASSERT_TRUE(fsm.on_ping(0).rejected);
+    ASSERT_TRUE(fsm.on_stats(0, 0).rejected);
+    ASSERT_TRUE(fsm.on_protocol_reply("late").rejected);
     ASSERT_EQ(fsm.close_reason(), model.reason);
   }
 }

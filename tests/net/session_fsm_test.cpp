@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "net/frame.hpp"
+#include "net/stats_frame.hpp"
 
 namespace ncpm::net {
 namespace {
@@ -139,6 +140,8 @@ SessionActions apply_event(SessionFsm& fsm, SessionEvent event) {
       return fsm.on_wrote(1);
     case SessionEvent::kPingFrame:
       return fsm.on_ping(0x42);
+    case SessionEvent::kStatsFrame:
+      return fsm.on_stats(0x42, 0);
     default:
       return fsm.on_event(event);
   }
@@ -162,6 +165,8 @@ const TableCase kTable[] = {
     // The only state where the hello-timeout reaper has work to do.
     {SessionState::kAwaitHello, SessionEvent::kHelloTimeout,
      closes(SessionCloseReason::kHelloTimeout)},
+    // Like pings, stats frames cannot precede the hello.
+    {SessionState::kAwaitHello, SessionEvent::kStatsFrame, kRejectedRow},
 
     // kReadHeader: quiescent between frames (backlog flushed).
     {SessionState::kReadHeader, SessionEvent::kBytesIn, accepted(SessionState::kReadHeader)},
@@ -180,6 +185,8 @@ const TableCase kTable[] = {
     {SessionState::kReadHeader, SessionEvent::kPingFrame, accepted(SessionState::kReadHeader)},
     // Stale once the stream is up (the driver armed the timer at accept).
     {SessionState::kReadHeader, SessionEvent::kHelloTimeout, kRejectedRow},
+    // Stats requests are answered in every stream state, exactly like pings.
+    {SessionState::kReadHeader, SessionEvent::kStatsFrame, accepted(SessionState::kReadHeader)},
 
     // kReadBody: mid-frame. EOF here is a truncation; the idle reaper must
     // not fire; drain abandons the partial frame (nothing admitted yet).
@@ -195,6 +202,7 @@ const TableCase kTable[] = {
     {SessionState::kReadBody, SessionEvent::kDrain, closes(SessionCloseReason::kDrained)},
     {SessionState::kReadBody, SessionEvent::kPingFrame, accepted(SessionState::kReadBody)},
     {SessionState::kReadBody, SessionEvent::kHelloTimeout, kRejectedRow},
+    {SessionState::kReadBody, SessionEvent::kStatsFrame, accepted(SessionState::kReadBody)},
 
     // kDispatched: at the in-flight bound. New bytes buffer; EOF and drain
     // enter kClosing so the admitted request's response still flushes.
@@ -213,6 +221,9 @@ const TableCase kTable[] = {
     // when the engine is saturated (that is its whole point).
     {SessionState::kDispatched, SessionEvent::kPingFrame, accepted(SessionState::kDispatched)},
     {SessionState::kDispatched, SessionEvent::kHelloTimeout, kRejectedRow},
+    // A scrape works even when the engine is saturated: the stats reply
+    // rides the backlog without a slot, so backpressure cannot starve it.
+    {SessionState::kDispatched, SessionEvent::kStatsFrame, accepted(SessionState::kDispatched)},
 
     // kWriteBacklog: the peer stopped draining. Write progress unblocks;
     // the send timeout may fire here (and only where a backlog exists).
@@ -234,6 +245,8 @@ const TableCase kTable[] = {
     {SessionState::kWriteBacklog, SessionEvent::kPingFrame,
      accepted(SessionState::kWriteBacklog)},
     {SessionState::kWriteBacklog, SessionEvent::kHelloTimeout, kRejectedRow},
+    {SessionState::kWriteBacklog, SessionEvent::kStatsFrame,
+     accepted(SessionState::kWriteBacklog)},
 
     // kClosing: reads are over; responses still arrive and flush. Repeated
     // EOF/drain signals are ignored no-ops, not errors.
@@ -249,6 +262,7 @@ const TableCase kTable[] = {
     // The read side is done for good; a late ping has no one to answer.
     {SessionState::kClosing, SessionEvent::kPingFrame, kRejectedRow},
     {SessionState::kClosing, SessionEvent::kHelloTimeout, kRejectedRow},
+    {SessionState::kClosing, SessionEvent::kStatsFrame, kRejectedRow},
 
     // kClosed: terminal. Every event — double close included — is rejected.
     {SessionState::kClosed, SessionEvent::kBytesIn, kRejectedRow},
@@ -262,6 +276,7 @@ const TableCase kTable[] = {
     {SessionState::kClosed, SessionEvent::kDrain, kRejectedRow},
     {SessionState::kClosed, SessionEvent::kPingFrame, kRejectedRow},
     {SessionState::kClosed, SessionEvent::kHelloTimeout, kRejectedRow},
+    {SessionState::kClosed, SessionEvent::kStatsFrame, kRejectedRow},
 };
 
 TEST(SessionFsmTable, CoversEveryStateEventPair) {
@@ -641,6 +656,81 @@ TEST(SessionFsmPing, PingAtTheInFlightBoundStillAnswers) {
   EXPECT_EQ(acts.pings_answered, 1u);
   EXPECT_EQ(fsm.state(), SessionState::kDispatched);  // no slot consumed
   EXPECT_GT(fsm.backlog_bytes(), 0u);
+}
+
+// --- stats frames ------------------------------------------------------------
+
+TEST(SessionFsmStats, StatsRequestOffTheWireIsSurfacedNotDispatched) {
+  SessionFsm fsm;
+  handshake_and_flush(fsm);
+
+  const std::uint64_t token = 0xfeedfacecafef00dULL;
+  const auto frame = encode_stats_request_frame(token, kStatsFlagTraces);
+  const auto acts =
+      fsm.on_bytes(reinterpret_cast<const std::uint8_t*>(frame.data()), frame.size());
+  ASSERT_FALSE(acts.rejected);
+  ASSERT_EQ(acts.stats_requests.size(), 1u);
+  EXPECT_EQ(acts.stats_requests[0].token, token);
+  EXPECT_EQ(acts.stats_requests[0].flags, kStatsFlagTraces);
+  EXPECT_TRUE(acts.dispatch.empty());  // never reaches the request decoder
+  EXPECT_EQ(fsm.in_flight(), 0u);      // and no slot taken
+}
+
+TEST(SessionFsmStats, ProtocolReplyRidesTheBacklogWithoutSlotOrResponseCount) {
+  SessionFsm fsm;
+  handshake_and_flush(fsm);
+
+  const std::string reply = "STATSREPLY";
+  const auto queued = fsm.on_protocol_reply(std::string(reply));
+  ASSERT_FALSE(queued.rejected);
+  ASSERT_EQ(fsm.write_size(), reply.size());
+  EXPECT_EQ(0, std::memcmp(fsm.write_data(), reply.data(), reply.size()));
+  EXPECT_EQ(fsm.in_flight(), 0u);
+
+  // Writing it completes no "response": protocol traffic is invisible to
+  // the slot accounting and the responses_sent counter, like a pong.
+  const auto wrote = fsm.on_wrote(reply.size());
+  ASSERT_FALSE(wrote.rejected);
+  EXPECT_EQ(wrote.responses_completed, 0u);
+}
+
+TEST(SessionFsmStats, StatsAtTheInFlightBoundStillSurfaces) {
+  SessionFsmConfig config;
+  config.max_in_flight = 1;
+  SessionFsm fsm(config);
+  handshake_and_flush(fsm);
+  feed(fsm, whole_frame(2));  // at the bound: reads paused
+  ASSERT_EQ(fsm.state(), SessionState::kDispatched);
+
+  const auto acts = fsm.on_stats(7, 0);
+  ASSERT_FALSE(acts.rejected);
+  ASSERT_EQ(acts.stats_requests.size(), 1u);
+  EXPECT_EQ(fsm.state(), SessionState::kDispatched);  // no slot consumed
+}
+
+TEST(SessionFsmStats, ProtocolReplyAfterClosingIsDropped) {
+  SessionFsm fsm;
+  handshake_and_flush(fsm);
+  ASSERT_FALSE(fsm.on_event(SessionEvent::kDrain).rejected);
+  // Nothing was admitted, so the drain closed immediately; the probe's
+  // answer dies with the connection.
+  EXPECT_TRUE(fsm.on_protocol_reply("LATE").rejected);
+  EXPECT_EQ(fsm.backlog_bytes(), 0u);
+}
+
+TEST(SessionFsmStats, TenByteNonStatsBodyDispatchesNormally) {
+  // Only the exact stats shape is intercepted: a 10-byte body whose first
+  // byte is not type 5 is someone's (malformed) request and must reach the
+  // server for its one error response.
+  SessionFsm fsm;
+  handshake_and_flush(fsm);
+  auto frame = frame_header(10);
+  frame.push_back(1);  // FrameType::kRequest
+  for (int i = 0; i < 9; ++i) frame.push_back(0);
+  const auto acts = feed(fsm, frame);
+  ASSERT_EQ(acts.dispatch.size(), 1u);
+  EXPECT_TRUE(acts.stats_requests.empty());
+  EXPECT_EQ(fsm.in_flight(), 1u);
 }
 
 TEST(SessionFsmPing, NineByteNonPingBodyDispatchesNormally) {

@@ -1,0 +1,117 @@
+// obs::Log unit tests: the disabled fast path emits nothing, enabled
+// events reach the pluggable sink as one JSON line each, every Field kind
+// renders with the right JSON type, and strings are escaped.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/log.hpp"
+
+namespace ncpm::obs {
+namespace {
+
+struct Capture {
+  std::mutex mu;
+  std::vector<std::string> lines;
+
+  Log::Sink sink() {
+    return [this](std::string_view line) {
+      std::lock_guard<std::mutex> lock(mu);
+      lines.emplace_back(line);
+    };
+  }
+};
+
+TEST(Log, DisabledByDefaultAndEmitsNothing) {
+  Capture cap;
+  Log log;
+  EXPECT_FALSE(log.enabled());
+  log.event("ignored", {});
+  EXPECT_TRUE(cap.lines.empty());
+}
+
+TEST(Log, EnabledEventsReachTheSinkAsJsonLines) {
+  Capture cap;
+  Log log;
+  log.enable(cap.sink());
+  EXPECT_TRUE(log.enabled());
+  log.event("conn_open", {{"conn_id", std::uint64_t{7}}});
+  log.event("conn_close", {{"conn_id", std::uint64_t{7}}});
+  ASSERT_EQ(cap.lines.size(), 2u);
+  const std::string& line = cap.lines[0];
+  EXPECT_EQ(line.front(), '{');
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_NE(line.find("{\"ts_ns\":"), std::string::npos);
+  EXPECT_NE(line.find("\"event\":\"conn_open\""), std::string::npos);
+  EXPECT_NE(line.find("\"conn_id\":7"), std::string::npos);
+  EXPECT_NE(cap.lines[1].find("\"event\":\"conn_close\""), std::string::npos);
+}
+
+TEST(Log, EveryFieldKindRendersItsJsonType) {
+  Capture cap;
+  Log log;
+  log.enable(cap.sink());
+  log.event("kinds", {{"u", std::uint64_t{18446744073709551615ull}},
+                      {"i", std::int64_t{-42}},
+                      {"f", 1.5},
+                      {"yes", true},
+                      {"no", false},
+                      {"s", "text"}});
+  ASSERT_EQ(cap.lines.size(), 1u);
+  const std::string& line = cap.lines[0];
+  EXPECT_NE(line.find("\"u\":18446744073709551615"), std::string::npos);
+  EXPECT_NE(line.find("\"i\":-42"), std::string::npos);
+  EXPECT_NE(line.find("\"f\":1.5"), std::string::npos);
+  EXPECT_NE(line.find("\"yes\":true"), std::string::npos);
+  EXPECT_NE(line.find("\"no\":false"), std::string::npos);
+  EXPECT_NE(line.find("\"s\":\"text\""), std::string::npos);
+}
+
+TEST(Log, StringsAreJsonEscaped) {
+  Capture cap;
+  Log log;
+  log.enable(cap.sink());
+  log.event("esc", {{"v", "a\"b\\c\nd\te\x01"}});
+  ASSERT_EQ(cap.lines.size(), 1u);
+  EXPECT_NE(cap.lines[0].find("\"v\":\"a\\\"b\\\\c\\nd\\te\\u0001\""),
+            std::string::npos)
+      << cap.lines[0];
+}
+
+TEST(Log, DisableStopsEmission) {
+  Capture cap;
+  Log log;
+  log.enable(cap.sink());
+  log.event("one", {});
+  log.disable();
+  log.event("two", {});
+  ASSERT_EQ(cap.lines.size(), 1u);
+  EXPECT_NE(cap.lines[0].find("\"event\":\"one\""), std::string::npos);
+}
+
+TEST(Log, ConcurrentEventsStayLineAtomic) {
+  Capture cap;
+  Log log;
+  log.enable(cap.sink());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&log] {
+      for (int i = 0; i < 250; ++i) log.event("tick", {{"n", std::uint64_t(i)}});
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(cap.lines.size(), 1000u);
+  for (const auto& line : cap.lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '\n');
+    EXPECT_NE(line.find("\"event\":\"tick\""), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace ncpm::obs

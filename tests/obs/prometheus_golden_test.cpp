@@ -1,0 +1,82 @@
+// Golden-file test for the Prometheus text exposition (format 0.0.4).
+//
+// A fixed registry is rendered and compared byte-for-byte against
+// tests/obs/golden/metrics.prom. The golden pins everything scrape
+// pipelines depend on: HELP/TYPE placement (one header per metric name,
+// no HELP when the help string is empty), label formatting, cumulative
+// `le` bucket series ending in +Inf, and the _sum/_count pair.
+//
+// To refresh after an intentional format change:
+//   NCPM_UPDATE_GOLDEN=1 ./ncpm_tests_obs_prometheus_golden_test
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace ncpm::obs {
+namespace {
+
+constexpr const char* kGoldenPath = NCPM_TEST_SOURCE_DIR "/obs/golden/metrics.prom";
+
+/// The fixture registry: every instrument kind, labelled and unlabelled
+/// series under one name, an empty help string, and a callback gauge.
+std::string render_fixture() {
+  Registry reg;
+  reg.counter("app_requests_total", "Requests handled").add(42);
+  reg.counter("app_errors_total", "Failures by kind", {{"kind", "io"}}).add(3);
+  reg.counter("app_errors_total", "Failures by kind", {{"kind", "proto"}}).add(1);
+  reg.counter("app_plain_total", "").add(7);
+  reg.gauge("app_active", "Active things").set(-5);
+  int owner = 0;
+  reg.gauge_callback(&owner, "app_cb_gauge", "From callback", {}, [] { return 9; });
+  Histogram& h = reg.histogram("app_latency_ns", "Latency", {{"mode", "x"}});
+  h.observe(0);
+  h.observe(0);
+  for (int i = 0; i < 4; ++i) h.observe(4);  // bucket le=7
+  h.observe(7);
+  h.observe(20);  // bucket le=31
+  return render_prometheus(reg.snapshot());
+}
+
+TEST(PrometheusGolden, ExpositionMatchesGoldenFile) {
+  const std::string got = render_fixture();
+
+  if (std::getenv("NCPM_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenPath, std::ios::binary);
+    ASSERT_TRUE(out) << "cannot write " << kGoldenPath;
+    out << got;
+    GTEST_SKIP() << "golden updated: " << kGoldenPath;
+  }
+
+  std::ifstream in(kGoldenPath, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << kGoldenPath;
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str())
+      << "Prometheus exposition drifted from tests/obs/golden/metrics.prom; "
+         "rerun with NCPM_UPDATE_GOLDEN=1 if the change is intentional";
+}
+
+TEST(PrometheusGolden, LabelValuesAreEscaped) {
+  Registry reg;
+  reg.counter("esc_total", "", {{"k", "a\"b\\c\nd"}}).add(1);
+  const std::string out = render_prometheus(reg.snapshot());
+  EXPECT_NE(out.find("esc_total{k=\"a\\\"b\\\\c\\nd\"} 1\n"), std::string::npos) << out;
+}
+
+TEST(PrometheusGolden, EmptyHistogramStillEmitsInfSumCount) {
+  Registry reg;
+  reg.histogram("idle_ns", "Never observed");
+  const std::string out = render_prometheus(reg.snapshot());
+  EXPECT_NE(out.find("idle_ns_bucket{le=\"+Inf\"} 0\n"), std::string::npos) << out;
+  EXPECT_NE(out.find("idle_ns_sum 0\n"), std::string::npos) << out;
+  EXPECT_NE(out.find("idle_ns_count 0\n"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace ncpm::obs
