@@ -10,13 +10,29 @@
 
 #include "graph/connected_components.hpp"
 #include "graph/transitive_closure.hpp"
+#include "linalg/gf2_kernels.hpp"
 #include "linalg/incidence.hpp"
 #include "matching/euler_split.hpp"
 #include "matching/two_regular.hpp"
 #include "pram/list_ranking.hpp"
 #include "pram/scan.hpp"
+#include "pram/simd.hpp"
 
 namespace {
+
+// A/B harness for the SIMD substrate: arg "simd" = 0 forces the scalar tier
+// for the duration of the benchmark, 1 leaves runtime dispatch in charge.
+// The active tier lands in the "simd_tier" counter (0 scalar / 1 sse2 /
+// 2 avx2) so result JSON self-describes which series is which; on a machine
+// without vector units both series legitimately coincide.
+struct SimdAB {
+  explicit SimdAB(benchmark::State& state) {
+    if (state.range(1) == 0) ncpm::pram::force_simd_tier(ncpm::pram::SimdTier::kScalar);
+    state.counters["simd_tier"] =
+        static_cast<double>(ncpm::pram::active_simd_tier());
+  }
+  ~SimdAB() { ncpm::pram::clear_forced_simd_tier(); }
+};
 
 void BM_ExclusiveScan(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -139,6 +155,48 @@ void BM_EulerSplitRegularMatching(benchmark::State& state) {
 }
 BENCHMARK(BM_EulerSplitRegularMatching)->RangeMultiplier(4)->Range(1 << 10, 1 << 18)
     ->Unit(benchmark::kMillisecond);
+
+// The GF(2) word kernels under BitMatrix, scalar vs dispatched: one
+// elimination-shaped pass (XOR a pivot row into every other row) plus a
+// popcount sweep over a words_per_row-sized row set.
+void BM_Gf2RowOps(benchmark::State& state) {
+  SimdAB ab(state);
+  const auto words = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(13);
+  std::vector<std::uint64_t> pivot(words);
+  std::vector<std::uint64_t> row(words);
+  for (auto& w : pivot) w = rng();
+  for (auto& w : row) w = rng();
+  for (auto _ : state) {
+    ncpm::linalg::gf2k::row_xor(row.data(), pivot.data(), words);
+    auto pop = ncpm::linalg::gf2k::and_popcount(row.data(), pivot.data(), words);
+    benchmark::DoNotOptimize(pop);
+    benchmark::DoNotOptimize(row.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * words * sizeof(std::uint64_t)));
+}
+BENCHMARK(BM_Gf2RowOps)
+    ->ArgsProduct({{1 << 6, 1 << 10, 1 << 14, 1 << 18}, {0, 1}});
+
+// The blocked-scan substrate (sum + exclusive_scan_carry per block), scalar
+// vs dispatched, single lane so the series isolates the kernels rather than
+// the barrier.
+void BM_ScanTiled(benchmark::State& state) {
+  SimdAB ab(state);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ncpm::pram::Executor ex(1);
+  std::vector<std::uint32_t> in(n, 3), out(n);
+  for (auto _ : state) {
+    auto total = ncpm::pram::exclusive_scan<std::uint32_t>(in, out, nullptr, ex);
+    benchmark::DoNotOptimize(total);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScanTiled)
+    ->ArgsProduct({{1 << 10, 1 << 14, 1 << 18, 1 << 22}, {0, 1}});
 
 // Dispatch + barrier cost of one executor round over a trivial body, per
 // lane count: the fixed price every synchronous PRAM round pays on this

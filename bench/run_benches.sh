@@ -51,6 +51,13 @@ try:
 except ValueError:
     threads = 0
 ctx["threads"] = threads or os.cpu_count()
+ctx["hardware_concurrency"] = os.cpu_count()
+# SIMD tier cap and lane pinning, as configured for this run. "auto" means
+# runtime dispatch picked the tier (per-series tiers live in each bench's
+# "simd_tier" counter); pinning only happens when the bench opts in via
+# NCPM_BENCH_PIN_LANES.
+ctx["simd"] = os.environ.get("NCPM_SIMD", "auto")
+ctx["pin_lanes"] = os.environ.get("NCPM_BENCH_PIN_LANES", "") not in ("", "0")
 cpu = platform.processor() or "unknown"
 try:
     with open("/proc/cpuinfo") as f:

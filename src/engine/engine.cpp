@@ -10,6 +10,7 @@
 #include "core/verify.hpp"
 #include "obs/registry.hpp"
 #include "pram/executor.hpp"
+#include "pram/simd.hpp"
 #include "pram/workspace.hpp"
 #include "stable/gale_shapley.hpp"
 
@@ -167,8 +168,14 @@ struct Engine::ObsHandles {
 Engine::Engine(EngineConfig config) : config_(config), start_(std::chrono::steady_clock::now()) {
   if (config_.num_workers < 1) config_.num_workers = 1;
   if (config_.lanes_per_worker < 1) config_.lanes_per_worker = 1;
+  // Resolve the CPU set once here rather than per worker: every worker then
+  // indexes one stable list, and worker w's lanes start at offset
+  // w * lanes_per_worker so distinct workers land on distinct CPUs.
+  if (config_.pin_lanes && config_.cpu_set.empty()) config_.cpu_set = pram::allowed_cpus();
   stats_.num_workers = config_.num_workers;
   stats_.lanes_per_worker = config_.lanes_per_worker;
+  stats_.pin_lanes = config_.pin_lanes;
+  stats_.simd_tier = std::string(pram::simd_tier_name(pram::active_simd_tier()));
   if (config_.registry != nullptr) {
     obs::Registry& reg = *config_.registry;
     obs_ = std::make_unique<ObsHandles>();
@@ -189,6 +196,11 @@ Engine::Engine(EngineConfig config) : config_(config), start_(std::chrono::stead
     reg.gauge("ncpm_engine_workers", "Worker thread count").set(config_.num_workers);
     reg.gauge("ncpm_engine_lanes_per_worker", "Executor lanes inside each worker")
         .set(config_.lanes_per_worker);
+    reg.gauge("ncpm_engine_simd_tier",
+              "Active SIMD dispatch tier (0 = scalar, 1 = sse2, 2 = avx2)")
+        .set(static_cast<std::int64_t>(pram::active_simd_tier()));
+    reg.gauge("ncpm_engine_pin_lanes", "1 when worker lanes are pinned to CPUs")
+        .set(config_.pin_lanes ? 1 : 0);
     reg.gauge_callback(this, "ncpm_engine_queue_depth",
                        "Requests queued but not yet picked up", {},
                        [this] { return static_cast<std::int64_t>(queue_depth()); });
@@ -360,8 +372,16 @@ void Engine::fulfill(Task& task, Result&& result) {
 void Engine::worker_main(int worker_id) {
   // Each worker owns a private executor of lanes_per_worker lanes and a
   // long-lived workspace bound to it: intra-solve parallelism composes with
-  // worker concurrency without any shared thread state.
-  pram::Executor exec(config_.lanes_per_worker);
+  // worker concurrency without any shared thread state. The executor is
+  // built on this thread, so under pin_lanes lane 0 (this thread) pins
+  // itself in the constructor, and worker w's lanes occupy the cpu_set
+  // slice starting at w * lanes_per_worker.
+  pram::ExecutorConfig exec_config;
+  exec_config.lanes = config_.lanes_per_worker;
+  exec_config.pin_lanes = config_.pin_lanes;
+  exec_config.cpu_set = config_.cpu_set;
+  exec_config.cpu_offset = worker_id * config_.lanes_per_worker;
+  pram::Executor exec(exec_config);
   pram::Workspace ws(exec);
   Worker& self = *workers_[static_cast<std::size_t>(worker_id)];
   for (;;) {

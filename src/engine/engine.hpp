@@ -200,10 +200,18 @@ struct ThreadBudget {
 struct EngineConfig {
   int num_workers = 1;      ///< clamped to >= 1
   int lanes_per_worker = 1; ///< width of each worker's private Executor (clamped to >= 1)
+  /// Pin every worker's executor lanes to CPUs (best-effort, Linux-only;
+  /// see pram::ExecutorConfig). Worker w's lanes start at offset
+  /// w * lanes_per_worker into the cpu set, so workers stagger onto
+  /// disjoint CPUs when the set is large enough.
+  bool pin_lanes = false;
+  /// CPUs to pin onto; empty = every CPU the process may run on
+  /// (pram::allowed_cpus), resolved once at engine construction.
+  std::vector<int> cpu_set;
   /// Optional metrics registry. When set, the engine registers per-mode
   /// submitted/completed counters, queue/solve latency histograms, and
-  /// queue-depth/outstanding callback gauges (removed again on destruction).
-  /// The registry must outlive the engine.
+  /// queue-depth/outstanding callback gauges (removed again on destruction),
+  /// plus SIMD-tier and pinning gauges. The registry must outlive the engine.
   obs::Registry* registry = nullptr;
 
   EngineConfig() = default;
@@ -229,6 +237,10 @@ struct ModeStats {
 struct EngineStats {
   int num_workers = 0;
   int lanes_per_worker = 0;  ///< executor width inside each worker
+  bool pin_lanes = false;    ///< lane pinning requested and supported
+  /// Active SIMD kernel tier ("avx2" / "sse2" / "scalar") at snapshot time
+  /// — detected at startup, capped by NCPM_SIMD.
+  std::string simd_tier;
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   std::uint64_t rejected = 0;  ///< abandoned at shutdown, futures fulfilled kRejected

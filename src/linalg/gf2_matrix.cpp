@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "linalg/gf2_kernels.hpp"
 #include "pram/executor.hpp"
 
 namespace ncpm::linalg {
@@ -19,7 +20,27 @@ void BitMatrix::or_assign(const BitMatrix& other, pram::Executor& ex) {
   if (rows_ != other.rows_ || cols_ != other.cols_) {
     throw std::invalid_argument("BitMatrix::or_assign: shape mismatch");
   }
-  ex.parallel_for(words_.size(), [&](std::size_t i) { words_[i] |= other.words_[i]; });
+  // Treat the whole backing store as one flat row and OR it in blocks, one
+  // kernel call per lane's share.
+  const std::size_t n = words_.size();
+  if (n == 0) return;
+  const auto nlanes = static_cast<std::size_t>(ex.lanes());
+  const std::size_t block = (n + nlanes - 1) / nlanes;
+  const std::size_t nblocks = (n + block - 1) / block;
+  ex.parallel_for(nblocks, [&](std::size_t b) {
+    const std::size_t lo = b * block;
+    const std::size_t hi = lo + block < n ? lo + block : n;
+    gf2k::row_or(words_.data() + lo, other.words_.data() + lo, hi - lo);
+  });
+}
+
+std::uint64_t BitMatrix::popcount(pram::Executor& ex) const {
+  return ex.parallel_reduce(
+      rows_, std::uint64_t{0},
+      [&](std::size_t r) {
+        return gf2k::popcount_words(words_.data() + r * words_per_row_, words_per_row_);
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
 }
 
 bool BitMatrix::operator==(const BitMatrix& other) const {
@@ -43,14 +64,11 @@ std::size_t BitMatrix::gf2_rank(pram::NcCounters* counters, pram::Executor& ex) 
   const std::size_t wpr = work.words_per_row_;
   std::size_t pivot_row = 0;
   for (std::size_t col = 0; col < cols_ && pivot_row < rows_; ++col) {
-    // Find a row at or below pivot_row with a 1 in this column.
-    std::size_t found = rows_;
-    for (std::size_t r = pivot_row; r < rows_; ++r) {
-      if (work.get(r, col)) {
-        found = r;
-        break;
-      }
-    }
+    // Find a row at or below pivot_row with a 1 in this column (strided
+    // column probe; AVX2 tier gathers four rows per step).
+    const std::uint64_t mask = std::uint64_t{1} << (col & 63U);
+    const std::size_t found =
+        gf2k::find_pivot(work.words_.data(), wpr, col >> 6, mask, pivot_row, rows_);
     if (found == rows_) continue;
     if (found != pivot_row) {
       auto a = work.row(found);
@@ -61,9 +79,7 @@ std::size_t BitMatrix::gf2_rank(pram::NcCounters* counters, pram::Executor& ex) 
     const std::size_t pr = pivot_row;
     ex.parallel_for(rows_, [&](std::size_t r) {
       if (r != pr && work.get(r, col)) {
-        auto dst = work.row(r);
-        auto src = work.row(pr);
-        for (std::size_t w = 0; w < wpr; ++w) dst[w] ^= src[w];
+        gf2k::row_xor(work.row(r).data(), work.row(pr).data(), wpr);
       }
     });
     pram::add_round(counters, rows_ * wpr);
@@ -88,9 +104,9 @@ BitMatrix product_impl(const BitMatrix& a, const BitMatrix& b, pram::NcCounters*
       if (!a.get(i, k)) continue;
       auto src = b.row(k);
       if constexpr (Xor) {
-        for (std::size_t w = 0; w < wpr; ++w) out[w] ^= src[w];
+        gf2k::row_xor(out.data(), src.data(), wpr);
       } else {
-        for (std::size_t w = 0; w < wpr; ++w) out[w] |= src[w];
+        gf2k::row_or(out.data(), src.data(), wpr);
       }
     }
   });

@@ -61,6 +61,10 @@ class BitMatrix {
 
   bool operator==(const BitMatrix& other) const;
 
+  /// Number of set bits in the whole matrix (rows reduced in parallel,
+  /// each row through the dispatched popcount kernel).
+  std::uint64_t popcount(pram::Executor& ex = pram::default_executor()) const;
+
   /// True iff any diagonal entry is set (square matrices).
   bool any_diagonal(pram::Executor& ex = pram::default_executor()) const;
   /// diagonal()[i] = entry (i, i) as 0/1 (square matrices).

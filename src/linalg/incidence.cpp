@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "linalg/gf2_kernels.hpp"
+
 namespace ncpm::linalg {
 
 BitMatrix incidence_matrix(std::size_t n_vertices, std::span<const std::int32_t> eu,
@@ -31,6 +33,20 @@ std::size_t component_count_by_rank(std::size_t n_vertices, std::span<const std:
                                     std::span<const std::int32_t> ev,
                                     std::span<const std::uint8_t> edge_alive,
                                     pram::NcCounters* counters, pram::Executor& ex) {
+  // Alive-edge popcount over the byte mask (SIMD movemask kernel): a graph
+  // with no surviving edges has a zero incidence matrix, so rank 0 and
+  // every vertex its own component — skip the elimination entirely. The
+  // size checks mirror incidence_matrix so the early exit never masks a
+  // malformed call.
+  if (eu.size() != ev.size()) throw std::invalid_argument("incidence_matrix: eu/ev size mismatch");
+  if (!edge_alive.empty()) {
+    if (edge_alive.size() != eu.size()) {
+      throw std::invalid_argument("incidence_matrix: edge_alive size mismatch");
+    }
+    if (gf2k::mask_nonzero_count(edge_alive.data(), edge_alive.size()) == 0) {
+      return n_vertices;
+    }
+  }
   const BitMatrix m = incidence_matrix(n_vertices, eu, ev, edge_alive);
   return n_vertices - m.gf2_rank(counters, ex);
 }

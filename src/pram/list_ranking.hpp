@@ -21,6 +21,10 @@
 // Rounds run on the trailing Executor argument (the shared default when
 // omitted); the `_into` variants run on the executor bound to the Workspace
 // their scratch is leased from.
+//
+// The doubling rounds themselves run through the pram/simd.hpp gather
+// kernels (AVX2 uses vpgather; SSE2/scalar are unrolled loops) — every
+// tier is bit-exact, so results don't depend on NCPM_SIMD.
 
 #include <cstddef>
 #include <cstdint>
@@ -31,11 +35,31 @@
 
 #include "pram/counters.hpp"
 #include "pram/executor.hpp"
+#include "pram/simd.hpp"
 #include "pram/workspace.hpp"
 
 namespace ncpm::pram {
 
 inline constexpr std::int32_t kNone = -1;
+
+namespace detail {
+
+/// Run `body(lo, hi)` over the executor's static block decomposition of
+/// [0, n) — the bridge from per-element rounds to the block kernels.
+template <typename Body>
+void for_blocks(Executor& ex, std::size_t n, Body&& body) {
+  if (n == 0) return;
+  const auto nlanes = static_cast<std::size_t>(ex.lanes());
+  const std::size_t block = (n + nlanes - 1) / nlanes;
+  const std::size_t nblocks = (n + block - 1) / block;
+  ex.parallel_for(nblocks, [&](std::size_t b) {
+    const std::size_t lo = b * block;
+    const std::size_t hi = lo + block < n ? lo + block : n;
+    body(lo, hi);
+  });
+}
+
+}  // namespace detail
 
 /// ceil(log2(n)) for n >= 1; 0 for n <= 1.
 inline std::uint32_t ceil_log2(std::uint64_t n) noexcept {
@@ -88,10 +112,9 @@ ListRanking list_rank_impl(std::span<const std::int32_t> next, WeightAt&& weight
   std::vector<std::int64_t> nrank(n);
   const std::uint32_t rounds = ceil_log2(n) + 1;
   for (std::uint32_t k = 0; k < rounds; ++k) {
-    ex.parallel_for(n, [&](std::size_t v) {
-      const auto h = static_cast<std::size_t>(r.head[v]);
-      nrank[v] = r.rank[v] + r.rank[h];
-      nhead[v] = r.head[h];
+    for_blocks(ex, n, [&](std::size_t lo, std::size_t hi) {
+      simd::list_rank_round(r.head.data(), r.rank.data(), nhead.data(),
+                            nrank.data(), lo, hi);
     });
     r.head.swap(nhead);
     r.rank.swap(nrank);
@@ -154,10 +177,9 @@ inline void list_rank_into(std::span<const std::int32_t> next, const ListRanking
 
   const std::uint32_t rounds = ceil_log2(n) + 1;
   for (std::uint32_t k = 0; k < rounds; ++k) {
-    ex.parallel_for(n, [&](std::size_t v) {
-      const auto h = static_cast<std::size_t>(head_cur[v]);
-      rank_nxt[v] = rank_cur[v] + rank_cur[h];
-      head_nxt[v] = head_cur[h];
+    detail::for_blocks(ex, n, [&](std::size_t lo, std::size_t hi) {
+      simd::list_rank_round(head_cur.data(), rank_cur.data(), head_nxt.data(),
+                            rank_nxt.data(), lo, hi);
     });
     std::swap(head_cur, head_nxt);
     std::swap(rank_cur, rank_nxt);
@@ -238,10 +260,9 @@ inline std::vector<std::int64_t> window_min(std::span<const std::int32_t> next,
   std::vector<std::int32_t> njump(n);
   const std::uint32_t rounds = ceil_log2(window == 0 ? 1 : window);
   for (std::uint32_t k = 0; k < rounds; ++k) {
-    ex.parallel_for(n, [&](std::size_t v) {
-      const auto j = static_cast<std::size_t>(jump[v]);
-      nval[v] = val[v] < val[j] ? val[v] : val[j];
-      njump[v] = jump[j];
+    detail::for_blocks(ex, n, [&](std::size_t lo, std::size_t hi) {
+      simd::window_min_round(val.data(), jump.data(), nval.data(), njump.data(),
+                             lo, hi);
     });
     val.swap(nval);
     jump.swap(njump);
@@ -274,10 +295,9 @@ inline void window_min_into(std::span<const std::int32_t> next, std::span<const 
   add_round(counters, n);
   const std::uint32_t rounds = ceil_log2(window == 0 ? 1 : window);
   for (std::uint32_t k = 0; k < rounds; ++k) {
-    ex.parallel_for(n, [&](std::size_t v) {
-      const auto j = static_cast<std::size_t>(jump_cur[v]);
-      val_nxt[v] = val_cur[v] < val_cur[j] ? val_cur[v] : val_cur[j];
-      jump_nxt[v] = jump_cur[j];
+    detail::for_blocks(ex, n, [&](std::size_t lo, std::size_t hi) {
+      simd::window_min_round(val_cur.data(), jump_cur.data(), val_nxt.data(),
+                             jump_nxt.data(), lo, hi);
     });
     std::swap(val_cur, val_nxt);
     std::swap(jump_cur, jump_nxt);

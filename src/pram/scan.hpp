@@ -14,6 +14,10 @@
 // scratch from `ws` and runs on `ws`'s bound executor. Integer addition is
 // exact, so results are bit-identical for every executor width even though
 // the internal blocking follows the lane count.
+//
+// The per-block loops run through the pram/simd.hpp kernels (AVX2/SSE2/
+// scalar, runtime-dispatched); every tier is bit-exact against scalar, so
+// results are also identical across SIMD tiers and NCPM_SIMD settings.
 
 #include <cstddef>
 #include <cstdint>
@@ -22,6 +26,7 @@
 
 #include "pram/counters.hpp"
 #include "pram/executor.hpp"
+#include "pram/simd.hpp"
 #include "pram/workspace.hpp"
 
 namespace ncpm::pram {
@@ -41,9 +46,7 @@ T exclusive_scan_blocked(std::span<const T> in, std::span<T> out, std::span<T> b
   ex.parallel_for(nblocks, [&](std::size_t b) {
     const std::size_t lo = b * block;
     const std::size_t hi = lo + block < n ? lo + block : n;
-    T acc{};
-    for (std::size_t i = lo; i < hi; ++i) acc = acc + in[i];
-    block_sum[b] = acc;
+    block_sum[b] = simd::sum<T>(in.data() + lo, hi - lo);
   });
   add_round(counters, n);
 
@@ -58,12 +61,8 @@ T exclusive_scan_blocked(std::span<const T> in, std::span<T> out, std::span<T> b
   ex.parallel_for(nblocks, [&](std::size_t b) {
     const std::size_t lo = b * block;
     const std::size_t hi = lo + block < n ? lo + block : n;
-    T acc = block_sum[b];
-    for (std::size_t i = lo; i < hi; ++i) {
-      const T v = in[i];
-      out[i] = acc;
-      acc = acc + v;
-    }
+    simd::exclusive_scan_carry<T>(in.data() + lo, out.data() + lo, hi - lo,
+                                  block_sum[b]);
   });
   add_round(counters, n);
   return total;
@@ -109,8 +108,16 @@ inline std::vector<std::uint32_t> compact_indices(std::span<const std::uint8_t> 
                                                   NcCounters* counters = nullptr,
                                                   Executor& ex = default_executor()) {
   const std::size_t n = keep.size();
+  if (n == 0) return {};
   std::vector<std::uint32_t> flags(n), pos(n);
-  ex.parallel_for(n, [&](std::size_t i) { flags[i] = keep[i] != 0 ? 1u : 0u; });
+  const auto nlanes = static_cast<std::size_t>(ex.lanes());
+  const std::size_t block = (n + nlanes - 1) / nlanes;
+  const std::size_t nblocks = (n + block - 1) / block;
+  ex.parallel_for(nblocks, [&](std::size_t b) {
+    const std::size_t lo = b * block;
+    const std::size_t hi = lo + block < n ? lo + block : n;
+    simd::mask_to_flags(keep.data() + lo, flags.data() + lo, hi - lo);
+  });
   add_round(counters, n);
   const std::uint32_t total =
       exclusive_scan<std::uint32_t>(flags, std::span<std::uint32_t>(pos), counters, ex);

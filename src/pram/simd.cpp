@@ -1,0 +1,541 @@
+#include "pram/simd.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define NCPM_SIMD_X86 1
+#include <immintrin.h>
+// AVX2 bodies carry a per-function target attribute so the translation
+// unit compiles without -mavx2; the dispatcher only reaches them after a
+// CPUID check (or when the caller's explicit tier was clamped to the
+// detected one).
+#define NCPM_TARGET_AVX2 __attribute__((target("avx2")))
+#else
+#define NCPM_SIMD_X86 0
+#endif
+
+namespace ncpm::pram {
+
+// ---------------------------------------------------------------------------
+// Tier selection
+
+namespace {
+
+int detect_tier_raw() noexcept {
+#if NCPM_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return static_cast<int>(SimdTier::kAvx2);
+  return static_cast<int>(SimdTier::kSse2);  // baseline on x86-64
+#else
+  return static_cast<int>(SimdTier::kScalar);
+#endif
+}
+
+std::atomic<int> g_forced{-1};      // -1 = no force_simd_tier() override
+std::atomic<int> g_env_capped{-1};  // -1 = NCPM_SIMD not read yet
+
+int env_capped_tier() noexcept {
+  int cached = g_env_capped.load(std::memory_order_relaxed);
+  if (cached >= 0) return cached;
+  int tier = static_cast<int>(detected_simd_tier());
+  if (const char* env = std::getenv("NCPM_SIMD")) {
+    if (const auto parsed = parse_simd_tier(env)) {
+      if (static_cast<int>(*parsed) < tier) tier = static_cast<int>(*parsed);
+    } else {
+      std::fprintf(stderr,
+                   "ncpm: ignoring unknown NCPM_SIMD value '%s' "
+                   "(expected avx2|sse2|scalar)\n",
+                   env);
+    }
+  }
+  // Benign race: every thread computes the same value.
+  g_env_capped.store(tier, std::memory_order_relaxed);
+  return tier;
+}
+
+SimdTier clamp_to_detected(SimdTier tier) noexcept {
+  const int detected = static_cast<int>(detected_simd_tier());
+  const int want = static_cast<int>(tier);
+  return want > detected ? static_cast<SimdTier>(detected) : tier;
+}
+
+}  // namespace
+
+SimdTier detected_simd_tier() noexcept {
+  static const int tier = detect_tier_raw();
+  return static_cast<SimdTier>(tier);
+}
+
+SimdTier active_simd_tier() noexcept {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<SimdTier>(forced);
+  return static_cast<SimdTier>(env_capped_tier());
+}
+
+void force_simd_tier(SimdTier tier) noexcept {
+  g_forced.store(static_cast<int>(clamp_to_detected(tier)),
+                 std::memory_order_relaxed);
+}
+
+void clear_forced_simd_tier() noexcept {
+  g_forced.store(-1, std::memory_order_relaxed);
+}
+
+std::string_view simd_tier_name(SimdTier tier) noexcept {
+  switch (tier) {
+    case SimdTier::kAvx2:
+      return "avx2";
+    case SimdTier::kSse2:
+      return "sse2";
+    case SimdTier::kScalar:
+      return "scalar";
+  }
+  return "scalar";
+}
+
+std::optional<SimdTier> parse_simd_tier(std::string_view name) noexcept {
+  if (name == "avx2") return SimdTier::kAvx2;
+  if (name == "sse2") return SimdTier::kSse2;
+  if (name == "scalar") return SimdTier::kScalar;
+  return std::nullopt;
+}
+
+namespace simd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar tier
+//
+// These are the reference semantics every other tier must reproduce
+// bit-for-bit. Sums and scans run in the corresponding unsigned type so
+// overflow wraps mod 2^w in every tier (and matches what the signed
+// wrappers produce on this target).
+
+std::uint32_t sum_u32_scalar(const std::uint32_t* x, std::size_t n) noexcept {
+  std::uint32_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc += x[i];
+  return acc;
+}
+
+std::uint64_t sum_u64_scalar(const std::uint64_t* x, std::size_t n) noexcept {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc += x[i];
+  return acc;
+}
+
+std::uint32_t exscan_u32_scalar(const std::uint32_t* in, std::uint32_t* out,
+                                std::size_t n, std::uint32_t carry) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t v = in[i];  // tolerate in == out aliasing
+    out[i] = carry;
+    carry += v;
+  }
+  return carry;
+}
+
+std::uint64_t exscan_u64_scalar(const std::uint64_t* in, std::uint64_t* out,
+                                std::size_t n, std::uint64_t carry) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t v = in[i];
+    out[i] = carry;
+    carry += v;
+  }
+  return carry;
+}
+
+void mask_to_flags_scalar(const std::uint8_t* mask, std::uint32_t* flags,
+                          std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) flags[i] = mask[i] != 0 ? 1u : 0u;
+}
+
+void window_min_round_scalar(const std::int64_t* val, const std::int32_t* jump,
+                             std::int64_t* nval, std::int32_t* njump,
+                             std::size_t lo, std::size_t hi) noexcept {
+  for (std::size_t v = lo; v < hi; ++v) {
+    const std::int32_t j = jump[v];
+    const std::int64_t a = val[v];
+    const std::int64_t b = val[static_cast<std::size_t>(j)];
+    nval[v] = b < a ? b : a;  // std::min semantics: ties keep val[v]
+    njump[v] = jump[static_cast<std::size_t>(j)];
+  }
+}
+
+void list_rank_round_scalar(const std::int32_t* head, const std::int64_t* rank,
+                            std::int32_t* nhead, std::int64_t* nrank,
+                            std::size_t lo, std::size_t hi) noexcept {
+  for (std::size_t v = lo; v < hi; ++v) {
+    const std::int32_t h = head[v];
+    nrank[v] = static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(rank[v]) +
+        static_cast<std::uint64_t>(rank[static_cast<std::size_t>(h)]));
+    nhead[v] = head[static_cast<std::size_t>(h)];
+  }
+}
+
+#if NCPM_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// SSE2 tier (baseline on x86-64, no target attribute needed)
+
+std::uint32_t sum_u32_sse2(const std::uint32_t* x, std::size_t n) noexcept {
+  __m128i acc = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm_add_epi32(acc,
+                        _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + i)));
+  }
+  acc = _mm_add_epi32(acc, _mm_shuffle_epi32(acc, _MM_SHUFFLE(1, 0, 3, 2)));
+  acc = _mm_add_epi32(acc, _mm_shuffle_epi32(acc, _MM_SHUFFLE(2, 3, 0, 1)));
+  std::uint32_t r = static_cast<std::uint32_t>(_mm_cvtsi128_si32(acc));
+  for (; i < n; ++i) r += x[i];
+  return r;
+}
+
+std::uint64_t sum_u64_sse2(const std::uint64_t* x, std::size_t n) noexcept {
+  __m128i acc = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    acc = _mm_add_epi64(acc,
+                        _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + i)));
+  }
+  std::uint64_t r =
+      static_cast<std::uint64_t>(_mm_cvtsi128_si64(acc)) +
+      static_cast<std::uint64_t>(_mm_cvtsi128_si64(_mm_unpackhi_epi64(acc, acc)));
+  for (; i < n; ++i) r += x[i];
+  return r;
+}
+
+std::uint32_t exscan_u32_sse2(const std::uint32_t* in, std::uint32_t* out,
+                              std::size_t n, std::uint32_t carry) noexcept {
+  std::size_t i = 0;
+  __m128i vcarry = _mm_set1_epi32(static_cast<int>(carry));
+  for (; i + 4 <= n; i += 4) {
+    __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    __m128i s = _mm_add_epi32(x, _mm_slli_si128(x, 4));
+    s = _mm_add_epi32(s, _mm_slli_si128(s, 8));  // inclusive prefix of block
+    __m128i excl = _mm_add_epi32(_mm_slli_si128(s, 4), vcarry);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), excl);
+    carry += static_cast<std::uint32_t>(
+        _mm_cvtsi128_si32(_mm_shuffle_epi32(s, _MM_SHUFFLE(3, 3, 3, 3))));
+    vcarry = _mm_set1_epi32(static_cast<int>(carry));
+  }
+  return exscan_u32_scalar(in + i, out + i, n - i, carry);
+}
+
+std::uint64_t exscan_u64_sse2(const std::uint64_t* in, std::uint64_t* out,
+                              std::size_t n, std::uint64_t carry) noexcept {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    __m128i s = _mm_add_epi64(x, _mm_slli_si128(x, 8));  // [a, a+b]
+    __m128i excl = _mm_add_epi64(_mm_slli_si128(s, 8),
+                                 _mm_set1_epi64x(static_cast<long long>(carry)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), excl);
+    carry += static_cast<std::uint64_t>(
+        _mm_cvtsi128_si64(_mm_unpackhi_epi64(s, s)));
+  }
+  return exscan_u64_scalar(in + i, out + i, n - i, carry);
+}
+
+void mask_to_flags_sse2(const std::uint8_t* mask, std::uint32_t* flags,
+                        std::size_t n) noexcept {
+  const __m128i one = _mm_set1_epi8(1);
+  const __m128i zero = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(mask + i));
+    __m128i v = _mm_min_epu8(b, one);  // 0 stays 0, any nonzero byte -> 1
+    __m128i lo16 = _mm_unpacklo_epi8(v, zero);
+    __m128i hi16 = _mm_unpackhi_epi8(v, zero);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(flags + i),
+                     _mm_unpacklo_epi16(lo16, zero));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(flags + i + 4),
+                     _mm_unpackhi_epi16(lo16, zero));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(flags + i + 8),
+                     _mm_unpacklo_epi16(hi16, zero));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(flags + i + 12),
+                     _mm_unpackhi_epi16(hi16, zero));
+  }
+  mask_to_flags_scalar(mask + i, flags + i, n - i);
+}
+
+// SSE2 has no gathers; the doubling rounds get a 4x-unrolled scalar body
+// (tier parity still holds — the per-element math is identical).
+
+void window_min_round_sse2(const std::int64_t* val, const std::int32_t* jump,
+                           std::int64_t* nval, std::int32_t* njump,
+                           std::size_t lo, std::size_t hi) noexcept {
+  std::size_t v = lo;
+  for (; v + 4 <= hi; v += 4) {
+    const std::size_t j0 = static_cast<std::size_t>(jump[v + 0]);
+    const std::size_t j1 = static_cast<std::size_t>(jump[v + 1]);
+    const std::size_t j2 = static_cast<std::size_t>(jump[v + 2]);
+    const std::size_t j3 = static_cast<std::size_t>(jump[v + 3]);
+    const std::int64_t b0 = val[j0], b1 = val[j1], b2 = val[j2], b3 = val[j3];
+    nval[v + 0] = b0 < val[v + 0] ? b0 : val[v + 0];
+    nval[v + 1] = b1 < val[v + 1] ? b1 : val[v + 1];
+    nval[v + 2] = b2 < val[v + 2] ? b2 : val[v + 2];
+    nval[v + 3] = b3 < val[v + 3] ? b3 : val[v + 3];
+    njump[v + 0] = jump[j0];
+    njump[v + 1] = jump[j1];
+    njump[v + 2] = jump[j2];
+    njump[v + 3] = jump[j3];
+  }
+  window_min_round_scalar(val, jump, nval, njump, v, hi);
+}
+
+void list_rank_round_sse2(const std::int32_t* head, const std::int64_t* rank,
+                          std::int32_t* nhead, std::int64_t* nrank,
+                          std::size_t lo, std::size_t hi) noexcept {
+  std::size_t v = lo;
+  for (; v + 4 <= hi; v += 4) {
+    const std::size_t h0 = static_cast<std::size_t>(head[v + 0]);
+    const std::size_t h1 = static_cast<std::size_t>(head[v + 1]);
+    const std::size_t h2 = static_cast<std::size_t>(head[v + 2]);
+    const std::size_t h3 = static_cast<std::size_t>(head[v + 3]);
+    nrank[v + 0] = static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(rank[v + 0]) + static_cast<std::uint64_t>(rank[h0]));
+    nrank[v + 1] = static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(rank[v + 1]) + static_cast<std::uint64_t>(rank[h1]));
+    nrank[v + 2] = static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(rank[v + 2]) + static_cast<std::uint64_t>(rank[h2]));
+    nrank[v + 3] = static_cast<std::int64_t>(
+        static_cast<std::uint64_t>(rank[v + 3]) + static_cast<std::uint64_t>(rank[h3]));
+    nhead[v + 0] = head[h0];
+    nhead[v + 1] = head[h1];
+    nhead[v + 2] = head[h2];
+    nhead[v + 3] = head[h3];
+  }
+  list_rank_round_scalar(head, rank, nhead, nrank, v, hi);
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 tier
+
+NCPM_TARGET_AVX2
+std::uint32_t sum_u32_avx2(const std::uint32_t* x, std::size_t n) noexcept {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_add_epi32(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i)));
+  }
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                            _mm256_extracti128_si256(acc, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  std::uint32_t r = static_cast<std::uint32_t>(_mm_cvtsi128_si32(s));
+  for (; i < n; ++i) r += x[i];
+  return r;
+}
+
+NCPM_TARGET_AVX2
+std::uint64_t sum_u64_avx2(const std::uint64_t* x, std::size_t n) noexcept {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + i)));
+  }
+  __m128i s = _mm_add_epi64(_mm256_castsi256_si128(acc),
+                            _mm256_extracti128_si256(acc, 1));
+  std::uint64_t r =
+      static_cast<std::uint64_t>(_mm_cvtsi128_si64(s)) +
+      static_cast<std::uint64_t>(_mm_cvtsi128_si64(_mm_unpackhi_epi64(s, s)));
+  for (; i < n; ++i) r += x[i];
+  return r;
+}
+
+NCPM_TARGET_AVX2
+std::uint32_t exscan_u32_avx2(const std::uint32_t* in, std::uint32_t* out,
+                              std::size_t n, std::uint32_t carry) noexcept {
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i bcast3 = _mm256_set1_epi32(3);
+  const __m256i rot1 = _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6);
+  __m256i vcarry = _mm256_set1_epi32(static_cast<int>(carry));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    // In-lane inclusive prefix, then propagate the low lane's total.
+    __m256i s = _mm256_add_epi32(x, _mm256_slli_si256(x, 4));
+    s = _mm256_add_epi32(s, _mm256_slli_si256(s, 8));
+    __m256i low_total = _mm256_permutevar8x32_epi32(s, bcast3);
+    low_total = _mm256_blend_epi32(zero, low_total, 0xF0);
+    s = _mm256_add_epi32(s, low_total);  // inclusive prefix of the block
+    __m256i excl = _mm256_permutevar8x32_epi32(s, rot1);  // rotate right by 1
+    excl = _mm256_blend_epi32(excl, zero, 0x01);          // element 0 -> 0
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_add_epi32(excl, vcarry));
+    carry += static_cast<std::uint32_t>(_mm256_extract_epi32(s, 7));
+    vcarry = _mm256_set1_epi32(static_cast<int>(carry));
+  }
+  return exscan_u32_scalar(in + i, out + i, n - i, carry);
+}
+
+NCPM_TARGET_AVX2
+std::uint64_t exscan_u64_avx2(const std::uint64_t* in, std::uint64_t* out,
+                              std::size_t n, std::uint64_t carry) noexcept {
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i vcarry = _mm256_set1_epi64x(static_cast<long long>(carry));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    __m256i s = _mm256_add_epi64(x, _mm256_slli_si256(x, 8));  // [a,a+b | c,c+d]
+    __m256i low_total = _mm256_permute4x64_epi64(s, _MM_SHUFFLE(1, 1, 1, 1));
+    low_total = _mm256_blend_epi32(zero, low_total, 0xF0);
+    s = _mm256_add_epi64(s, low_total);  // inclusive prefix of the block
+    __m256i excl = _mm256_permute4x64_epi64(s, _MM_SHUFFLE(2, 1, 0, 0));
+    excl = _mm256_blend_epi32(excl, zero, 0x03);  // element 0 -> 0
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_add_epi64(excl, vcarry));
+    carry += static_cast<std::uint64_t>(_mm256_extract_epi64(s, 3));
+    vcarry = _mm256_set1_epi64x(static_cast<long long>(carry));
+  }
+  return exscan_u64_scalar(in + i, out + i, n - i, carry);
+}
+
+NCPM_TARGET_AVX2
+void mask_to_flags_avx2(const std::uint8_t* mask, std::uint32_t* flags,
+                        std::size_t n) noexcept {
+  const __m128i one = _mm_set1_epi8(1);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(mask + i));
+    __m128i v = _mm_min_epu8(b, one);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(flags + i),
+                        _mm256_cvtepu8_epi32(v));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(flags + i + 8),
+                        _mm256_cvtepu8_epi32(_mm_srli_si128(v, 8)));
+  }
+  mask_to_flags_scalar(mask + i, flags + i, n - i);
+}
+
+NCPM_TARGET_AVX2
+void window_min_round_avx2(const std::int64_t* val, const std::int32_t* jump,
+                           std::int64_t* nval, std::int32_t* njump,
+                           std::size_t lo, std::size_t hi) noexcept {
+  std::size_t v = lo;
+  for (; v + 4 <= hi; v += 4) {
+    __m128i j = _mm_loadu_si128(reinterpret_cast<const __m128i*>(jump + v));
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(val + v));
+    __m256i b = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(val), j, 8);
+    // min_epi64 needs AVX-512; emulate with cmpgt + blendv. Picking b only
+    // when a > b reproduces std::min's tie-keeps-a behaviour exactly.
+    __m256i gt = _mm256_cmpgt_epi64(a, b);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(nval + v),
+                        _mm256_blendv_epi8(a, b, gt));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(njump + v),
+                     _mm_i32gather_epi32(reinterpret_cast<const int*>(jump), j, 4));
+  }
+  window_min_round_scalar(val, jump, nval, njump, v, hi);
+}
+
+NCPM_TARGET_AVX2
+void list_rank_round_avx2(const std::int32_t* head, const std::int64_t* rank,
+                          std::int32_t* nhead, std::int64_t* nrank,
+                          std::size_t lo, std::size_t hi) noexcept {
+  std::size_t v = lo;
+  for (; v + 4 <= hi; v += 4) {
+    __m128i h = _mm_loadu_si128(reinterpret_cast<const __m128i*>(head + v));
+    __m256i r = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rank + v));
+    __m256i rh = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(rank), h, 8);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(nrank + v),
+                        _mm256_add_epi64(r, rh));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(nhead + v),
+                     _mm_i32gather_epi32(reinterpret_cast<const int*>(head), h, 4));
+  }
+  list_rank_round_scalar(head, rank, nhead, nrank, v, hi);
+}
+
+#endif  // NCPM_SIMD_X86
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Dispatch
+//
+// Explicit tiers above what the CPU supports clamp down (parity, not
+// speed, is the contract for a requested tier). On non-x86 everything is
+// the scalar body.
+
+#if NCPM_SIMD_X86
+#define NCPM_DISPATCH(fn, ...)                   \
+  switch (clamp_to_detected(tier)) {             \
+    case SimdTier::kAvx2:                        \
+      return fn##_avx2(__VA_ARGS__);             \
+    case SimdTier::kSse2:                        \
+      return fn##_sse2(__VA_ARGS__);             \
+    case SimdTier::kScalar:                      \
+      break;                                     \
+  }                                              \
+  return fn##_scalar(__VA_ARGS__)
+#else
+#define NCPM_DISPATCH(fn, ...) \
+  (void)tier;                  \
+  return fn##_scalar(__VA_ARGS__)
+#endif
+
+std::uint32_t sum_u32(SimdTier tier, const std::uint32_t* x, std::size_t n) noexcept {
+  NCPM_DISPATCH(sum_u32, x, n);
+}
+std::uint64_t sum_u64(SimdTier tier, const std::uint64_t* x, std::size_t n) noexcept {
+  NCPM_DISPATCH(sum_u64, x, n);
+}
+// Signed variants run the unsigned kernels on the same bits: int32/uint32
+// (and int64/uint64) may alias, and wrap-around addition is bit-identical.
+std::int32_t sum_i32(SimdTier tier, const std::int32_t* x, std::size_t n) noexcept {
+  return static_cast<std::int32_t>(
+      sum_u32(tier, reinterpret_cast<const std::uint32_t*>(x), n));
+}
+std::int64_t sum_i64(SimdTier tier, const std::int64_t* x, std::size_t n) noexcept {
+  return static_cast<std::int64_t>(
+      sum_u64(tier, reinterpret_cast<const std::uint64_t*>(x), n));
+}
+
+std::uint32_t exscan_u32(SimdTier tier, const std::uint32_t* in, std::uint32_t* out,
+                         std::size_t n, std::uint32_t carry) noexcept {
+  NCPM_DISPATCH(exscan_u32, in, out, n, carry);
+}
+std::uint64_t exscan_u64(SimdTier tier, const std::uint64_t* in, std::uint64_t* out,
+                         std::size_t n, std::uint64_t carry) noexcept {
+  NCPM_DISPATCH(exscan_u64, in, out, n, carry);
+}
+std::int32_t exscan_i32(SimdTier tier, const std::int32_t* in, std::int32_t* out,
+                        std::size_t n, std::int32_t carry) noexcept {
+  return static_cast<std::int32_t>(
+      exscan_u32(tier, reinterpret_cast<const std::uint32_t*>(in),
+                 reinterpret_cast<std::uint32_t*>(out), n,
+                 static_cast<std::uint32_t>(carry)));
+}
+std::int64_t exscan_i64(SimdTier tier, const std::int64_t* in, std::int64_t* out,
+                        std::size_t n, std::int64_t carry) noexcept {
+  return static_cast<std::int64_t>(
+      exscan_u64(tier, reinterpret_cast<const std::uint64_t*>(in),
+                 reinterpret_cast<std::uint64_t*>(out), n,
+                 static_cast<std::uint64_t>(carry)));
+}
+
+void mask_to_flags(SimdTier tier, const std::uint8_t* mask, std::uint32_t* flags,
+                   std::size_t n) noexcept {
+  NCPM_DISPATCH(mask_to_flags, mask, flags, n);
+}
+
+void window_min_round(SimdTier tier, const std::int64_t* val,
+                      const std::int32_t* jump, std::int64_t* nval,
+                      std::int32_t* njump, std::size_t lo, std::size_t hi) noexcept {
+  NCPM_DISPATCH(window_min_round, val, jump, nval, njump, lo, hi);
+}
+
+void list_rank_round(SimdTier tier, const std::int32_t* head,
+                     const std::int64_t* rank, std::int32_t* nhead,
+                     std::int64_t* nrank, std::size_t lo, std::size_t hi) noexcept {
+  NCPM_DISPATCH(list_rank_round, head, rank, nhead, nrank, lo, hi);
+}
+
+#undef NCPM_DISPATCH
+
+}  // namespace simd
+}  // namespace ncpm::pram

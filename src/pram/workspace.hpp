@@ -22,6 +22,14 @@
 // binding the executor here makes intra-solve parallelism a per-call
 // property with no extra plumbing. The default constructor binds the
 // shared default executor; engines and tests bind their own.
+//
+// Placement: pool storage allocates through CacheAlignedAllocator, so every
+// leased buffer starts on a 64-byte boundary and tiled SIMD kernels never
+// split a cache line at a lane's block seam. When the bound executor pins
+// its lanes, the `take(n, fill)` overload (and `prefault`) doubles as
+// first-touch placement: the fill round writes each lane's block from the
+// lane that owns it under the static schedule, so the backing pages fault
+// on — and stay local to — the CPU that will process them.
 
 #include <cstddef>
 #include <cstdint>
@@ -31,6 +39,7 @@
 #include <vector>
 
 #include "pram/executor.hpp"
+#include "pram/simd.hpp"
 
 namespace ncpm::pram {
 
@@ -38,7 +47,7 @@ class Workspace;
 
 namespace detail {
 template <typename T>
-void workspace_give_back(Workspace* ws, std::vector<T>&& buf);
+void workspace_give_back(Workspace* ws, AlignedVector<T>&& buf);
 }  // namespace detail
 
 /// RAII lease of a scratch buffer from a Workspace. Move-only.
@@ -69,7 +78,7 @@ class WsBuffer {
 
  private:
   friend class Workspace;
-  WsBuffer(Workspace* ws, std::vector<T>&& buf) : ws_(ws), buf_(std::move(buf)) {}
+  WsBuffer(Workspace* ws, AlignedVector<T>&& buf) : ws_(ws), buf_(std::move(buf)) {}
   void release() {
     if (ws_ != nullptr) {
       detail::workspace_give_back<T>(ws_, std::move(buf_));
@@ -78,7 +87,7 @@ class WsBuffer {
   }
 
   Workspace* ws_ = nullptr;
-  std::vector<T> buf_;
+  AlignedVector<T> buf_;
 };
 
 class Workspace {
@@ -100,7 +109,7 @@ class Workspace {
   template <typename T>
   WsBuffer<T> take(std::size_t n) {
     auto& p = pool<T>();
-    std::vector<T> buf;
+    AlignedVector<T> buf;
     if (!p.empty()) {
       // Best fit: smallest capacity >= n, else the largest available (it
       // will grow the least).
@@ -133,6 +142,15 @@ class Workspace {
     return out;
   }
 
+  /// Warm and place one pool buffer of `n` elements: lease it, zero-fill
+  /// in a parallel round (each lane first-faults the pages of the block it
+  /// will later own under the static schedule — on a pinned executor that
+  /// is first-touch NUMA placement), and return it to the pool.
+  template <typename T>
+  void prefault(std::size_t n) {
+    take<T>(n, T{});
+  }
+
   /// Number of heap growths this workspace has performed (buffer and pool
   /// bookkeeping). Flat between two points in time == the region between
   /// them ran allocation-free with respect to this workspace.
@@ -140,15 +158,15 @@ class Workspace {
 
  private:
   template <typename T>
-  friend void detail::workspace_give_back(Workspace* ws, std::vector<T>&& buf);
+  friend void detail::workspace_give_back(Workspace* ws, AlignedVector<T>&& buf);
 
   template <typename T>
-  std::vector<std::vector<T>>& pool() {
-    return std::get<std::vector<std::vector<T>>>(pools_);
+  std::vector<AlignedVector<T>>& pool() {
+    return std::get<std::vector<AlignedVector<T>>>(pools_);
   }
 
   template <typename T>
-  void give_back(std::vector<T>&& buf) {
+  void give_back(AlignedVector<T>&& buf) {
     auto& p = pool<T>();
     if (p.size() == p.capacity()) ++allocs_;  // the push below grows the pool
     p.push_back(std::move(buf));
@@ -156,15 +174,15 @@ class Workspace {
 
   Executor* ex_ = nullptr;
   std::uint64_t allocs_ = 0;
-  std::tuple<std::vector<std::vector<std::int32_t>>, std::vector<std::vector<std::int64_t>>,
-             std::vector<std::vector<std::uint8_t>>, std::vector<std::vector<std::uint32_t>>,
-             std::vector<std::vector<std::uint64_t>>>
+  std::tuple<std::vector<AlignedVector<std::int32_t>>, std::vector<AlignedVector<std::int64_t>>,
+             std::vector<AlignedVector<std::uint8_t>>, std::vector<AlignedVector<std::uint32_t>>,
+             std::vector<AlignedVector<std::uint64_t>>>
       pools_;
 };
 
 namespace detail {
 template <typename T>
-void workspace_give_back(Workspace* ws, std::vector<T>&& buf) {
+void workspace_give_back(Workspace* ws, AlignedVector<T>&& buf) {
   ws->give_back<T>(std::move(buf));
 }
 }  // namespace detail

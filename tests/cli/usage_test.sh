@@ -46,6 +46,14 @@ expect_usage "solve two positionals"   -- solve a.txt b.txt
 expect_usage "solve --threads junk"    -- solve --threads banana
 expect_usage "solve --threads 0"       -- solve --threads 0
 expect_usage "solve --threads missing" -- solve --threads
+expect_usage "solve pin-lanes missing" -- solve --pin-lanes
+expect_usage "solve pin-lanes open range" -- solve --pin-lanes 0-
+expect_usage "solve pin-lanes double comma" -- solve --pin-lanes 1,,2
+expect_usage "solve pin-lanes reversed" -- solve --pin-lanes 3-1
+expect_usage "solve pin-lanes junk"    -- solve --pin-lanes zero
+expect_usage "batch pin-lanes junk"    -- batch a.bin --pin-lanes 1,
+expect_usage "serve pin-lanes missing" -- serve --pin-lanes
+expect_usage "serve pin-lanes junk"    -- serve --pin-lanes -3
 expect_usage "batch no file"           -- batch
 expect_usage "batch two files"         -- batch a.bin b.bin
 expect_usage "pack no inputs"          -- pack out.bin
@@ -106,6 +114,8 @@ if ! "$CLI" gen-popular 6 6 1 > "$tmp/inst.txt" 2>/dev/null; then
 fi
 expect_exit 0 "solve happy path"       -- solve "$tmp/inst.txt"
 expect_exit 0 "check happy path"       -- check "$tmp/inst.txt"
+expect_exit 0 "solve pinned to cpu 0"  -- solve "$tmp/inst.txt" --pin-lanes 0
+expect_exit 0 "solve pinned auto"      -- solve "$tmp/inst.txt" --pin-lanes auto --threads 2
 
 if [ "$failures" -ne 0 ]; then
   echo "$failures failure(s)"

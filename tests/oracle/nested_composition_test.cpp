@@ -20,6 +20,7 @@
 #include "gen/generators.hpp"
 #include "matching/matching.hpp"
 #include "pram/executor.hpp"
+#include "pram/simd.hpp"
 #include "pram/workspace.hpp"
 
 namespace ncpm::engine {
@@ -135,6 +136,27 @@ TEST(NestedComposition, ByteIdenticalAcrossWorkerLaneGrid) {
           << round << " identical rounds (ws_allocs_steady != 0)";
     }
   }
+}
+
+TEST(NestedComposition, ByteIdenticalAcrossSimdTiers) {
+  // Third composition axis: the SIMD dispatch tier. The sequential baseline
+  // is computed under a forced-scalar substrate; every tier (clamped to what
+  // the CPU supports) across the workers x lanes grid must reproduce it
+  // byte for byte.
+  pram::force_simd_tier(pram::SimdTier::kScalar);
+  const auto instances = oracle_instances();
+  const auto refs = sequential_reference(instances);
+  for (const pram::SimdTier tier :
+       {pram::SimdTier::kScalar, pram::SimdTier::kSse2, pram::SimdTier::kAvx2}) {
+    pram::force_simd_tier(tier);
+    for (const int workers : {1, 2, 4}) {
+      for (const int lanes : {1, 2, 4}) {
+        Engine engine({workers, lanes});
+        expect_round_matches(engine, instances, refs, workers, lanes);
+      }
+    }
+  }
+  pram::clear_forced_simd_tier();
 }
 
 TEST(NestedComposition, PerRequestLaneCapKeepsResultsIdentical) {
