@@ -58,6 +58,10 @@ ctx["hardware_concurrency"] = os.cpu_count()
 # NCPM_BENCH_PIN_LANES.
 ctx["simd"] = os.environ.get("NCPM_SIMD", "auto")
 ctx["pin_lanes"] = os.environ.get("NCPM_BENCH_PIN_LANES", "") not in ("", "0")
+# Solver-phase profiler state for the run. "default" = each bench's own
+# EngineConfig.profile_phases (on unless the bench A/Bs it, e.g.
+# BM_MetricsOverhead's per-series profile_phases counter).
+ctx["profile_phases"] = os.environ.get("NCPM_PROFILE_PHASES", "default")
 cpu = platform.processor() or "unknown"
 try:
     with open("/proc/cpuinfo") as f:

@@ -20,6 +20,8 @@
 //                                             one request over the wire
 //   ncpm_cli stats HOST:PORT [--watch SECS] [--format prom|json] [--traces]
 //                                             scrape a server's metrics snapshot
+//   ncpm_cli top HOST:PORT [--interval SECS] [--count N]
+//                                             live req/s, latency and phase view
 //
 // Instances are read from the optional input file (stdin when omitted);
 // matchings / instances are written to stdout in the formats documented in
@@ -31,6 +33,7 @@
 // error. Every subcommand prints a one-line `usage: ...` message to stderr
 // and exits 2 on bad arguments (covered by tests/cli/usage_test.sh).
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -61,7 +64,7 @@ namespace {
 
 constexpr const char* kTopUsage =
     "<solve|max-card|fair|rank-maximal|count|check|next-stable|rotations|batch|pack|"
-    "gen-popular|gen-stable|gen-batch|serve|rpc|stats|help> ...";
+    "gen-popular|gen-stable|gen-batch|serve|rpc|stats|top|help> ...";
 
 /// One-line usage for the (sub)command at hand; always exits 2.
 int usage(const char* line = kTopUsage) {
@@ -82,24 +85,26 @@ constexpr const char* kServeUsage =
     "serve [--port P] [--bind ADDR] [--workers W] [--threads LANES] [--pin-lanes CPUS] "
     "[--max-in-flight K] [--max-in-flight-global G] [--core threads|epoll] "
     "[--idle-timeout-ms T] [--hello-timeout-ms T] [--metrics-port P] [--trace-sample-n N] "
-    "[--log-json]";
+    "[--slow-request-ms N] [--log-json]";
 constexpr const char* kRpcUsage =
     "rpc HOST:PORT MODE [file] [--deadline-ms N] [--retries R] [--backoff-ms B] "
     "[--hedge-ms H]";
 constexpr const char* kStatsUsage =
     "stats HOST:PORT [--watch SECS] [--format prom|json] [--traces]";
+constexpr const char* kTopCmdUsage = "top HOST:PORT [--interval SECS] [--count N]";
 
 int help() {
   std::printf(
       "ncpm_cli — NC popular matching toolkit\n"
       "  ncpm_cli %s\n  ncpm_cli %s\n  ncpm_cli %s\n  ncpm_cli %s\n  ncpm_cli %s\n"
       "  ncpm_cli %s\n  ncpm_cli %s\n  ncpm_cli %s\n  ncpm_cli %s\n  ncpm_cli %s\n"
+      "  ncpm_cli %s\n"
       "Instances are read from [file] or stdin; formats are documented in\n"
       "src/gen/io.hpp (text), src/gen/io_binary.hpp (ncpm-binary v1) and\n"
       "docs/ncpm-rpc-v1.md (the serve/rpc wire protocol; docs/observability.md\n"
-      "covers the stats subcommand and the serve metrics/tracing flags).\n",
+      "covers the stats/top subcommands and the serve metrics/tracing flags).\n",
       kSolveUsage, kRotationsUsage, kBatchUsage, kPackUsage, kGenPopularUsage,
-      kGenStableUsage, kGenBatchUsage, kServeUsage, kRpcUsage, kStatsUsage);
+      kGenStableUsage, kGenBatchUsage, kServeUsage, kRpcUsage, kStatsUsage, kTopCmdUsage);
   return 0;
 }
 
@@ -123,10 +128,13 @@ struct Options {
   int hedge_ms = 0;              // rpc: 0 = no hedged second attempt
   int metrics_port = -1;         // serve: -1 = no /metrics endpoint, 0 = ephemeral
   int trace_sample_n = 0;        // serve: 0 = tracing off, N = every Nth request
+  int slow_request_ms = 0;       // serve: 0 = slow-request capture off
   bool log_json = false;         // serve: JSON-lines lifecycle logging to stderr
   int watch = 0;                 // stats: 0 = one-shot, N = rescrape every N s
   std::string format = "prom";   // stats: prom|json
   bool traces = false;           // stats: include sampled trace spans (json only)
+  int interval = 2;              // top: seconds between frames
+  int count = 0;                 // top: 0 = until SIGINT, N = stop after N frames
 };
 
 /// Parse one nonnegative integer flag value; returns false on junk.
@@ -188,10 +196,16 @@ bool parse_flags(int argc, char** argv, Options& opts) {
       }
     } else if (arg == "--trace-sample-n") {
       if (++i >= argc || !parse_int(argv[i], 1, opts.trace_sample_n)) return false;
+    } else if (arg == "--slow-request-ms") {
+      if (++i >= argc || !parse_int(argv[i], 1, opts.slow_request_ms)) return false;
     } else if (arg == "--log-json") {
       opts.log_json = true;
     } else if (arg == "--watch") {
       if (++i >= argc || !parse_int(argv[i], 1, opts.watch)) return false;
+    } else if (arg == "--interval") {
+      if (++i >= argc || !parse_int(argv[i], 1, opts.interval)) return false;
+    } else if (arg == "--count") {
+      if (++i >= argc || !parse_int(argv[i], 1, opts.count)) return false;
     } else if (arg == "--format") {
       if (++i >= argc) return false;
       opts.format = argv[i];
@@ -540,41 +554,219 @@ int run_rpc(const Options& opts) {
 std::atomic<int> g_signal{0};
 void on_signal(int sig) { g_signal.store(sig); }
 
+/// Split "HOST:PORT"; false on a missing host, missing colon or junk port.
+bool parse_hostport(const std::string& hostport, std::string& host, int& port) {
+  const auto colon = hostport.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      !parse_int(hostport.c_str() + colon + 1, 1, port) || port > 65535) {
+    return false;
+  }
+  host = hostport.substr(0, colon);
+  return true;
+}
+
 int run_stats(const Options& opts) {
   if (opts.positional.size() != 1) return usage(kStatsUsage);
   // Trace spans only exist in the JSON rendering; Prometheus text has no
   // place for them, so reject the combination instead of dropping data.
   if (opts.traces && opts.format != "json") return usage(kStatsUsage);
-  const auto& hostport = opts.positional[0];
-  const auto colon = hostport.rfind(':');
+  std::string host;
   int port = 0;
-  if (colon == std::string::npos || colon == 0 ||
-      !parse_int(hostport.c_str() + colon + 1, 1, port) || port > 65535) {
-    return usage(kStatsUsage);
-  }
-  auto client = ncpm::net::Client::connect(hostport.substr(0, colon),
-                                           static_cast<std::uint16_t>(port));
+  if (!parse_hostport(opts.positional[0], host, port)) return usage(kStatsUsage);
+  // Scrapes ride the resilient wrapper so --watch survives a server
+  // restart: a broken connection redials on the next scrape instead of
+  // killing the watch loop (a one-shot scrape still fails hard).
+  ncpm::net::ResilientClient client(host, static_cast<std::uint16_t>(port), {});
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
   while (true) {
-    const auto reply = client.stats(opts.traces);
-    if (opts.format == "prom") {
-      std::fputs(ncpm::obs::render_prometheus(reply.snapshot).c_str(), stdout);
-    } else {
-      auto line = ncpm::obs::render_json(reply.snapshot);
-      if (opts.traces) {
-        // Splice the spans into the snapshot object: {...} -> {...,"spans":[...]}
-        line.pop_back();
-        line += ",\"spans\":";
-        line += ncpm::obs::render_spans_json(reply.spans);
-        line += "}";
+    try {
+      const auto reply = client.scrape_stats(opts.traces);
+      if (opts.format == "prom") {
+        std::fputs(ncpm::obs::render_prometheus(reply.snapshot).c_str(), stdout);
+      } else {
+        auto line = ncpm::obs::render_json(reply.snapshot);
+        if (opts.traces) {
+          // Splice the spans into the snapshot object: {...} -> {...,"spans":[...]}
+          line.pop_back();
+          line += ",\"spans\":";
+          line += ncpm::obs::render_spans_json(reply.spans);
+          line += "}";
+        }
+        line += "\n";
+        std::fputs(line.c_str(), stdout);
       }
-      line += "\n";
-      std::fputs(line.c_str(), stdout);
+      std::fflush(stdout);
+    } catch (const ncpm::net::NetError& e) {
+      if (opts.watch == 0) throw;  // one-shot: surface the error (exit 2)
+      std::fprintf(stderr, "stats: scrape failed (%s); retrying in %ds\n", e.what(),
+                   opts.watch);
     }
-    std::fflush(stdout);
     if (opts.watch == 0) return 0;
     for (int waited = 0; waited < opts.watch * 10; ++waited) {
+      if (g_signal.load() != 0) return 0;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    if (g_signal.load() != 0) return 0;
+  }
+}
+
+/// Formats nanoseconds adaptively (ns / us / ms / s) into `buf`.
+const char* format_ns(double ns, char* buf, std::size_t size) {
+  if (ns < 1e3) {
+    std::snprintf(buf, size, "%.0fns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, size, "%.1fus", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, size, "%.2fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, size, "%.2fs", ns / 1e9);
+  }
+  return buf;
+}
+
+/// Sum of every counter sample named `name` (across label sets).
+std::uint64_t counter_sum(const ncpm::obs::Snapshot& snap, const char* name) {
+  std::uint64_t total = 0;
+  for (const auto& c : snap.counters) {
+    if (c.name == name) total += c.value;
+  }
+  return total;
+}
+
+std::int64_t gauge_value(const ncpm::obs::Snapshot& snap, const char* name) {
+  for (const auto& g : snap.gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0;
+}
+
+/// All histogram samples named `name` folded into one (labels dropped).
+ncpm::obs::HistogramSample histogram_sum(const ncpm::obs::Snapshot& snap, const char* name) {
+  ncpm::obs::HistogramSample total;
+  total.name = name;
+  for (const auto& h : snap.histograms) {
+    if (h.name != name) continue;
+    total.count += h.count;
+    total.sum += h.sum;
+    for (std::size_t i = 0; i < ncpm::obs::kHistogramBuckets; ++i) {
+      total.buckets[i] += h.buckets[i];
+    }
+  }
+  return total;
+}
+
+/// a - b, element-wise — the distribution of observations between two
+/// scrapes (counters and histograms are monotone, so this never wraps).
+ncpm::obs::HistogramSample histogram_delta(const ncpm::obs::HistogramSample& a,
+                                           const ncpm::obs::HistogramSample& b) {
+  ncpm::obs::HistogramSample d = a;
+  d.count -= b.count;
+  d.sum -= b.sum;
+  for (std::size_t i = 0; i < ncpm::obs::kHistogramBuckets; ++i) d.buckets[i] -= b.buckets[i];
+  return d;
+}
+
+/// One `top` frame from two consecutive snapshots (prev empty on the first
+/// frame, so frame 1 shows since-server-start rates).
+void print_top_frame(const ncpm::obs::Snapshot& snap, const ncpm::obs::Snapshot& prev,
+                     const std::string& endpoint) {
+  const double window_s =
+      static_cast<double>(snap.uptime_ns - prev.uptime_ns) / 1e9;
+  const double safe_window = window_s > 0 ? window_s : 1.0;
+
+  const auto rate = [&](const char* name) {
+    return static_cast<double>(counter_sum(snap, name) - counter_sum(prev, name)) / safe_window;
+  };
+  const double req_s = rate("ncpm_engine_completed_total");
+  const double shed_s =
+      rate("ncpm_server_overloaded_shed_total") + rate("ncpm_server_deadline_shed_total");
+
+  const auto solve =
+      histogram_delta(histogram_sum(snap, "ncpm_engine_solve_ns"),
+                      histogram_sum(prev, "ncpm_engine_solve_ns"));
+  const auto queue =
+      histogram_delta(histogram_sum(snap, "ncpm_engine_queue_ns"),
+                      histogram_sum(prev, "ncpm_engine_queue_ns"));
+
+  char b1[32], b2[32], b3[32], b4[32];
+  std::printf("ncpm top — %s  uptime %.1fs  window %.1fs\n", endpoint.c_str(),
+              static_cast<double>(snap.uptime_ns) / 1e9, window_s);
+  std::printf("  req/s %.1f  shed/s %.1f  slow %llu  in-flight %lld  queue-depth %lld  "
+              "conns %lld\n",
+              req_s, shed_s,
+              static_cast<unsigned long long>(counter_sum(snap, "ncpm_server_slow_requests_total")),
+              static_cast<long long>(gauge_value(snap, "ncpm_engine_outstanding")),
+              static_cast<long long>(gauge_value(snap, "ncpm_engine_queue_depth")),
+              static_cast<long long>(gauge_value(snap, "ncpm_server_connections_active")));
+  std::printf("  solve p50 %s p99 %s   queue p50 %s p99 %s\n",
+              format_ns(solve.quantile(0.5), b1, sizeof(b1)),
+              format_ns(solve.quantile(0.99), b2, sizeof(b2)),
+              format_ns(queue.quantile(0.5), b3, sizeof(b3)),
+              format_ns(queue.quantile(0.99), b4, sizeof(b4)));
+
+  // Per-phase share of the window's solver time, biggest consumers first.
+  struct PhaseShare {
+    std::string name;
+    std::uint64_t ns = 0;
+  };
+  std::vector<PhaseShare> phases;
+  std::uint64_t phase_total = 0;
+  for (const auto& h : snap.histograms) {
+    if (h.name != "ncpm_solve_phase_ns") continue;
+    std::uint64_t prev_sum = 0;
+    for (const auto& p : prev.histograms) {
+      if (p.name == h.name && p.labels == h.labels) {
+        prev_sum = p.sum;
+        break;
+      }
+    }
+    const std::uint64_t delta = h.sum - prev_sum;
+    if (delta == 0) continue;
+    std::string label = h.labels.empty() ? std::string("?") : h.labels.front().second;
+    phases.push_back({std::move(label), delta});
+    phase_total += delta;
+  }
+  std::sort(phases.begin(), phases.end(),
+            [](const PhaseShare& a, const PhaseShare& b) { return a.ns > b.ns; });
+  std::printf("  phases:");
+  if (phase_total == 0) {
+    std::printf(" (no solves in window)");
+  } else {
+    const std::size_t shown = phases.size() < 5 ? phases.size() : 5;
+    for (std::size_t i = 0; i < shown; ++i) {
+      std::printf(" %s %.1f%%", phases[i].name.c_str(),
+                  100.0 * static_cast<double>(phases[i].ns) /
+                      static_cast<double>(phase_total));
+    }
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+int run_top(const Options& opts) {
+  if (opts.positional.size() != 1) return usage(kTopCmdUsage);
+  std::string host;
+  int port = 0;
+  if (!parse_hostport(opts.positional[0], host, port)) return usage(kTopCmdUsage);
+  ncpm::net::ResilientClient client(host, static_cast<std::uint16_t>(port), {});
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  ncpm::obs::Snapshot prev;  // zero counters: frame 1 = rates since server start
+  int frames = 0;
+  while (true) {
+    try {
+      auto reply = client.scrape_stats(/*include_traces=*/false);
+      print_top_frame(reply.snapshot, prev, opts.positional[0]);
+      prev = std::move(reply.snapshot);
+    } catch (const ncpm::net::NetError& e) {
+      if (frames == 0) throw;  // never reached the server: surface the error
+      std::fprintf(stderr, "top: scrape failed (%s); retrying in %ds\n", e.what(),
+                   opts.interval);
+    }
+    ++frames;
+    if (opts.count > 0 && frames >= opts.count) return 0;
+    for (int waited = 0; waited < opts.interval * 10; ++waited) {
       if (g_signal.load() != 0) return 0;
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }
@@ -598,6 +790,7 @@ int run_serve(const Options& opts) {
   cfg.engine.cpu_set = opts.pin_cpus;
   if (opts.metrics_port >= 0) cfg.metrics_port = static_cast<std::uint16_t>(opts.metrics_port);
   cfg.trace_sample_n = static_cast<std::uint64_t>(opts.trace_sample_n);
+  cfg.slow_request_ns = static_cast<std::uint64_t>(opts.slow_request_ms) * 1'000'000;
   cfg.log_json = opts.log_json;
 
   ncpm::net::Server server(cfg);
@@ -617,6 +810,9 @@ int run_serve(const Options& opts) {
   }
   if (cfg.trace_sample_n > 0) {
     extras += " trace-sample-n=" + std::to_string(cfg.trace_sample_n);
+  }
+  if (cfg.slow_request_ns > 0) {
+    extras += " slow-request-ms=" + std::to_string(opts.slow_request_ms);
   }
   if (cfg.engine.pin_lanes) extras += " pin-lanes=on";
   if (cfg.log_json) extras += " log-json=on";
@@ -689,6 +885,7 @@ int main(int argc, char** argv) {
       if (mode == "serve") return usage(kServeUsage);
       if (mode == "rpc") return usage(kRpcUsage);
       if (mode == "stats") return usage(kStatsUsage);
+      if (mode == "top") return usage(kTopCmdUsage);
       if (mode == "rotations") return usage(kRotationsUsage);
       return usage(ncpm::engine::parse_mode(mode).has_value() ? kSolveUsage : kTopUsage);
     }
@@ -697,6 +894,7 @@ int main(int argc, char** argv) {
     if (mode == "serve") return run_serve(opts);
     if (mode == "rpc") return run_rpc(opts);
     if (mode == "stats") return run_stats(opts);
+    if (mode == "top") return run_top(opts);
     if (mode == "rotations") {
       if (opts.positional.size() > 1) return usage(kRotationsUsage);
       return run_rotations(opts);

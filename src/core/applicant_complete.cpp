@@ -6,6 +6,7 @@
 
 #include "graph/path_decomposition.hpp"
 #include "matching/two_regular.hpp"
+#include "obs/profiler.hpp"
 #include "pram/scan.hpp"
 
 namespace ncpm::core {
@@ -135,27 +136,30 @@ ApplicantCompleteResult applicant_complete_matching(const Instance& inst, const 
     }
 
     // Compact the survivors (both endpoints still alive) for the next round.
-    ex.parallel_for(ma, [&](std::size_t e) {
-      keep[e] = (vertex_alive[static_cast<std::size_t>(eu[e])] != 0 &&
-                 vertex_alive[static_cast<std::size_t>(ev[e])] != 0)
-                    ? 1u
-                    : 0u;
-    });
-    pram::add_round(counters, ma);
-    const std::uint32_t ma_next = pram::exclusive_scan<std::uint32_t>(
-        keep.span().first(ma), kpos.span().first(ma), ws, counters);
-    ex.parallel_for(ma, [&](std::size_t e) {
-      if (keep[e] == 0) return;
-      const auto p = static_cast<std::size_t>(kpos[e]);
-      edge_id_next[p] = edge_id[e];
-      eu_next[p] = eu[e];
-      ev_next[p] = ev[e];
-    });
-    pram::add_round(counters, ma);
-    std::swap(edge_id, edge_id_next);
-    std::swap(eu, eu_next);
-    std::swap(ev, ev_next);
-    ma = static_cast<std::size_t>(ma_next);
+    {
+      obs::PhaseScope phase(ws.profiler(), obs::Phase::kCompaction);
+      ex.parallel_for(ma, [&](std::size_t e) {
+        keep[e] = (vertex_alive[static_cast<std::size_t>(eu[e])] != 0 &&
+                   vertex_alive[static_cast<std::size_t>(ev[e])] != 0)
+                      ? 1u
+                      : 0u;
+      });
+      pram::add_round(counters, ma);
+      const std::uint32_t ma_next = pram::exclusive_scan<std::uint32_t>(
+          keep.span().first(ma), kpos.span().first(ma), ws, counters);
+      ex.parallel_for(ma, [&](std::size_t e) {
+        if (keep[e] == 0) return;
+        const auto p = static_cast<std::size_t>(kpos[e]);
+        edge_id_next[p] = edge_id[e];
+        eu_next[p] = eu[e];
+        ev_next[p] = ev[e];
+      });
+      pram::add_round(counters, ma);
+      std::swap(edge_id, edge_id_next);
+      std::swap(eu, eu_next);
+      std::swap(ev, ev_next);
+      ma = static_cast<std::size_t>(ma_next);
+    }
 
     const std::uint64_t delta = ws.heap_allocations() - allocs_at;
     if (result.while_rounds == 1) {
@@ -189,6 +193,7 @@ ApplicantCompleteResult applicant_complete_matching(const Instance& inst, const 
 
   // Residual graph is 2-regular: disjoint even cycles (bipartite).
   if (applicants_left > 0) {
+    obs::PhaseScope phase(ws.profiler(), obs::Phase::kTwoRegular);
     const auto cycle_edges = matching::two_regular_perfect_matching(
         n_vertices, eu.first(ma), ev.first(ma), {}, ws, counters);
     if (!cycle_edges.has_value()) {

@@ -2,6 +2,7 @@
 
 #include "core/applicant_complete.hpp"
 #include "core/reduced_graph.hpp"
+#include "obs/profiler.hpp"
 
 namespace ncpm::core {
 
@@ -17,7 +18,12 @@ std::optional<matching::Matching> find_popular_matching(const Instance& inst,
                                                         pram::NcCounters* counters,
                                                         PopularRunStats* stats) {
   pram::Executor& ex = ws.exec();
-  const ReducedGraph rg = build_reduced_graph(inst, counters, ex);
+  std::optional<ReducedGraph> rg_holder;
+  {
+    obs::PhaseScope phase(ws.profiler(), obs::Phase::kReducedGraph);
+    rg_holder.emplace(build_reduced_graph(inst, counters, ex));
+  }
+  const ReducedGraph& rg = *rg_holder;
   ApplicantCompleteResult ac = applicant_complete_matching(inst, rg, ws, counters);
   if (stats != nullptr) {
     stats->while_rounds = ac.while_rounds;
@@ -28,6 +34,7 @@ std::optional<matching::Matching> find_popular_matching(const Instance& inst,
 
   const auto n_a = static_cast<std::size_t>(inst.num_applicants());
   const auto n_ext = static_cast<std::size_t>(inst.total_posts());
+  obs::PhaseScope extract_phase(ws.profiler(), obs::Phase::kExtract);
 
   // Which extended posts are matched?
   auto post_matched = ws.take<std::uint8_t>(n_ext, std::uint8_t{0});

@@ -28,14 +28,18 @@ bool requires_strict(Mode mode) {
 }
 
 void fill_matching(const core::Instance& inst, std::optional<matching::Matching> m,
-                   Result& out) {
+                   pram::Workspace& ws, Result& out) {
   out.applicants = inst.num_applicants();
   if (!m.has_value()) {
     out.status = Status::kNoSolution;
     return;
   }
   out.status = Status::kOk;
-  out.matching_size = core::matching_size(inst, *m);
+  {
+    // The post-solve verification/accounting pass (core/verify.hpp).
+    obs::PhaseScope phase(ws.profiler(), obs::Phase::kVerify);
+    out.matching_size = core::matching_size(inst, *m);
+  }
   out.matching = std::move(m);
 }
 
@@ -79,19 +83,19 @@ void execute(const Request& req, pram::Workspace& ws, Result& out) {
   switch (req.mode) {
     case Mode::kSolve:
       if (strict) {
-        fill_matching(inst, core::find_popular_matching(inst, ws, nullptr, &out.run_stats), out);
+        fill_matching(inst, core::find_popular_matching(inst, ws, nullptr, &out.run_stats), ws, out);
       } else {
-        fill_matching(inst, core::find_popular_matching_ties(inst), out);
+        fill_matching(inst, core::find_popular_matching_ties(inst), ws, out);
       }
       return;
     case Mode::kMaxCard:
-      fill_matching(inst, core::find_max_card_popular(inst, ws), out);
+      fill_matching(inst, core::find_max_card_popular(inst, ws), ws, out);
       return;
     case Mode::kFair:
-      fill_matching(inst, core::find_fair_popular(inst, ws), out);
+      fill_matching(inst, core::find_fair_popular(inst, ws), ws, out);
       return;
     case Mode::kRankMaximal:
-      fill_matching(inst, core::find_rank_maximal_popular(inst, ws), out);
+      fill_matching(inst, core::find_rank_maximal_popular(inst, ws), ws, out);
       return;
     case Mode::kCount: {
       const auto count = core::count_popular_matchings(inst, ws);
@@ -113,7 +117,10 @@ void execute(const Request& req, pram::Workspace& ws, Result& out) {
                          : core::find_popular_matching_ties(inst);
       report.admits_popular = m.has_value();
       if (m.has_value()) {
-        report.size = core::matching_size(inst, *m);
+        {
+          obs::PhaseScope phase(ws.profiler(), obs::Phase::kVerify);
+          report.size = core::matching_size(inst, *m);
+        }
         // Count from the matching already in hand — one pipeline run, not
         // two — on this worker's own executor, never the shared default.
         if (strict) report.count = core::count_popular_matchings(inst, *m, nullptr, ws.exec());
@@ -163,6 +170,7 @@ struct Engine::ObsHandles {
   obs::Counter* rejected;
   obs::Histogram* queue_ns[kNumModes];
   obs::Histogram* solve_ns[kNumModes];
+  obs::Histogram* phase_ns[obs::kNumPhases];
 };
 
 Engine::Engine(EngineConfig config) : config_(config), start_(std::chrono::steady_clock::now()) {
@@ -193,6 +201,11 @@ Engine::Engine(EngineConfig config) : config_(config), start_(std::chrono::stead
     }
     obs_->rejected = &reg.counter("ncpm_engine_rejected_total",
                                   "Requests abandoned at shutdown without a worker");
+    for (std::size_t p = 0; p < obs::kNumPhases; ++p) {
+      obs_->phase_ns[p] = &reg.histogram(
+          "ncpm_solve_phase_ns", "Exclusive solver time per phase in nanoseconds",
+          {{"phase", std::string(obs::phase_name(p))}});
+    }
     reg.gauge("ncpm_engine_workers", "Worker thread count").set(config_.num_workers);
     reg.gauge("ncpm_engine_lanes_per_worker", "Executor lanes inside each worker")
         .set(config_.lanes_per_worker);
@@ -327,6 +340,11 @@ void Engine::record(const Result& result) {
       obs_->completed[m]->add(1);
       obs_->queue_ns[m]->observe(queue_ns);
       obs_->solve_ns[m]->observe(solve_ns);
+      for (std::size_t p = 0; p < obs::kNumPhases; ++p) {
+        // Only phases the request actually visited; a zero observation
+        // would drown the distributions in first-bucket noise.
+        if (result.phase_ns[p] != 0) obs_->phase_ns[p]->observe(result.phase_ns[p]);
+      }
     }
   }
   std::lock_guard<std::mutex> lock(stats_mu_);
@@ -383,6 +401,11 @@ void Engine::worker_main(int worker_id) {
   exec_config.cpu_offset = worker_id * config_.lanes_per_worker;
   pram::Executor exec(exec_config);
   pram::Workspace ws(exec);
+  // The worker's private phase accumulator: solver layers below record
+  // into it through the executor's profiler pointer; each task resets it
+  // and snapshots the totals into its Result.
+  obs::PhaseAccum phase_accum;
+  if (config_.profile_phases) exec.attach_profiler(&phase_accum);
   Worker& self = *workers_[static_cast<std::size_t>(worker_id)];
   for (;;) {
     Task task;
@@ -411,6 +434,12 @@ void Engine::worker_main(int worker_id) {
     } else {
       // Honour the request's own lane cap, if any, for just this solve.
       exec.set_active_lanes(task.request.lanes.value_or(config_.lanes_per_worker));
+      if (config_.profile_phases) {
+        phase_accum.reset();
+        if (task.request.decode_ns != 0) {
+          phase_accum.add(obs::Phase::kDecode, task.request.decode_ns);
+        }
+      }
       try {
         execute(task.request, ws, result);
       } catch (const std::exception& e) {
@@ -418,6 +447,7 @@ void Engine::worker_main(int worker_id) {
         result.error = e.what();
       }
       exec.set_active_lanes(config_.lanes_per_worker);
+      if (config_.profile_phases) result.phase_ns = phase_accum.snapshot();
     }
     result.solve_time = std::chrono::steady_clock::now() - dequeued;
 

@@ -47,6 +47,7 @@
 #include "core/instance.hpp"
 #include "core/popular_matching.hpp"
 #include "matching/matching.hpp"
+#include "obs/profiler.hpp"
 #include "pram/executor.hpp"
 #include "stable/instance.hpp"
 #include "stable/next_stable.hpp"
@@ -108,6 +109,10 @@ struct Request {
   /// identical either way; this only trades latency for smoothness when a
   /// cheap request shares a budget with expensive ones.
   std::optional<int> lanes;
+  /// Time the submitter spent decoding the wire payload into the instance,
+  /// charged to the obs::Phase::kDecode bucket of the request's phase
+  /// breakdown (the decode happens before the engine sees the request).
+  std::uint64_t decode_ns = 0;
 
   static Request popular(Mode mode, core::Instance inst) {
     Request r;
@@ -163,6 +168,10 @@ struct Result {
   std::chrono::nanoseconds queue_latency{0};  ///< submit -> worker dequeue
   std::chrono::nanoseconds solve_time{0};     ///< dequeue -> result ready
   int worker_id = -1;
+  /// Per-phase solver time (obs::Phase index -> exclusive ns), including
+  /// the submitter-charged decode bucket. All zero when the engine runs
+  /// with profile_phases off or the request never reached a solve.
+  std::array<std::uint64_t, obs::kNumPhases> phase_ns{};
 };
 
 /// One hardware budget split between batch concurrency and intra-solve
@@ -213,6 +222,10 @@ struct EngineConfig {
   /// queue-depth/outstanding callback gauges (removed again on destruction),
   /// plus SIMD-tier and pinning gauges. The registry must outlive the engine.
   obs::Registry* registry = nullptr;
+  /// Attach a per-worker obs::PhaseAccum so solver layers record phase
+  /// timings (Result::phase_ns, ncpm_solve_phase_ns histograms). Off, every
+  /// PhaseScope in the solver is a no-op (no clock reads, no atomics).
+  bool profile_phases = true;
 
   EngineConfig() = default;
   EngineConfig(int workers, int lanes) : num_workers(workers), lanes_per_worker(lanes) {}

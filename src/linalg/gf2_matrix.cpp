@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "linalg/gf2_kernels.hpp"
+#include "obs/profiler.hpp"
 #include "pram/executor.hpp"
 
 namespace ncpm::linalg {
@@ -60,6 +61,7 @@ std::vector<std::uint8_t> BitMatrix::diagonal(pram::Executor& ex) const {
 }
 
 std::size_t BitMatrix::gf2_rank(pram::NcCounters* counters, pram::Executor& ex) const {
+  obs::PhaseScope phase(ex.profiler(), obs::Phase::kGf2Rank);
   BitMatrix work = *this;
   const std::size_t wpr = work.words_per_row_;
   std::size_t pivot_row = 0;

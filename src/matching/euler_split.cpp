@@ -3,6 +3,7 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "obs/profiler.hpp"
 #include "pram/list_ranking.hpp"
 #include "pram/scan.hpp"
 #include "pram/workspace.hpp"
@@ -22,6 +23,7 @@ constexpr std::size_t kGrain = 2048;
 /// so the log2(d) cascade reuses one warm set of buffers.
 void euler_halve(const graph::BipartiteGraph& g, std::span<std::uint8_t> alive,
                  pram::Workspace& ws, pram::NcCounters* counters) {
+  obs::PhaseScope phase(ws.profiler(), obs::Phase::kEulerSplit);
   const std::size_t m = g.num_edges();
   const std::size_t n =
       static_cast<std::size_t>(g.n_left()) + static_cast<std::size_t>(g.n_right());

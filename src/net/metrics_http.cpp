@@ -16,8 +16,11 @@ namespace {
 constexpr std::size_t kMaxRequestBytes = 8192;
 constexpr std::size_t kReadChunk = 2048;
 
-std::string http_response(int status, const char* reason, std::string body,
-                          const char* content_type) {
+/// A complete HTTP/1.0 response. HEAD gets the exact status and headers a
+/// GET would (Content-Length reflects the body GET would have sent) with
+/// the body itself omitted.
+std::string http_response(int status, const char* reason, const std::string& body,
+                          const char* content_type, bool head_only) {
   std::string out = "HTTP/1.0 ";
   out += std::to_string(status);
   out += ' ';
@@ -27,22 +30,27 @@ std::string http_response(int status, const char* reason, std::string body,
   out += "\r\nContent-Length: ";
   out += std::to_string(body.size());
   out += "\r\nConnection: close\r\n\r\n";
-  out += body;
+  if (!head_only) out += body;
   return out;
 }
 
-/// True when `request` is `GET /metrics` (any HTTP version, query strings
-/// rejected — a scraper sends none).
-bool is_metrics_get(const std::string& request) {
-  const auto line_end = request.find("\r\n");
+/// Method + path off the request line (any HTTP version, query strings not
+/// split off — no served path takes one).
+struct RequestLine {
+  std::string method;
+  std::string path;
+};
+
+RequestLine parse_request_line(const std::string& request) {
+  const auto line_end = request.find_first_of("\r\n");
   const std::string line = request.substr(0, line_end);
+  RequestLine out;
   const auto sp1 = line.find(' ');
-  if (sp1 == std::string::npos) return false;
+  if (sp1 == std::string::npos) return out;
   const auto sp2 = line.find(' ', sp1 + 1);
-  const std::string method = line.substr(0, sp1);
-  const std::string path =
-      sp2 == std::string::npos ? line.substr(sp1 + 1) : line.substr(sp1 + 1, sp2 - sp1 - 1);
-  return method == "GET" && path == "/metrics";
+  out.method = line.substr(0, sp1);
+  out.path = sp2 == std::string::npos ? line.substr(sp1 + 1) : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  return out;
 }
 
 }  // namespace
@@ -70,8 +78,11 @@ class MetricsHttpServer::ListenerHandler final : public FdHandler {
 };
 
 MetricsHttpServer::MetricsHttpServer(std::string bind_address, std::uint16_t port,
-                                     obs::Registry& registry)
-    : bind_address_(std::move(bind_address)), requested_port_(port), registry_(registry) {}
+                                     obs::Registry& registry, std::function<bool()> ready_fn)
+    : bind_address_(std::move(bind_address)),
+      requested_port_(port),
+      registry_(registry),
+      ready_fn_(std::move(ready_fn)) {}
 
 MetricsHttpServer::~MetricsHttpServer() { stop(); }
 
@@ -142,12 +153,28 @@ void MetricsHttpServer::conn_ready(Conn* conn, std::uint32_t events) {
       }
       if (conn->request.find("\r\n\r\n") != std::string::npos ||
           conn->request.find("\n\n") != std::string::npos) {
-        if (is_metrics_get(conn->request)) {
+        const RequestLine req = parse_request_line(conn->request);
+        const bool head = req.method == "HEAD";
+        if (!head && req.method != "GET") {
+          conn->response = http_response(404, "Not Found", "", "text/plain; charset=utf-8",
+                                         /*head_only=*/false);
+        } else if (req.path == "/metrics") {
           conn->response =
               http_response(200, "OK", obs::render_prometheus(registry_.snapshot()),
-                            "text/plain; version=0.0.4; charset=utf-8");
+                            "text/plain; version=0.0.4; charset=utf-8", head);
+        } else if (req.path == "/healthz") {
+          // Pure liveness: answering at all is the signal (the loop thread
+          // is alive and serving), so this is unconditionally 200.
+          conn->response = http_response(200, "OK", "ok\n", "text/plain; charset=utf-8", head);
+        } else if (req.path == "/readyz") {
+          const bool ready = !ready_fn_ || ready_fn_();
+          conn->response =
+              ready ? http_response(200, "OK", "ready\n", "text/plain; charset=utf-8", head)
+                    : http_response(503, "Service Unavailable", "unready\n",
+                                    "text/plain; charset=utf-8", head);
         } else {
-          conn->response = http_response(404, "Not Found", "", "text/plain; charset=utf-8");
+          conn->response =
+              http_response(404, "Not Found", "", "text/plain; charset=utf-8", head);
         }
         conn->responding = true;
         loop_.modify_fd(conn->sock.fd(), EPOLLOUT);

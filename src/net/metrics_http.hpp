@@ -1,16 +1,26 @@
 #pragma once
-// Minimal HTTP/1.0 `GET /metrics` endpoint: Prometheus text exposition of
-// one obs::Registry, on its own port so scrapers never speak ncpm-rpc.
+// Minimal HTTP/1.0 observability endpoint: Prometheus text exposition of
+// one obs::Registry plus liveness/readiness probes, on its own port so
+// scrapers and orchestrators never speak ncpm-rpc. Three paths, GET and
+// HEAD (HEAD answers the identical status and headers — Content-Length
+// included — with no body, so probes can skip the exposition bytes):
+//
+//   /metrics  200, the registry rendered as Prometheus text
+//   /healthz  200 "ok" while the loop thread runs — pure liveness
+//   /readyz   200 "ready" when the owner's ready_fn says so, 503
+//             "unready" otherwise (draining, or at the in-flight cap);
+//             no ready_fn = always ready (a bare registry endpoint)
 //
 // Deliberately tiny — one EventLoop (the same reactor the epoll core
 // uses), nonblocking sockets, one response per connection, `Connection:
 // close`. It understands exactly enough HTTP to serve a scrape: a request
-// line plus headers terminated by a blank line, answered 200 (for GET
-// /metrics) or 404, then the connection closes. Anything that is not that
+// line plus headers terminated by a blank line, answered then closed.
+// Unknown paths get a 404 (Content-Length: 0). Anything that is not that
 // — an oversized request, EOF mid-request, a write failure — costs that
 // connection only.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -27,8 +37,11 @@ namespace ncpm::net {
 class MetricsHttpServer {
  public:
   /// Binds nothing yet; start() binds `bind_address`:`port` (0 =
-  /// ephemeral, read the outcome back with port()).
-  MetricsHttpServer(std::string bind_address, std::uint16_t port, obs::Registry& registry);
+  /// ephemeral, read the outcome back with port()). `ready_fn` backs
+  /// /readyz; it is called on the loop thread per probe, so keep it to a
+  /// few atomic loads. Null = always ready.
+  MetricsHttpServer(std::string bind_address, std::uint16_t port, obs::Registry& registry,
+                    std::function<bool()> ready_fn = {});
   ~MetricsHttpServer();
   MetricsHttpServer(const MetricsHttpServer&) = delete;
   MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
@@ -54,6 +67,7 @@ class MetricsHttpServer {
   std::string bind_address_;
   std::uint16_t requested_port_;
   obs::Registry& registry_;
+  std::function<bool()> ready_fn_;
 
   Socket listener_;
   std::uint16_t port_ = 0;

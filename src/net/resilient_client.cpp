@@ -296,6 +296,36 @@ ResponseFrame ResilientClient::call(engine::Mode mode, const core::Instance& ins
                      last.error);
 }
 
+StatsReply ResilientClient::scrape_stats(bool include_traces) {
+  NetErrc last_code = NetErrc::kIo;
+  std::string last_error;
+  for (int attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      const auto pause = backoff_with_jitter(config_.backoff, attempt - 1, jitter_state_);
+      if (pause.count() > 0) std::this_thread::sleep_for(pause);
+    }
+    ++stats_.attempts;
+    try {
+      if (!conn_) {
+        conn_ = std::make_shared<Client>(Client::connect(host_, port_, config_.client));
+        ++stats_.reconnects;
+      }
+      return conn_->stats(include_traces);
+    } catch (const NetError& e) {
+      last_code = e.code();
+      last_error = e.what();
+      conn_.reset();  // the stream is unusable; the next attempt redials
+    } catch (const std::exception& e) {
+      last_code = NetErrc::kIo;
+      last_error = e.what();
+      conn_.reset();
+    }
+  }
+  throw NetError(last_code, "stats scrape failed after " + std::to_string(config_.max_attempts) +
+                                " attempts; last: " + last_error);
+}
+
 bool ResilientClient::healthy() noexcept {
   try {
     if (!conn_) {

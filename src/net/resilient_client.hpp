@@ -125,6 +125,15 @@ class ResilientClient {
   /// Never throws; false means the endpoint is unreachable right now.
   bool healthy() noexcept;
 
+  /// One metrics scrape (Client::stats) with reconnect-and-retry: a broken
+  /// connection is redialled and the scrape retried with the usual backoff
+  /// up to max_attempts. Deliberately outside the circuit breaker — a
+  /// monitoring loop must keep probing a down endpoint to see it come
+  /// back, and a scrape never costs the server a backpressure slot. Throws
+  /// the final attempt's NetError when every attempt failed (the caller's
+  /// watch loop decides whether to keep waiting).
+  StatsReply scrape_stats(bool include_traces = false);
+
   /// Drop the current connection (the next call redials).
   void disconnect() noexcept { conn_.reset(); }
 

@@ -12,6 +12,7 @@
 #include "net/server_core.hpp"
 #include "net/socket.hpp"
 #include "net/stats_frame.hpp"
+#include "pram/simd.hpp"
 
 namespace ncpm::net {
 
@@ -31,9 +32,11 @@ std::optional<ServerCoreKind> parse_server_core(std::string_view name) {
 
 namespace detail {
 
-ServerObs::ServerObs(obs::Registry& registry_in, obs::Log& log_in, obs::TraceRing& traces_in)
+ServerObs::ServerObs(obs::Registry& registry_in, obs::Log& log_in, obs::Log& slow_log_in,
+                     obs::TraceRing& traces_in)
     : registry(registry_in),
       log(log_in),
+      slow_log(slow_log_in),
       traces(traces_in),
       connections_accepted(registry.counter("ncpm_server_connections_accepted_total",
                                             "Connections accepted since start")),
@@ -54,13 +57,35 @@ ServerObs::ServerObs(obs::Registry& registry_in, obs::Log& log_in, obs::TraceRin
       hello_timeouts(registry.counter("ncpm_server_hello_timeouts_total",
                                       "Connections reaped before completing the hello")),
       stats_frames_answered(registry.counter("ncpm_server_stats_frames_total",
-                                             "Stats probes answered inline")) {}
+                                             "Stats probes answered inline")),
+      slow_requests(registry.counter("ncpm_server_slow_requests_total",
+                                     "Solves at or over slow_request_ns, logged")) {}
 
 namespace {
 
 std::uint64_t steady_ns(std::chrono::steady_clock::time_point tp) {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(tp.time_since_epoch()).count());
+}
+
+/// FNV-1a 64 over the request's instance payload — a stable fingerprint
+/// tying a slow-request log line and its trace span to the exact bytes that
+/// were slow, so an operator can replay the instance offline.
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// 16 lowercase hex chars, same rendering as the trace span's JSON digest.
+std::string hex64(std::uint64_t v) {
+  constexpr char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 0; i < 16; ++i) out[i] = kHex[(v >> (60 - 4 * i)) & 0xf];
+  return out;
 }
 
 }  // namespace
@@ -160,7 +185,19 @@ void dispatch_request(engine::Engine& engine, ServerObs& obs, const ServerConfig
     return;
   }
 
+  // Fingerprint the instance payload when anyone downstream will want it (a
+  // sampled span or a possible slow-request line); unsampled requests on a
+  // server with slow capture off skip the hash entirely.
+  const bool slow_capture = config.slow_request_ns > 0;
+  const auto payload_bytes = static_cast<std::uint32_t>(
+      body.size() > kRequestHeadSize ? body.size() - kRequestHeadSize : 0);
+  const std::uint64_t instance_digest =
+      (sampled || slow_capture) && payload_bytes > 0
+          ? fnv1a64(body.data() + kRequestHeadSize, payload_bytes)
+          : 0;
+
   std::optional<core::Instance> instance;
+  const std::uint64_t decode_begin_ns = steady_ns(std::chrono::steady_clock::now());
   try {
     instance = decode_request_instance(body.data(), body.size());
   } catch (const std::exception& e) {
@@ -180,24 +217,30 @@ void dispatch_request(engine::Engine& engine, ServerObs& obs, const ServerConfig
 
   auto request = engine::Request::popular(static_cast<engine::Mode>(head.mode_raw),
                                           std::move(*instance));
+  // Wire-decode time is charged to the kDecode phase bucket: it happened
+  // here, before the engine saw the request, but it is solve work a
+  // phase-breakdown reader expects to see accounted.
+  request.decode_ns = steady_ns(std::chrono::steady_clock::now()) - decode_begin_ns;
   if (head.deadline_ns > 0) {
     request.deadline = receipt + std::chrono::nanoseconds(head.deadline_ns);
   }
 
   const auto request_id = head.request_id;
   const auto mode_raw = head.mode_raw;
+  const std::uint64_t slow_ns = config.slow_request_ns;
   detail::ServerObs* obs_ptr = &obs;  // outlives every engine callback (facade member)
   auto on_complete = [deliver, request_id, mode_raw, sampled, obs_ptr, conn_id, accept_ns,
-                      frame_read_ns](engine::Result result) {
+                      frame_read_ns, instance_digest, payload_bytes,
+                      slow_ns](engine::Result result) {
     // The engine records no per-request milestones; the span is
     // reconstructed here from the result's own timings: the callback runs
     // at (approximately) solve end, so solve_start = end - solve_time and
     // dispatch = solve_start - queue_latency.
+    const auto solve_time_ns = static_cast<std::uint64_t>(result.solve_time.count());
+    const auto queue_ns = static_cast<std::uint64_t>(result.queue_latency.count());
     obs::TraceSpan span;
     if (sampled) {
       const std::uint64_t end_ns = steady_ns(std::chrono::steady_clock::now());
-      const auto solve_ns = static_cast<std::uint64_t>(result.solve_time.count());
-      const auto queue_ns = static_cast<std::uint64_t>(result.queue_latency.count());
       span.request_id = request_id;
       span.conn_id = conn_id;
       span.mode = mode_raw;
@@ -205,8 +248,44 @@ void dispatch_request(engine::Engine& engine, ServerObs& obs, const ServerConfig
       span.accept_ns = accept_ns;
       span.frame_read_ns = frame_read_ns;
       span.solve_end_ns = end_ns;
-      span.solve_start_ns = end_ns - solve_ns;
+      span.solve_start_ns = end_ns - solve_time_ns;
       span.dispatch_ns = span.solve_start_ns - queue_ns;
+      span.instance_digest = instance_digest;
+      span.payload_bytes = payload_bytes;
+      span.phase_ns = result.phase_ns;
+    }
+    // Slow-request capture: one JSON line per served request whose solve
+    // reached the threshold — enough to replay the instance (digest) and see
+    // where the time went (phase breakdown) without any sampling luck.
+    if (slow_ns > 0 && solve_time_ns >= slow_ns) {
+      obs_ptr->slow_requests.add(1);
+      if (obs_ptr->slow_log.enabled()) {
+        const std::string digest_hex = hex64(instance_digest);
+        const auto phase = [&result](obs::Phase p) {
+          return result.phase_ns[static_cast<std::size_t>(p)];
+        };
+        obs_ptr->slow_log.event(
+            "slow_request",
+            {{"conn_id", conn_id},
+             {"request_id", request_id},
+             {"mode", engine::mode_name(static_cast<engine::Mode>(mode_raw))},
+             {"status", engine::status_name(result.status)},
+             {"instance_digest", std::string_view(digest_hex)},
+             {"payload_bytes", std::uint64_t{payload_bytes}},
+             {"queue_ns", queue_ns},
+             {"solve_ns", solve_time_ns},
+             {"simd", pram::simd_tier_name(pram::active_simd_tier())},
+             {"decode_ns", phase(obs::Phase::kDecode)},
+             {"reduced_graph_ns", phase(obs::Phase::kReducedGraph)},
+             {"two_regular_ns", phase(obs::Phase::kTwoRegular)},
+             {"euler_split_ns", phase(obs::Phase::kEulerSplit)},
+             {"list_rank_ns", phase(obs::Phase::kListRank)},
+             {"window_min_ns", phase(obs::Phase::kWindowMin)},
+             {"compaction_ns", phase(obs::Phase::kCompaction)},
+             {"gf2_rank_ns", phase(obs::Phase::kGf2Rank)},
+             {"extract_ns", phase(obs::Phase::kExtract)},
+             {"verify_ns", phase(obs::Phase::kVerify)}});
+      }
     }
     std::string frame =
         encode_response_frame(make_response(request_id, mode_raw, std::move(result)));
@@ -587,12 +666,17 @@ Server::Server(ServerConfig config)
     : config_(std::move(config)),
       registry_(std::make_unique<obs::Registry>()),
       log_(std::make_unique<obs::Log>()),
+      slow_log_(std::make_unique<obs::Log>()),
       traces_(std::make_unique<obs::TraceRing>(config_.trace_ring_capacity,
                                                config_.trace_sample_n)),
       engine_(with_registry(config_.engine, registry_.get())),
-      obs_(std::make_unique<detail::ServerObs>(*registry_, *log_, *traces_)) {
+      obs_(std::make_unique<detail::ServerObs>(*registry_, *log_, *slow_log_, *traces_)) {
   if (config_.max_in_flight_per_connection < 1) config_.max_in_flight_per_connection = 1;
   if (config_.log_json) log_->enable(config_.log_sink);
+  // Slow-request capture rides its own log stream, on whenever the
+  // threshold is set — production keeps lifecycle logging off while still
+  // recording outliers.
+  if (config_.slow_request_ns > 0) slow_log_->enable(config_.slow_log_sink);
 }
 
 Server::~Server() { stop(); }
@@ -615,8 +699,15 @@ void Server::start() {
   core_->start();
   if (config_.metrics_port.has_value()) {
     try {
+      // Readiness: serving (not draining) with admission headroom. Checked
+      // per probe on the metrics loop thread — two atomic loads.
+      auto ready_fn = [this] {
+        if (stopping_.load(std::memory_order_acquire)) return false;
+        return config_.max_in_flight_global == 0 ||
+               engine_.outstanding() < config_.max_in_flight_global;
+      };
       metrics_ = std::make_unique<MetricsHttpServer>(config_.bind_address, *config_.metrics_port,
-                                                     *registry_);
+                                                     *registry_, std::move(ready_fn));
       metrics_->start();
     } catch (...) {
       // The rpc port is already live; unwind it so a metrics bind failure
@@ -644,9 +735,13 @@ void Server::stop() {
     log_->event("drain_begin", {{"uptime_ns", registry_->uptime_ns()}});
   }
   core_->stop();
-  if (metrics_) metrics_->stop();
-  // Nothing can submit anymore; drain whatever the engine still holds.
+  // Nothing can submit anymore; drain whatever the engine still holds. The
+  // metrics endpoint outlives the drain on purpose: /healthz stays 200 and
+  // /readyz reports 503 (stopping_ is set) for the whole drain window, so
+  // an orchestrator watching the probes sees "alive but not ready" instead
+  // of a vanished port.
   engine_.shutdown(engine::Engine::ShutdownMode::kDrain);
+  if (metrics_) metrics_->stop();
   if (log_->enabled()) {
     log_->event("drain_end", {{"uptime_ns", registry_->uptime_ns()},
                               {"responses_sent", obs_->responses_sent.value()},
@@ -668,6 +763,7 @@ ServerStats Server::stats() const {
   s.pings_answered = obs_->pings_answered.value();
   s.hello_timeouts = obs_->hello_timeouts.value();
   s.stats_frames_answered = obs_->stats_frames_answered.value();
+  s.slow_requests = obs_->slow_requests.value();
   return s;
 }
 

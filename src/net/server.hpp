@@ -116,6 +116,15 @@ struct ServerConfig {
   /// Log destination when log_json is on; null writes lines to stderr.
   /// Called under the log's mutex — keep it cheap (tests capture lines).
   std::function<void(std::string_view)> log_sink;
+  /// Slow-request capture: any served request whose solve time reaches this
+  /// bound emits one JSON line (mode, instance digest, payload size, queue
+  /// and solve ns, per-phase breakdown) on the slow-request log —
+  /// independent of log_json, so production can keep lifecycle logging off
+  /// while still capturing outliers. Zero = off.
+  std::uint64_t slow_request_ns = 0;
+  /// Slow-request line destination; null writes lines to stderr. Called
+  /// under the slow log's mutex — keep it cheap (tests capture lines).
+  std::function<void(std::string_view)> slow_log_sink;
   engine::EngineConfig engine{};
 };
 
@@ -130,6 +139,7 @@ struct ServerStats {
   std::uint64_t pings_answered = 0;     ///< keepalive pings answered (no engine, no slot)
   std::uint64_t hello_timeouts = 0;     ///< connections reaped before completing their hello
   std::uint64_t stats_frames_answered = 0;  ///< stats probes answered (no engine, no slot)
+  std::uint64_t slow_requests = 0;          ///< solves at/over slow_request_ns, logged
 };
 
 class Server {
@@ -173,6 +183,7 @@ class Server {
   // registry alive.
   std::unique_ptr<obs::Registry> registry_;
   std::unique_ptr<obs::Log> log_;
+  std::unique_ptr<obs::Log> slow_log_;  ///< slow-request capture; always enabled
   std::unique_ptr<obs::TraceRing> traces_;
   engine::Engine engine_;
   std::unique_ptr<detail::ServerObs> obs_;

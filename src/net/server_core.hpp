@@ -32,12 +32,16 @@ namespace ncpm::net::detail {
 /// same series serve ServerStats, the /metrics endpoint, and stats frames);
 /// log and traces are the facade's event log and trace ring.
 struct ServerObs {
-  ServerObs(obs::Registry& registry_in, obs::Log& log_in, obs::TraceRing& traces_in);
+  ServerObs(obs::Registry& registry_in, obs::Log& log_in, obs::Log& slow_log_in,
+            obs::TraceRing& traces_in);
   ServerObs(const ServerObs&) = delete;
   ServerObs& operator=(const ServerObs&) = delete;
 
   obs::Registry& registry;
   obs::Log& log;
+  /// Slow-request capture stream (ServerConfig::slow_request_ns); enabled by
+  /// the facade whenever the threshold is nonzero, independent of log_json.
+  obs::Log& slow_log;
   obs::TraceRing& traces;
 
   obs::Counter& connections_accepted;
@@ -50,6 +54,7 @@ struct ServerObs {
   obs::Counter& pings_answered;
   obs::Counter& hello_timeouts;
   obs::Counter& stats_frames_answered;
+  obs::Counter& slow_requests;
 
   /// Monotone connection id source, both cores: the correlation key tying
   /// log lines and trace spans to one accepted socket.

@@ -31,8 +31,10 @@ namespace ncpm::net {
 inline constexpr std::size_t kStatsRequestBodySize = 1 + 8 + 1;
 /// Bit 0 of the request flags: echo the trace ring's sampled spans.
 inline constexpr std::uint8_t kStatsFlagTraces = 0x01;
-/// Version tag leading every stats response payload.
-inline constexpr std::uint32_t kStatsSnapshotVersion = 1;
+/// Version tag leading every stats response payload. v2 extends each span
+/// row with instance digest, payload size, and a sparse per-phase solver
+/// breakdown; the decoder still accepts v1 rows from older servers.
+inline constexpr std::uint32_t kStatsSnapshotVersion = 2;
 
 struct StatsRequest {
   std::uint64_t token = 0;

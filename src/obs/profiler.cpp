@@ -1,0 +1,30 @@
+#include "obs/profiler.hpp"
+
+namespace ncpm::obs {
+
+namespace {
+
+constexpr const char* kPhaseNames[kNumPhases] = {
+    "decode",        // kDecode
+    "reduced_graph", // kReducedGraph
+    "two_regular",   // kTwoRegular
+    "euler_split",   // kEulerSplit
+    "list_rank",     // kListRank
+    "window_min",    // kWindowMin
+    "compaction",    // kCompaction
+    "gf2_rank",      // kGf2Rank
+    "extract",       // kExtract
+    "verify",        // kVerify
+};
+
+}  // namespace
+
+const char* phase_name(Phase phase) noexcept {
+  return phase_name(static_cast<std::size_t>(phase));
+}
+
+const char* phase_name(std::size_t index) noexcept {
+  return index < kNumPhases ? kPhaseNames[index] : "unknown";
+}
+
+}  // namespace ncpm::obs

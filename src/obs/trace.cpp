@@ -31,6 +31,11 @@ void TraceRing::commit(const TraceSpan& span) noexcept {
   slot.solve_start_ns.store(span.solve_start_ns, std::memory_order_relaxed);
   slot.solve_end_ns.store(span.solve_end_ns, std::memory_order_relaxed);
   slot.response_ns.store(span.response_ns, std::memory_order_relaxed);
+  slot.instance_digest.store(span.instance_digest, std::memory_order_relaxed);
+  slot.payload_bytes.store(span.payload_bytes, std::memory_order_relaxed);
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    slot.phase_ns[p].store(span.phase_ns[p], std::memory_order_relaxed);
+  }
   slot.seq.fetch_add(1, std::memory_order_release);
 }
 
@@ -54,6 +59,12 @@ std::vector<TraceSpan> TraceRing::snapshot() const {
     span.solve_start_ns = slot.solve_start_ns.load(std::memory_order_relaxed);
     span.solve_end_ns = slot.solve_end_ns.load(std::memory_order_relaxed);
     span.response_ns = slot.response_ns.load(std::memory_order_relaxed);
+    span.instance_digest = slot.instance_digest.load(std::memory_order_relaxed);
+    span.payload_bytes =
+        static_cast<std::uint32_t>(slot.payload_bytes.load(std::memory_order_relaxed));
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+      span.phase_ns[p] = slot.phase_ns[p].load(std::memory_order_relaxed);
+    }
     std::atomic_thread_fence(std::memory_order_acquire);
     if (slot.seq.load(std::memory_order_relaxed) != before) continue;  // torn
     out.push_back(span);
@@ -89,7 +100,27 @@ std::string render_spans_json(const std::vector<TraceSpan>& spans) {
     out += std::to_string(s.solve_end_ns);
     out += ",\"response_ns\":";
     out += std::to_string(s.response_ns);
-    out += '}';
+    out += ",\"instance_digest\":\"";
+    // Digest as a hex string: 64-bit values overflow double-typed JSON
+    // consumers, and hex is what operators grep logs for.
+    constexpr char kHex[] = "0123456789abcdef";
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      out += kHex[(s.instance_digest >> shift) & 0xf];
+    }
+    out += "\",\"payload_bytes\":";
+    out += std::to_string(s.payload_bytes);
+    out += ",\"phases\":{";
+    bool first_phase = true;
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+      if (s.phase_ns[p] == 0) continue;
+      if (!first_phase) out += ',';
+      first_phase = false;
+      out += '"';
+      out += phase_name(p);
+      out += "\":";
+      out += std::to_string(s.phase_ns[p]);
+    }
+    out += "}}";
   }
   out += ']';
   return out;

@@ -11,12 +11,15 @@
 // This is best-effort flight-recorder telemetry: under extreme wrap rates a
 // slot can be overwritten while read and is simply dropped from that scrape.
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "obs/profiler.hpp"
 
 namespace ncpm::obs {
 
@@ -34,6 +37,11 @@ struct TraceSpan {
   std::uint64_t solve_start_ns = 0; ///< worker began the solve
   std::uint64_t solve_end_ns = 0;   ///< worker finished the solve
   std::uint64_t response_ns = 0;    ///< response frame handed to the writer
+  std::uint64_t instance_digest = 0; ///< FNV-1a 64 over the payload bytes
+  std::uint32_t payload_bytes = 0;   ///< request payload size on the wire
+  /// Per-phase solver breakdown (obs::Phase index -> exclusive ns); all
+  /// zero when the engine ran with profiling off or the request was shed.
+  std::array<std::uint64_t, kNumPhases> phase_ns{};
 };
 
 class TraceRing {
@@ -76,6 +84,9 @@ class TraceRing {
     std::atomic<std::uint64_t> solve_start_ns{0};
     std::atomic<std::uint64_t> solve_end_ns{0};
     std::atomic<std::uint64_t> response_ns{0};
+    std::atomic<std::uint64_t> instance_digest{0};
+    std::atomic<std::uint64_t> payload_bytes{0};
+    std::array<std::atomic<std::uint64_t>, kNumPhases> phase_ns{};
   };
 
   std::size_t capacity_;

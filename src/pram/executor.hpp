@@ -49,6 +49,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/profiler.hpp"
+
 namespace ncpm::pram {
 
 class Executor;
@@ -167,6 +169,15 @@ class Executor {
     active_ = cap < 1 ? 1 : (cap > lanes_ ? lanes_ : cap);
   }
   int active_lanes() const noexcept { return active_; }
+
+  /// Attach (or detach, with nullptr) a solver-phase accumulator. Solver
+  /// layers open obs::PhaseScope timers against profiler(); with nothing
+  /// attached every scope is a complete no-op. The accumulator must outlive
+  /// the attachment and is owned by the caller (the engine attaches one per
+  /// worker to the worker's private executor). Not synchronized: call only
+  /// from the thread that dispatches this executor's rounds.
+  void attach_profiler(obs::PhaseAccum* accum) noexcept { profiler_ = accum; }
+  obs::PhaseAccum* profiler() const noexcept { return profiler_; }
 
   /// Rebuild the pool at a new width, in place: references to this
   /// executor (e.g. from Workspaces) stay valid. Joins the old worker
@@ -313,6 +324,7 @@ class Executor {
 
   int lanes_ = 1;
   int active_ = 1;
+  obs::PhaseAccum* profiler_ = nullptr;  // not owned; see attach_profiler
   bool pin_ = false;
   std::vector<int> cpus_;  // resolved pin targets; empty when pin_ is false
   int cpu_offset_ = 0;

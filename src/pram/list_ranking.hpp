@@ -33,6 +33,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/profiler.hpp"
 #include "pram/counters.hpp"
 #include "pram/executor.hpp"
 #include "pram/simd.hpp"
@@ -136,6 +137,7 @@ ListRanking list_rank_impl(std::span<const std::int32_t> next, WeightAt&& weight
 /// reaches_terminal[v] == 0 and unspecified rank.
 inline ListRanking list_rank(std::span<const std::int32_t> next, NcCounters* counters = nullptr,
                              Executor& ex = default_executor()) {
+  obs::PhaseScope phase(ex.profiler(), obs::Phase::kListRank);
   return detail::list_rank_impl(next, [](std::size_t) { return std::int64_t{1}; }, ex, counters);
 }
 
@@ -155,6 +157,7 @@ inline void list_rank_into(std::span<const std::int32_t> next, const ListRanking
   if (out.head.size() != n || out.rank.size() != n || out.reaches_terminal.size() != n) {
     throw std::invalid_argument("list_rank_into: output span size mismatch");
   }
+  obs::PhaseScope phase(ws.profiler(), obs::Phase::kListRank);
   Executor& ex = ws.exec();
   const bool bad = ex.parallel_any(n, [&](std::size_t v) {
     return next[v] < 0 || static_cast<std::size_t>(next[v]) >= n;
@@ -254,6 +257,7 @@ inline std::vector<std::int64_t> window_min(std::span<const std::int32_t> next,
                                             Executor& ex = default_executor()) {
   const std::size_t n = next.size();
   if (key.size() != n) throw std::invalid_argument("window_min: size mismatch");
+  obs::PhaseScope phase(ex.profiler(), obs::Phase::kWindowMin);
   std::vector<std::int64_t> val(key.begin(), key.end());
   std::vector<std::int32_t> jump(next.begin(), next.end());
   std::vector<std::int64_t> nval(n);
@@ -280,6 +284,7 @@ inline void window_min_into(std::span<const std::int32_t> next, std::span<const 
   if (key.size() != n || out.size() != n) {
     throw std::invalid_argument("window_min_into: size mismatch");
   }
+  obs::PhaseScope phase(ws.profiler(), obs::Phase::kWindowMin);
   Executor& ex = ws.exec();
   auto tmp_val = ws.take<std::int64_t>(n);
   auto jump_a = ws.take<std::int32_t>(n);

@@ -103,6 +103,15 @@ class Workspace {
   /// The executor this workspace's algorithms run on.
   Executor& exec() const noexcept { return *ex_; }
 
+  /// The phase accumulator attached to the bound executor, or nullptr.
+  /// Solver layers holding only a Workspace& open their obs::PhaseScope
+  /// timers through this forwarder.
+  obs::PhaseAccum* profiler() const noexcept { return ex_->profiler(); }
+  /// Forwards to Executor::attach_profiler on the bound executor.
+  void attach_profiler(obs::PhaseAccum* accum) noexcept {
+    ex_->attach_profiler(accum);
+  }
+
   /// Lease a buffer of `n` elements with unspecified contents. Prefers the
   /// smallest pooled buffer whose capacity already fits; allocates (and
   /// counts it) only when none does.

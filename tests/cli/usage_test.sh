@@ -99,12 +99,24 @@ expect_usage "stats watch junk"        -- stats localhost:7447 --watch nope
 expect_usage "stats bad format"        -- stats localhost:7447 --format xml
 expect_usage "stats format missing"    -- stats localhost:7447 --format
 expect_usage "stats traces need json"  -- stats localhost:7447 --traces
+expect_usage "top no args"             -- top
+expect_usage "top two positionals"     -- top a:1 b:2
+expect_usage "top bad hostport"        -- top localhost
+expect_usage "top bad port"            -- top localhost:0
+expect_usage "top bad interval"        -- top localhost:7447 --interval 0
+expect_usage "top interval junk"       -- top localhost:7447 --interval nope
+expect_usage "top bad count"           -- top localhost:7447 --count 0
+expect_usage "top count missing"       -- top localhost:7447 --count
+expect_usage "serve bad slow bound"    -- serve --slow-request-ms 0
+expect_usage "serve slow bound junk"   -- serve --slow-request-ms nope
+expect_usage "serve slow bound missing" -- serve --slow-request-ms
 
 expect_exit 0 "help exits 0"           -- help
 expect_exit 2 "missing input file"     -- solve /nonexistent/instance.txt
 expect_exit 2 "batch missing file"     -- batch /nonexistent/batch.bin
 expect_exit 2 "rpc connection refused" -- rpc 127.0.0.1:1 solve  # port 1: nothing listens
 expect_exit 2 "stats connection refused" -- stats 127.0.0.1:1
+expect_exit 2 "top connection refused" -- top 127.0.0.1:1 --count 1
 
 # End-to-end sanity: generated instance solves with exit 0 through a pipe.
 tmp=$(mktemp -d)

@@ -117,6 +117,67 @@ TEST(StatsResponseCodec, RoundTripsTraceSpans) {
   EXPECT_EQ(reply.spans[0].response_ns, 150u);
 }
 
+TEST(StatsResponseCodec, RoundTripsV2SpanTail) {
+  // The v2 span tail: instance digest, payload size, and the sparse
+  // per-phase breakdown the `top`/trace tooling renders.
+  obs::TraceSpan span;
+  span.request_id = 77;
+  span.instance_digest = 0xfeedfacecafebeefull;
+  span.payload_bytes = 4096;
+  span.phase_ns[static_cast<std::size_t>(obs::Phase::kDecode)] = 1200;
+  span.phase_ns[static_cast<std::size_t>(obs::Phase::kGf2Rank)] = 88000;
+  span.phase_ns[static_cast<std::size_t>(obs::Phase::kVerify)] = 310;
+
+  const auto body = body_of(encode_stats_response_frame(7, obs::Snapshot{}, {span}));
+  const StatsReply reply = decode_stats_response_body(body.data(), body.size());
+  ASSERT_EQ(reply.spans.size(), 1u);
+  EXPECT_EQ(reply.version, 2u);
+  EXPECT_EQ(reply.spans[0].instance_digest, 0xfeedfacecafebeefull);
+  EXPECT_EQ(reply.spans[0].payload_bytes, 4096u);
+  EXPECT_EQ(reply.spans[0].phase_ns, span.phase_ns);  // sparse encoding is lossless
+}
+
+TEST(StatsResponseCodec, DecoderAcceptsVersion1SpansWithoutTail) {
+  // A v1 peer's span rows stop after response_ns. Synthesise one by
+  // rewriting the version field and stripping the (empty) v2 tail:
+  // u64 digest + u32 payload + u8 phase count = 13 bytes at the body end.
+  obs::TraceSpan span;
+  span.request_id = 5;
+  span.mode = 2;
+  span.response_ns = 150;
+  auto body = body_of(encode_stats_response_frame(3, obs::Snapshot{}, {span}));
+  body[9] = 1;  // u32 version sits after type + token, little-endian
+  ASSERT_GE(body.size(), 13u);
+  body.resize(body.size() - 13);
+
+  const StatsReply reply = decode_stats_response_body(body.data(), body.size());
+  EXPECT_EQ(reply.version, 1u);
+  ASSERT_EQ(reply.spans.size(), 1u);
+  EXPECT_EQ(reply.spans[0].request_id, 5u);
+  EXPECT_EQ(reply.spans[0].response_ns, 150u);
+  EXPECT_EQ(reply.spans[0].instance_digest, 0u);  // tail fields default
+  EXPECT_EQ(reply.spans[0].payload_bytes, 0u);
+  for (const auto ns : reply.spans[0].phase_ns) EXPECT_EQ(ns, 0u);
+}
+
+TEST(StatsResponseCodec, OutOfRangeSpanPhaseIndexThrowsProtocol) {
+  obs::TraceSpan span;
+  span.phase_ns[static_cast<std::size_t>(obs::Phase::kDecode)] = 5;
+  auto body = body_of(encode_stats_response_frame(1, obs::Snapshot{}, {span}));
+  // The single sparse phase entry ends the body: u8 index + u64 value.
+  body[body.size() - 9] = static_cast<std::uint8_t>(obs::kNumPhases);
+  EXPECT_THROW(
+      {
+        try {
+          decode_stats_response_body(body.data(), body.size());
+        } catch (const NetError& e) {
+          EXPECT_EQ(e.code(), NetErrc::kProtocol);
+          throw;
+        }
+      },
+      NetError);
+}
+
 TEST(StatsResponseCodec, EmptySnapshotRoundTrips) {
   const auto body = body_of(encode_stats_response_frame(0, obs::Snapshot{}, {}));
   const StatsReply reply = decode_stats_response_body(body.data(), body.size());
